@@ -1,0 +1,86 @@
+// E11 — end-to-end validation that a verified coloring schedule of length L
+// sustains generation period L (bounded buffers, steady rate exactly 1/L)
+// and that offering more load (period L-1) overflows buffers — the paper's
+// definition of achievable rate made operational.
+
+#include "bench_common.h"
+
+#include "schedule/simulator.h"
+
+namespace wagg {
+namespace {
+
+void print_table() {
+  bench::print_header(
+      "E11: simulator throughput — sustained vs overdriven",
+      "At period = slots the steady rate equals 1/slots and the peak buffer\n"
+      "is independent of the frame count; at period = slots-1 the backlog\n"
+      "grows with the frame count (rate not achievable).");
+  util::Table t({"n", "slots L", "period", "steady rate", "1/L", "buf @128",
+                 "buf @256", "verdict"});
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const auto pts = bench::make_family("uniform", n, 21);
+    const auto plan =
+        core::plan_aggregation(pts, bench::mode_config(core::PowerMode::kGlobal));
+    const std::size_t slots = plan.schedule().length();
+    for (const std::size_t period : {slots, slots > 1 ? slots - 1 : slots}) {
+      // Both windows sit past the pipeline-fill transient (fill is about
+      // height * L slots ~ under 128 frames for these instances), so the
+      // peak buffer is flat for a sustainable rate and keeps growing for an
+      // overdriven one.
+      schedule::SimulationConfig cfg;
+      cfg.generation_period = period;
+      cfg.num_frames = 128;
+      cfg.max_slots = period * 128 + 40000;
+      const auto rep_a =
+          schedule::simulate_aggregation(plan.tree, plan.schedule(), cfg);
+      cfg.num_frames = 256;
+      cfg.max_slots = period * 256 + 40000;
+      const auto rep_b =
+          schedule::simulate_aggregation(plan.tree, plan.schedule(), cfg);
+      const bool stable = rep_b.max_buffer <= rep_a.max_buffer + 2;
+      t.row()
+          .cell(n)
+          .cell(slots)
+          .cell(period)
+          .cell(rep_b.steady_rate, 4)
+          .cell(1.0 / static_cast<double>(slots), 4)
+          .cell(rep_a.max_buffer)
+          .cell(rep_b.max_buffer)
+          .cell(period == slots ? (stable ? "sustained" : "UNSTABLE?")
+                                : (stable ? "unexpected" : "overflows"));
+      if (period == slots && slots == 1) break;
+    }
+  }
+  t.print(std::cout);
+}
+
+void BM_SimulateAtCapacity(benchmark::State& state) {
+  const auto pts = bench::make_family(
+      "uniform", static_cast<std::size_t>(state.range(0)), 21);
+  const auto plan =
+      core::plan_aggregation(pts, bench::mode_config(core::PowerMode::kGlobal));
+  schedule::SimulationConfig cfg;
+  cfg.generation_period = plan.schedule().length();
+  cfg.num_frames = 64;
+  for (auto _ : state) {
+    const auto rep =
+        schedule::simulate_aggregation(plan.tree, plan.schedule(), cfg);
+    benchmark::DoNotOptimize(rep.steady_rate);
+  }
+}
+BENCHMARK(BM_SimulateAtCapacity)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E10 — Sec 3.3: distributed schedule computation. Round counts should
+// follow O((log n * slots + log^2 n) * #classes) with #classes <= log Delta.
+
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "distributed/distributed.h"
+#include "mst/tree.h"
+
+namespace wagg {
+namespace {
+
+void print_table() {
+  bench::print_header(
+      "E10: distributed scheduling rounds (Sec 3.3)",
+      "Simulated contention rounds plus the paper's modeled local-broadcast\n"
+      "cost O(colors + log^2 n) per phase. 'bound' is the paper's shape\n"
+      "(log n * loglogD + log^2 n) * logD for comparison.");
+  util::Table t({"family", "n", "phases (logD)", "colors", "coloring rounds",
+                 "broadcast rounds", "total", "paper bound shape"});
+  distributed::DistributedConfig cfg;
+  cfg.spec = conflict::ConflictSpec::constant(2.0);
+  for (const std::string family : {"uniform", "cluster", "expchain"}) {
+    for (std::size_t n : {128u, 512u, 2048u}) {
+      const auto pts = bench::make_family(family, n, 9);
+      const auto tree = mst::mst_tree(pts, 0);
+      cfg.seed = n;
+      const auto result = distributed::distributed_schedule(tree.links, cfg);
+      const double log_n = std::log2(static_cast<double>(pts.size()));
+      const double log_delta = std::max(1.0, tree.links.log2_delta());
+      const double loglog_delta = std::max(1.0, std::log2(log_delta));
+      const double bound =
+          (log_n * loglog_delta + log_n * log_n) * log_delta;
+      t.row()
+          .cell(family)
+          .cell(pts.size())
+          .cell(result.num_phases)
+          .cell(static_cast<std::size_t>(result.coloring.num_colors))
+          .cell(result.coloring_rounds)
+          .cell(result.broadcast_rounds)
+          .cell(result.total_rounds)
+          .cell(bound, 0);
+    }
+  }
+  t.print(std::cout);
+}
+
+void BM_DistributedScheduling(benchmark::State& state) {
+  const auto pts = bench::make_family(
+      "uniform", static_cast<std::size_t>(state.range(0)), 3);
+  const auto tree = mst::mst_tree(pts, 0);
+  distributed::DistributedConfig cfg;
+  cfg.spec = conflict::ConflictSpec::constant(2.0);
+  for (auto _ : state) {
+    const auto result = distributed::distributed_schedule(tree.links, cfg);
+    benchmark::DoNotOptimize(result.total_rounds);
+  }
+}
+BENCHMARK(BM_DistributedScheduling)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

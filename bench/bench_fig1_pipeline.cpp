@@ -1,0 +1,153 @@
+// E1 — Fig 1: the worked 5-node pipeline (rate 1/2, latency 3) and the
+// Sec 3.1 rate-vs-latency discussion on chains and grids.
+
+#include "bench_common.h"
+
+#include "core/baseline.h"
+#include "instance/special.h"
+#include "mst/tree.h"
+#include "schedule/latency.h"
+#include "schedule/simulator.h"
+#include "schedule/verify.h"
+#include "sinr/power.h"
+
+namespace wagg {
+namespace {
+
+schedule::Schedule remap_fig1_schedule(const mst::AggregationTree& tree) {
+  auto link_of = [&](std::int32_t child) {
+    return static_cast<std::size_t>(
+        tree.link_of_node[static_cast<std::size_t>(child)]);
+  };
+  schedule::Schedule s;
+  s.slots = {{link_of(0), link_of(3)}, {link_of(1), link_of(2)}};
+  return s;
+}
+
+void print_fig1_table() {
+  bench::print_header(
+      "E1a: Fig 1 five-node example",
+      "Paper: periodic 2-slot schedule attains rate 1/2, frame latency 3,\n"
+      "node d buffers two values; both slots SINR-feasible (uniform power,\n"
+      "alpha=3, beta=2).");
+  const auto inst = instance::fig1_instance();
+  const std::vector<mst::Edge> edges{{0, 2}, {1, 3}, {2, 4}, {3, 4}};
+  const auto tree = mst::orient_toward_sink(inst.points, edges, 4);
+  const auto s = remap_fig1_schedule(tree);
+
+  sinr::SinrParams prm;
+  prm.alpha = 3.0;
+  prm.beta = 2.0;
+  const auto oracle =
+      schedule::fixed_power_oracle(tree.links, prm,
+                                   sinr::uniform_power(tree.links, prm));
+  const bool feasible = schedule::verify_schedule(tree.links, s, oracle).ok();
+
+  schedule::SimulationConfig cfg;
+  cfg.num_frames = 200;
+  cfg.generation_period = 2;
+  const auto rep = schedule::simulate_aggregation(tree, s, cfg);
+
+  util::Table t({"quantity", "paper", "measured"});
+  t.row().cell("slots feasible").cell("yes").cell(feasible ? "yes" : "NO");
+  t.row().cell("rate").cell("1/2").cell(rep.steady_rate, 4);
+  t.row().cell("latency (slots)").cell("3").cell(rep.max_latency);
+  t.row().cell("max buffer").cell("2").cell(rep.max_buffer);
+  t.print(std::cout);
+}
+
+void print_rate_vs_latency_table() {
+  bench::print_header(
+      "E1b: rate vs latency on chains (Sec 3.1)",
+      "Unit chains sustain constant rate (1/3 here) with Theta(n) latency;\n"
+      "the pairing-tree baseline gets O(log n) latency at Theta(1/log n) "
+      "rate.");
+  util::Table t({"n", "chain rate", "chain latency", "ordered latency",
+                 "pairing slots", "pairing rate", "pairing latency"});
+  for (std::size_t n : {16u, 32u, 64u, 128u}) {
+    const auto tree = mst::mst_tree(instance::unit_chain(n),
+                                    static_cast<std::int32_t>(n - 1));
+    schedule::Schedule s;
+    s.slots.assign(3, {});
+    for (std::size_t i = 0; i < tree.links.size(); ++i) {
+      const auto sender = static_cast<std::size_t>(tree.links.link(i).sender);
+      s.slots[static_cast<std::size_t>(tree.depth[sender]) % 3].push_back(i);
+    }
+    schedule::SimulationConfig cfg;
+    cfg.num_frames = 64;
+    cfg.generation_period = 3;
+    const auto chain_rep = schedule::simulate_aggregation(tree, s, cfg);
+    // Latency-aware slot ordering: same slots, same rate, lower latency.
+    const auto ordered_rep = schedule::simulate_aggregation(
+        tree, schedule::optimize_slot_order(tree, s), cfg);
+
+    // Pairing-tree baseline under global power.
+    const auto pt = mst::pairing_tree(instance::unit_chain(n),
+                                      static_cast<std::int32_t>(n - 1));
+    const auto level = core::level_schedule(
+        pt, bench::mode_config(core::PowerMode::kGlobal));
+    schedule::SimulationConfig pcfg;
+    pcfg.num_frames = 64;
+    pcfg.generation_period = level.schedule.length();
+    const auto pair_rep =
+        schedule::simulate_aggregation(pt.tree, level.schedule, pcfg);
+
+    t.row()
+        .cell(n)
+        .cell(chain_rep.steady_rate, 4)
+        .cell(chain_rep.max_latency)
+        .cell(ordered_rep.max_latency)
+        .cell(level.schedule.length())
+        .cell(pair_rep.steady_rate, 4)
+        .cell(pair_rep.max_latency);
+  }
+  t.print(std::cout);
+}
+
+void BM_Fig1Simulation(benchmark::State& state) {
+  const auto inst = instance::fig1_instance();
+  const std::vector<mst::Edge> edges{{0, 2}, {1, 3}, {2, 4}, {3, 4}};
+  const auto tree = mst::orient_toward_sink(inst.points, edges, 4);
+  const auto s = remap_fig1_schedule(tree);
+  schedule::SimulationConfig cfg;
+  cfg.num_frames = static_cast<std::size_t>(state.range(0));
+  cfg.generation_period = 2;
+  for (auto _ : state) {
+    const auto rep = schedule::simulate_aggregation(tree, s, cfg);
+    benchmark::DoNotOptimize(rep.frames_completed);
+  }
+  state.counters["rate"] = 0.5;
+}
+BENCHMARK(BM_Fig1Simulation)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_ChainSimulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tree = mst::mst_tree(instance::unit_chain(n),
+                                  static_cast<std::int32_t>(n - 1));
+  schedule::Schedule s;
+  s.slots.assign(3, {});
+  for (std::size_t i = 0; i < tree.links.size(); ++i) {
+    const auto sender = static_cast<std::size_t>(tree.links.link(i).sender);
+    s.slots[static_cast<std::size_t>(tree.depth[sender]) % 3].push_back(i);
+  }
+  schedule::SimulationConfig cfg;
+  cfg.num_frames = 64;
+  cfg.generation_period = 3;
+  for (auto _ : state) {
+    const auto rep = schedule::simulate_aggregation(tree, s, cfg);
+    benchmark::DoNotOptimize(rep.max_latency);
+  }
+}
+BENCHMARK(BM_ChainSimulation)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_fig1_table();
+  wagg::print_rate_vs_latency_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

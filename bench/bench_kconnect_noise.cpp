@@ -1,0 +1,94 @@
+// E13 — extensions: (a) Remark 2's k-edge-connected aggregation structures:
+// schedule length and the Lemma-1 statistic vs k; (b) the interference-
+// limited assumption: schedule length vs ambient noise with the (1+eps)
+// power margin (Sec 3.1 "Power limitations").
+
+#include "bench_common.h"
+
+#include "core/kconnect.h"
+#include "mst/tree.h"
+#include "sinr/interference.h"
+
+namespace wagg {
+namespace {
+
+void print_kconnect_table() {
+  bench::print_header(
+      "E13a: Remark 2 — k-edge-connected aggregation",
+      "Union of k successive MSTs; Lemma 1's constant grows with k (paper:\n"
+      "O(k^4)) and schedule lengths grow mildly — robustness at bounded "
+      "cost.");
+  util::Table t({"n", "k", "links", "lemma1 stat", "global slots",
+                 "obliv slots", "verified"});
+  for (std::size_t n : {128u, 512u}) {
+    const auto pts = bench::make_family("uniform", n, 13);
+    for (int k = 1; k <= 4; ++k) {
+      const auto global =
+          core::plan_k_connected(pts, k,
+                                 bench::mode_config(core::PowerMode::kGlobal));
+      const auto obliv = core::plan_k_connected(
+          pts, k, bench::mode_config(core::PowerMode::kOblivious));
+      t.row()
+          .cell(n)
+          .cell(k)
+          .cell(global.links.size())
+          .cell(global.lemma1_statistic, 2)
+          .cell(global.scheduling.schedule.length())
+          .cell(obliv.scheduling.schedule.length())
+          .cell(global.verified() && obliv.verified() ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout);
+}
+
+void print_noise_table() {
+  bench::print_header(
+      "E13b: interference-limited margins — slots vs ambient noise",
+      "With P(i) >= (1+eps) beta N l_i^alpha the noise costs only constant\n"
+      "factors (Sec 2); schedule lengths degrade gracefully as N grows and\n"
+      "the margin shrinks.");
+  util::Table t({"noise N", "eps", "uniform slots", "obliv slots",
+                 "global slots"});
+  const auto pts = bench::make_family("uniform", 512, 17);
+  for (const double noise : {0.0, 1e-6, 1e-3, 1e-2, 0.1}) {
+    for (const double eps : {0.5, 0.1}) {
+      auto slots_for = [&](core::PowerMode mode) {
+        auto cfg = bench::mode_config(mode);
+        cfg.sinr.noise = noise;
+        cfg.sinr.epsilon = eps;
+        return core::plan_aggregation(pts, cfg).schedule().length();
+      };
+      t.row()
+          .cell(noise, 6)
+          .cell(eps, 1)
+          .cell(slots_for(core::PowerMode::kUniform))
+          .cell(slots_for(core::PowerMode::kOblivious))
+          .cell(slots_for(core::PowerMode::kGlobal));
+      if (noise == 0.0) break;  // eps is irrelevant without noise
+    }
+  }
+  t.print(std::cout);
+}
+
+void BM_KConnectedPlanning(benchmark::State& state) {
+  const auto pts = bench::make_family("uniform", 256, 13);
+  const auto k = static_cast<int>(state.range(0));
+  const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+  for (auto _ : state) {
+    const auto plan = core::plan_k_connected(pts, k, cfg);
+    benchmark::DoNotOptimize(plan.scheduling.schedule.length());
+  }
+}
+BENCHMARK(BM_KConnectedPlanning)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_kconnect_table();
+  wagg::print_noise_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E4 — Proposition 1 / Fig 2: the oblivious-power lower bound. On the
+// doubly-exponential chain no two links are P_tau-cofeasible, so every
+// schedule needs one slot per link: rate Theta(1/loglog Delta). Our own
+// oblivious scheduler must match the bound (upper = lower = n-1 slots).
+
+#include "bench_common.h"
+
+#include "analysis/audit.h"
+#include "instance/lowerbound.h"
+#include "mst/tree.h"
+#include "schedule/verify.h"
+#include "sinr/power.h"
+#include "util/logmath.h"
+
+namespace wagg {
+namespace {
+
+void print_table() {
+  bench::print_header(
+      "E4: Proposition 1 — doubly-exponential chain defeats P_tau",
+      "For every tau: 0 cofeasible pairs, exact minimum slots = #links, and\n"
+      "#links tracks loglog(Delta). Upper bound: our oblivious planner on\n"
+      "the same instance (must equal the lower bound).");
+  util::Table t({"tau", "n", "log2 Delta", "loglogD", "cofeasible pairs",
+                 "exact min slots", "planner slots"});
+  sinr::SinrParams prm;
+  prm.alpha = 3.0;
+  prm.beta = 1.0;
+  for (double tau : {0.25, 0.4, 0.5, 0.6, 0.75}) {
+    const std::size_t cap =
+        instance::max_doubly_exponential_size(tau, prm.alpha, prm.beta);
+    const std::size_t n = std::min<std::size_t>(9, cap);
+    const auto chain =
+        instance::doubly_exponential_chain(n, tau, prm.alpha, prm.beta);
+    const auto tree = mst::mst_tree(chain.points, 0);
+    const auto power = sinr::oblivious_power(tree.links, tau, prm);
+    const auto oracle = schedule::fixed_power_oracle(tree.links, prm, power);
+    const auto pairs = analysis::count_cofeasible_pairs(tree.links, oracle);
+    const auto bound = analysis::min_slots_lower_bound(tree.links, oracle);
+
+    auto cfg = bench::mode_config(core::PowerMode::kOblivious);
+    cfg.tau = tau;
+    cfg.delta = std::max(0.9, std::max(tau, 1.0 - tau) + 0.05);
+    const auto plan = core::plan_aggregation(chain.points, cfg);
+
+    t.row()
+        .cell(tau, 2)
+        .cell(n)
+        .cell(chain.log2_delta, 1)
+        .cell(util::log2_log2_of_log2(chain.log2_delta), 2)
+        .cell(pairs)
+        .cell(bound ? std::to_string(*bound) : std::string("budget"))
+        .cell(plan.schedule().length());
+  }
+  t.print(std::cout);
+}
+
+void print_growth_table() {
+  bench::print_header(
+      "E4b: n vs loglog Delta along the construction",
+      "Fixing tau = 0.5 and growing n: log2(Delta) squares each step, so n\n"
+      "stays within an additive constant of loglog2(Delta).");
+  util::Table t({"n", "log2 Delta", "loglog2 Delta", "n - loglogD"});
+  for (std::size_t n = 4; n <= 10; ++n) {
+    const auto chain = instance::doubly_exponential_chain(n, 0.5, 3.0, 1.0);
+    const double ll = util::log2_log2_of_log2(chain.log2_delta);
+    t.row().cell(n).cell(chain.log2_delta, 1).cell(ll, 2).cell(
+        static_cast<double>(n) - ll, 2);
+  }
+  t.print(std::cout);
+}
+
+void BM_PairwiseAudit(benchmark::State& state) {
+  sinr::SinrParams prm;
+  prm.alpha = 3.0;
+  prm.beta = 1.0;
+  const auto chain = instance::doubly_exponential_chain(9, 0.5, 3.0, 1.0);
+  const auto tree = mst::mst_tree(chain.points, 0);
+  const auto power = sinr::oblivious_power(tree.links, 0.5, prm);
+  const auto oracle = schedule::fixed_power_oracle(tree.links, prm, power);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::count_cofeasible_pairs(tree.links, oracle));
+  }
+}
+BENCHMARK(BM_PairwiseAudit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_table();
+  wagg::print_growth_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

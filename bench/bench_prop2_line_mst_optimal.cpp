@@ -1,0 +1,92 @@
+// E7 — Proposition 2: on the line, the MST is a constant-factor optimal
+// aggregation structure for the uniform (P_0) and linear (P_1) schemes.
+// We compare the MST schedule length against random alternative spanning
+// trees on random line instances.
+
+#include "bench_common.h"
+
+#include "mst/tree.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wagg {
+namespace {
+
+mst::AggregationTree random_line_tree(const geom::Pointset& pts,
+                                      util::Rng& rng) {
+  std::vector<std::size_t> order(pts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pts[a].x < pts[b].x;
+  });
+  std::vector<mst::Edge> edges;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t parent = rng.below(i);
+    edges.push_back(mst::Edge{static_cast<std::int32_t>(order[parent]),
+                              static_cast<std::int32_t>(order[i])});
+  }
+  return mst::orient_toward_sink(pts, edges,
+                                 static_cast<std::int32_t>(order[0]));
+}
+
+void print_table() {
+  bench::print_header(
+      "E7: Proposition 2 — MST optimal on the line for P_0 / P_1",
+      "MST slots vs 12 random alternative spanning trees per instance\n"
+      "(min / mean / max over alternatives). The MST column should never\n"
+      "exceed the alternatives' min by more than a constant factor — in\n"
+      "practice it is simply the best.");
+  util::Table t({"mode", "n", "MST slots", "alt min", "alt mean", "alt max"});
+  for (const auto mode : {core::PowerMode::kUniform, core::PowerMode::kLinear}) {
+    for (std::size_t n : {12u, 24u, 48u}) {
+      util::RunningStats mst_stats;
+      util::RunningStats alt_min_s, alt_mean_s, alt_max_s;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const auto pts = instance::uniform_line(n, 1000.0, seed);
+        const auto cfg = bench::mode_config(mode);
+        const auto plan = core::plan_aggregation(pts, cfg);
+        mst_stats.add(static_cast<double>(plan.schedule().length()));
+        util::RunningStats alts;
+        util::Rng rng(seed * 997);
+        for (int trial = 0; trial < 12; ++trial) {
+          const auto alt_tree = random_line_tree(pts, rng);
+          const auto alt = core::schedule_links(alt_tree.links, cfg);
+          alts.add(static_cast<double>(alt.schedule.length()));
+        }
+        alt_min_s.add(alts.min());
+        alt_mean_s.add(alts.mean());
+        alt_max_s.add(alts.max());
+      }
+      t.row()
+          .cell(core::to_string(mode))
+          .cell(n)
+          .cell(mst_stats.mean(), 1)
+          .cell(alt_min_s.mean(), 1)
+          .cell(alt_mean_s.mean(), 1)
+          .cell(alt_max_s.mean(), 1);
+    }
+  }
+  t.print(std::cout);
+}
+
+void BM_LinePlanning(benchmark::State& state) {
+  const auto pts = instance::uniform_line(
+      static_cast<std::size_t>(state.range(0)), 1000.0, 1);
+  const auto cfg = bench::mode_config(core::PowerMode::kUniform);
+  for (auto _ : state) {
+    const auto plan = core::plan_aggregation(pts, cfg);
+    benchmark::DoNotOptimize(plan.schedule().length());
+  }
+}
+BENCHMARK(BM_LinePlanning)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

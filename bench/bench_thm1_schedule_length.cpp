@@ -1,0 +1,151 @@
+// E3 — Theorem 1 / Corollary 1: MST schedule lengths. Global power control
+// schedules in O(log* Delta) slots, oblivious power in O(log log Delta);
+// random deployments give O(log* n) / O(log log n) w.h.p. Also ablates the
+// greedy coloring order (paper prose vs appendix) and the repair pass.
+
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "util/logmath.h"
+
+namespace wagg {
+namespace {
+
+struct Row {
+  std::size_t colors_global, slots_global;
+  std::size_t colors_obliv, slots_obliv;
+  std::size_t colors_const, slots_const;
+};
+
+Row run_all_modes(const geom::Pointset& pts) {
+  Row row{};
+  auto run = [&](core::PowerMode mode, std::size_t& colors,
+                 std::size_t& slots) {
+    auto cfg = bench::mode_config(mode);
+    const auto plan = core::plan_aggregation(pts, cfg);
+    colors = plan.scheduling.colors_before_repair;
+    slots = plan.schedule().length();
+  };
+  run(core::PowerMode::kGlobal, row.colors_global, row.slots_global);
+  run(core::PowerMode::kOblivious, row.colors_obliv, row.slots_obliv);
+  run(core::PowerMode::kUniform, row.colors_const, row.slots_const);
+  return row;
+}
+
+void print_random_table() {
+  bench::print_header(
+      "E3a: Corollary 1 — random uniform deployments",
+      "Slots (after repair; 'col' = conflict-graph colors before repair).\n"
+      "Global should track log*(n) (effectively constant), oblivious\n"
+      "loglog(n); both far below the Omega(log n) prior art.");
+  util::Table t({"n", "log*D", "loglogD", "global col/slots", "obliv col/slots",
+                 "uniform slots"});
+  for (std::size_t n : {128u, 512u, 2048u, 8192u}) {
+    const auto pts = bench::make_family("uniform", n, 7);
+    const auto tree = mst::mst_tree(pts, 0);
+    const double log_delta = tree.links.log2_delta();
+    const auto row = run_all_modes(pts);
+    t.row()
+        .cell(n)
+        .cell(util::log2_star_of_log2(log_delta))
+        .cell(util::log2_log2_of_log2(log_delta), 2)
+        .cell(std::to_string(row.colors_global) + "/" +
+              std::to_string(row.slots_global))
+        .cell(std::to_string(row.colors_obliv) + "/" +
+              std::to_string(row.slots_obliv))
+        .cell(row.slots_const);
+  }
+  t.print(std::cout);
+}
+
+void print_delta_table() {
+  bench::print_header(
+      "E3b: Theorem 1 — exponential chains (Delta sweep)",
+      "On geometric chains Delta = base^(n-2). Global and oblivious slots\n"
+      "must stay polyloglog while uniform power degenerates to Theta(n).");
+  util::Table t({"n", "log2 Delta", "log*D", "loglogD", "global slots",
+                 "obliv slots", "uniform slots"});
+  for (std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+    const auto pts = instance::exponential_chain(n, 2.0);
+    const auto tree = mst::mst_tree(pts, 0);
+    const double log_delta = tree.links.log2_delta();
+    const auto row = run_all_modes(pts);
+    t.row()
+        .cell(n)
+        .cell(log_delta, 1)
+        .cell(util::log2_star_of_log2(log_delta))
+        .cell(util::log2_log2_of_log2(log_delta), 2)
+        .cell(row.slots_global)
+        .cell(row.slots_obliv)
+        .cell(row.slots_const);
+  }
+  t.print(std::cout);
+}
+
+void print_ablation_table() {
+  bench::print_header(
+      "E3c: ablations — coloring order and repair pass",
+      "The appendix's non-increasing-length greedy vs the Sec 3 prose's\n"
+      "non-decreasing order, and the cost of exact-SINR repair.");
+  util::Table t({"n", "mode", "dec-len slots", "inc-len slots",
+                 "no-repair colors", "repaired slots", "slots split"});
+  for (std::size_t n : {512u, 2048u}) {
+    const auto pts = bench::make_family("uniform", n, 11);
+    for (const auto mode :
+         {core::PowerMode::kGlobal, core::PowerMode::kOblivious}) {
+      auto cfg = bench::mode_config(mode);
+      cfg.order = core::ColoringOrder::kDecreasingLength;
+      const auto dec = core::plan_aggregation(pts, cfg);
+      cfg.order = core::ColoringOrder::kIncreasingLength;
+      const auto inc = core::plan_aggregation(pts, cfg);
+      cfg.order = core::ColoringOrder::kDecreasingLength;
+      t.row()
+          .cell(n)
+          .cell(core::to_string(mode))
+          .cell(dec.schedule().length())
+          .cell(inc.schedule().length())
+          .cell(dec.scheduling.colors_before_repair)
+          .cell(dec.schedule().length())
+          .cell(dec.scheduling.slots_split);
+    }
+  }
+  t.print(std::cout);
+}
+
+void BM_PlanGlobal(benchmark::State& state) {
+  const auto pts =
+      bench::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
+  const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+  for (auto _ : state) {
+    const auto plan = core::plan_aggregation(pts, cfg);
+    benchmark::DoNotOptimize(plan.schedule().length());
+    state.counters["slots"] =
+        static_cast<double>(plan.schedule().length());
+  }
+}
+BENCHMARK(BM_PlanGlobal)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_PlanOblivious(benchmark::State& state) {
+  const auto pts =
+      bench::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
+  const auto cfg = bench::mode_config(core::PowerMode::kOblivious);
+  for (auto _ : state) {
+    const auto plan = core::plan_aggregation(pts, cfg);
+    benchmark::DoNotOptimize(plan.schedule().length());
+  }
+}
+BENCHMARK(BM_PlanOblivious)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_random_table();
+  wagg::print_delta_table();
+  wagg::print_ablation_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

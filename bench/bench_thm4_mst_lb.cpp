@@ -1,0 +1,111 @@
+// E5 — Theorem 4 / Fig 3: the recursive instances R_t whose MST cannot be
+// aggregated faster than rate 2/(t+1) under arbitrary power control, with
+// t = Omega(log* Delta). Delta grows tower-like in t, so t <= 4 is all that
+// IEEE doubles can materialize (and all that log* ever needs).
+
+#include "bench_common.h"
+
+#include "analysis/audit.h"
+#include "instance/lowerbound.h"
+#include "mst/tree.h"
+#include "schedule/verify.h"
+#include "sinr/interference.h"
+#include "util/logmath.h"
+
+namespace wagg {
+namespace {
+
+void print_table() {
+  bench::print_header(
+      "E5: Theorem 4 — R_t needs Omega(t) slots on its MST",
+      "Copy counts are capped (paper's k_t is astronomically large; see\n"
+      "DESIGN.md substitutions), weakening Claim 1 below t's full strength,\n"
+      "but the measured slots still grow with t while log2(Delta) grows\n"
+      "tower-like, certifying the log* shape.");
+  util::Table t({"t", "nodes", "log2 Delta", "log* D", "capped", "exact LB",
+                 "planner slots", "thm3 stat"});
+  sinr::SinrParams prm;
+  prm.alpha = 3.0;
+  prm.beta = 1.0;
+  for (int level = 1; level <= 4; ++level) {
+    const auto rt = instance::recursive_rt(level, 4.0, 12, 60000);
+    const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+    const auto plan = core::plan_aggregation(rt.points, cfg);
+    std::string exact = "-";
+    if (rt.points.size() <= 14) {
+      const auto oracle =
+          schedule::power_control_oracle(plan.tree.links, prm);
+      const auto bound =
+          analysis::min_slots_lower_bound(plan.tree.links, oracle);
+      if (bound) exact = std::to_string(*bound);
+    }
+    std::vector<std::size_t> all(plan.tree.links.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    t.row()
+        .cell(level)
+        .cell(rt.points.size())
+        .cell(rt.log2_delta, 1)
+        .cell(util::log2_star_of_log2(rt.log2_delta))
+        .cell(rt.capped ? "yes" : "no")
+        .cell(exact)
+        .cell(plan.schedule().length())
+        .cell(sinr::theorem3_statistic(plan.tree.links, all, prm.alpha), 2);
+  }
+  t.print(std::cout);
+}
+
+void print_claim1_table() {
+  bench::print_header(
+      "E5b: Claim 1 mechanics on R_2",
+      "Any feasible set containing the long link (the G link spanning half\n"
+      "the instance) can hold only a bounded number of copy links: exhaustive\n"
+      "max feasible set with the long-link anchor vs total links.");
+  util::Table t({"t", "links", "long-link anchor max set", "greedy packing"});
+  sinr::SinrParams prm;
+  prm.alpha = 3.0;
+  prm.beta = 1.0;
+  for (int level : {2, 3}) {
+    const auto rt = instance::recursive_rt(level, 4.0, level == 2 ? 12 : 6,
+                                           60000);
+    const auto tree = mst::mst_tree(rt.points, 0);
+    if (tree.links.size() > 20) continue;
+    const auto oracle = schedule::power_control_oracle(tree.links, prm);
+    // The long link is the longest one.
+    const auto longest = tree.links.by_decreasing_length().front();
+    std::vector<std::size_t> all(tree.links.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    const auto exhaustive = analysis::max_feasible_set_with_anchor(
+        tree.links, all, longest, oracle);
+    const auto greedy = analysis::greedy_feasible_packing(
+        tree.links, tree.links.by_decreasing_length(), oracle, longest);
+    t.row()
+        .cell(level)
+        .cell(tree.links.size())
+        .cell(exhaustive)
+        .cell(greedy.size());
+  }
+  t.print(std::cout);
+}
+
+void BM_RtPlanning(benchmark::State& state) {
+  const auto rt =
+      instance::recursive_rt(static_cast<int>(state.range(0)), 4.0, 12, 60000);
+  const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+  for (auto _ : state) {
+    const auto plan = core::plan_aggregation(rt.points, cfg);
+    benchmark::DoNotOptimize(plan.schedule().length());
+  }
+}
+BENCHMARK(BM_RtPlanning)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_table();
+  wagg::print_claim1_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

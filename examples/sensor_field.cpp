@@ -1,0 +1,59 @@
+// Environmental-monitoring scenario: a clustered sensor deployment (dense
+// pods of sensors around points of interest) streams measurement frames to
+// a gateway. Compares the four power-control regimes end to end, then runs
+// the pipelined aggregation simulation at the planned rate and checks the
+// sink's aggregates.
+//
+//   ./sensor_field [pods] [sensors_per_pod] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/planner.h"
+#include "instance/basic.h"
+#include "schedule/simulator.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const std::size_t pods = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+  const std::size_t per_pod =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 24;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  const auto points =
+      wagg::instance::clustered(pods, per_pod, 500.0, 1.5, seed);
+  std::cout << "deployment: " << pods << " pods x " << per_pod
+            << " sensors = " << points.size() << " nodes, gateway = node 0\n\n";
+
+  wagg::util::Table table(
+      {"power mode", "slots", "rate", "verified", "steady rate (sim)",
+       "max latency", "max buffer", "aggregates"});
+  for (const auto mode :
+       {wagg::core::PowerMode::kUniform, wagg::core::PowerMode::kLinear,
+        wagg::core::PowerMode::kOblivious, wagg::core::PowerMode::kGlobal}) {
+    wagg::core::PlannerConfig config;
+    config.power_mode = mode;
+    const auto plan = wagg::core::plan_aggregation(points, config);
+
+    wagg::schedule::SimulationConfig sim;
+    sim.num_frames = 48;
+    sim.generation_period = plan.schedule().length();
+    const auto report =
+        wagg::schedule::simulate_aggregation(plan.tree, plan.schedule(), sim);
+
+    table.row()
+        .cell(wagg::core::to_string(mode))
+        .cell(plan.schedule().length())
+        .cell(plan.rate(), 4)
+        .cell(plan.verified() ? "yes" : "NO")
+        .cell(report.steady_rate, 4)
+        .cell(report.max_latency)
+        .cell(report.max_buffer)
+        .cell(report.aggregates_correct ? "correct" : "WRONG");
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery row's schedule is exactly SINR-feasible; the 'global'"
+            << "\nrow is the paper's protocol (MST + power control +"
+            << "\nG_(gamma log) coloring) and should use the fewest slots.\n";
+  return 0;
+}

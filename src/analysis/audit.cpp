@@ -1,0 +1,97 @@
+#include "analysis/audit.h"
+
+#include <stdexcept>
+
+#include "coloring/coloring.h"
+
+namespace wagg::analysis {
+
+conflict::Graph pairwise_infeasibility_graph(
+    const geom::LinkSet& links, const schedule::FeasibilityOracle& oracle) {
+  conflict::Graph graph(links.size());
+  std::vector<std::size_t> pair(2);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    for (std::size_t j = i + 1; j < links.size(); ++j) {
+      pair[0] = i;
+      pair[1] = j;
+      if (!oracle(pair)) graph.add_edge(i, j);
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+std::size_t count_cofeasible_pairs(const geom::LinkSet& links,
+                                   const schedule::FeasibilityOracle& oracle) {
+  std::size_t count = 0;
+  std::vector<std::size_t> pair(2);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    for (std::size_t j = i + 1; j < links.size(); ++j) {
+      pair[0] = i;
+      pair[1] = j;
+      if (oracle(pair)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::size_t> greedy_feasible_packing(
+    const geom::LinkSet& links, std::span<const std::size_t> candidates,
+    const schedule::FeasibilityOracle& oracle,
+    std::optional<std::size_t> anchor) {
+  (void)links;  // kept for API symmetry with the other audit entry points
+  std::vector<std::size_t> packed;
+  if (anchor.has_value()) {
+    packed.push_back(*anchor);
+    if (!oracle(packed)) {
+      throw std::invalid_argument(
+          "greedy_feasible_packing: anchor alone is infeasible");
+    }
+  }
+  std::vector<std::size_t> trial;
+  for (std::size_t link : candidates) {
+    if (anchor.has_value() && link == *anchor) continue;
+    trial = packed;
+    trial.push_back(link);
+    if (oracle(trial)) packed.push_back(link);
+  }
+  return packed;
+}
+
+std::size_t max_feasible_set_with_anchor(
+    const geom::LinkSet& links, std::span<const std::size_t> candidates,
+    std::size_t anchor, const schedule::FeasibilityOracle& oracle) {
+  if (candidates.size() > 20) {
+    throw std::invalid_argument(
+        "max_feasible_set_with_anchor: too many candidates for exhaustion");
+  }
+  std::vector<std::size_t> others;
+  for (std::size_t c : candidates) {
+    if (c != anchor) others.push_back(c);
+  }
+  const std::size_t m = others.size();
+  std::size_t best = 0;
+  std::vector<std::size_t> subset;
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcountll(mask)) + 1 <= best) {
+      continue;
+    }
+    subset.clear();
+    subset.push_back(anchor);
+    for (std::size_t b = 0; b < m; ++b) {
+      if (mask & (1ULL << b)) subset.push_back(others[b]);
+    }
+    if (oracle(subset)) best = subset.size();
+  }
+  (void)links;
+  return best;
+}
+
+std::optional<int> min_slots_lower_bound(
+    const geom::LinkSet& links, const schedule::FeasibilityOracle& oracle,
+    long node_budget) {
+  const auto graph = pairwise_infeasibility_graph(links, oracle);
+  return coloring::exact_chromatic_number(graph, node_budget);
+}
+
+}  // namespace wagg::analysis

@@ -1,0 +1,55 @@
+#include "coloring/refinement.h"
+
+#include <stdexcept>
+
+#include "sinr/interference.h"
+
+namespace wagg::coloring {
+
+std::vector<std::vector<std::size_t>> RefinementResult::classes() const {
+  std::vector<std::vector<std::size_t>> result(
+      static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < class_of_link.size(); ++i) {
+    const int c = class_of_link[i];
+    if (c < 0 || c >= num_classes) {
+      throw std::logic_error("RefinementResult::classes: class out of range");
+    }
+    result[static_cast<std::size_t>(c)].push_back(i);
+  }
+  return result;
+}
+
+RefinementResult firstfit_refinement(const geom::LinkSet& links, double alpha,
+                                     double threshold) {
+  if (!(alpha > 0.0)) {
+    throw std::invalid_argument("firstfit_refinement: alpha must be positive");
+  }
+  if (!(threshold > 0.0)) {
+    throw std::invalid_argument(
+        "firstfit_refinement: threshold must be positive");
+  }
+  RefinementResult result;
+  result.class_of_link.assign(links.size(), -1);
+  std::vector<std::vector<std::size_t>> classes;
+  for (const std::size_t i : links.by_decreasing_length()) {
+    bool placed = false;
+    for (std::size_t k = 0; k < classes.size(); ++k) {
+      const double load =
+          sinr::outgoing_interference(links, i, classes[k], alpha);
+      if (load < threshold) {
+        classes[k].push_back(i);
+        result.class_of_link[i] = static_cast<int>(k);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      result.class_of_link[i] = static_cast<int>(classes.size());
+      classes.push_back({i});
+    }
+  }
+  result.num_classes = static_cast<int>(classes.size());
+  return result;
+}
+
+}  // namespace wagg::coloring

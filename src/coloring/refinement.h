@@ -1,0 +1,34 @@
+#ifndef WAGG_COLORING_REFINEMENT_H
+#define WAGG_COLORING_REFINEMENT_H
+
+#include <vector>
+
+#include "geom/linkset.h"
+
+namespace wagg::coloring {
+
+/// The first-fit refinement at the core of the paper's Theorem 2: iterate
+/// over the links in non-increasing length order and assign each link i to
+/// the first class S_k with I(i, S_k) < threshold, where I is the additive
+/// interference operator of Sec 3.2 (outgoing interference of i on the class,
+/// which at insertion time consists only of links no shorter than i).
+///
+/// For the links of an MST, Lemma 1 guarantees I(i, T_i^+) = O(1), so the
+/// number of classes is O(1); and each class S satisfies I(i, S_i^+) <
+/// threshold, which for threshold <= 1 makes every class an independent set
+/// of G_1 (the unit-distance conflict graph). Both properties are verified
+/// in tests and measured in bench E2.
+struct RefinementResult {
+  std::vector<int> class_of_link;
+  int num_classes = 0;
+
+  [[nodiscard]] std::vector<std::vector<std::size_t>> classes() const;
+};
+
+[[nodiscard]] RefinementResult firstfit_refinement(const geom::LinkSet& links,
+                                                   double alpha,
+                                                   double threshold = 1.0);
+
+}  // namespace wagg::coloring
+
+#endif  // WAGG_COLORING_REFINEMENT_H

@@ -1,0 +1,242 @@
+#include "conflict/fgraph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace wagg::conflict {
+
+namespace {
+
+void validate(const ConflictSpec& spec) {
+  if (!(spec.gamma > 0.0)) {
+    throw std::invalid_argument("ConflictSpec: gamma must be positive");
+  }
+  if (spec.kind == ConflictSpec::Kind::kPowerLaw &&
+      !(spec.delta > 0.0 && spec.delta < 1.0)) {
+    throw std::invalid_argument("ConflictSpec: delta must lie in (0, 1)");
+  }
+  if (spec.kind == ConflictSpec::Kind::kLogarithmic && !(spec.alpha > 2.0)) {
+    throw std::invalid_argument("ConflictSpec: alpha must exceed 2");
+  }
+}
+
+}  // namespace
+
+double ConflictSpec::f(double x) const {
+  if (x < 1.0) throw std::invalid_argument("ConflictSpec::f: x must be >= 1");
+  switch (kind) {
+    case Kind::kConstant:
+      return gamma;
+    case Kind::kPowerLaw:
+      return gamma * std::pow(x, delta);
+    case Kind::kLogarithmic: {
+      const double lg = std::log2(x);
+      return gamma * std::max(1.0, std::pow(lg, 2.0 / (alpha - 2.0)));
+    }
+  }
+  throw std::logic_error("ConflictSpec::f: unknown kind");
+}
+
+bool ConflictSpec::conflicting(const geom::LinkSet& links, std::size_t i,
+                               std::size_t j) const {
+  if (i == j) return false;
+  const double li = links.length(i);
+  const double lj = links.length(j);
+  const double lmin = std::min(li, lj);
+  const double lmax = std::max(li, lj);
+  // Independent iff d(i, j) / lmin > f(lmax / lmin). Division keeps every
+  // intermediate within double range even on doubly-exponential instances.
+  return links.link_distance(i, j) / lmin <= f(lmax / lmin);
+}
+
+std::string ConflictSpec::name() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return "G_gamma(" + std::to_string(gamma) + ")";
+    case Kind::kPowerLaw:
+      return "G^delta(" + std::to_string(delta) + ",gamma=" +
+             std::to_string(gamma) + ")";
+    case Kind::kLogarithmic:
+      return "G_log(gamma=" + std::to_string(gamma) + ")";
+  }
+  return "G_?";
+}
+
+ConflictSpec ConflictSpec::constant(double gamma) {
+  ConflictSpec spec;
+  spec.kind = Kind::kConstant;
+  spec.gamma = gamma;
+  validate(spec);
+  return spec;
+}
+
+ConflictSpec ConflictSpec::power_law(double gamma, double delta) {
+  ConflictSpec spec;
+  spec.kind = Kind::kPowerLaw;
+  spec.gamma = gamma;
+  spec.delta = delta;
+  validate(spec);
+  return spec;
+}
+
+ConflictSpec ConflictSpec::logarithmic(double gamma, double alpha) {
+  ConflictSpec spec;
+  spec.kind = Kind::kLogarithmic;
+  spec.gamma = gamma;
+  spec.alpha = alpha;
+  validate(spec);
+  return spec;
+}
+
+Graph build_conflict_graph(const geom::LinkSet& links,
+                           const ConflictSpec& spec) {
+  validate(spec);
+  Graph graph(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    for (std::size_t j = i + 1; j < links.size(); ++j) {
+      if (spec.conflicting(links, i, j)) graph.add_edge(i, j);
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+namespace {
+
+/// Uniform grid over link endpoints of one length class.
+class ClassGrid {
+ public:
+  ClassGrid(double cell, double origin_x, double origin_y)
+      : cell_(cell), origin_x_(origin_x), origin_y_(origin_y) {}
+
+  void insert(const geom::Point& p, std::int32_t link) {
+    cells_[key(p)].push_back(link);
+  }
+
+  /// Collects links with an endpoint within `radius` of p (over-approximate:
+  /// visits all cells intersecting the bounding square).
+  void query(const geom::Point& p, double radius,
+             std::vector<std::int32_t>& out) const {
+    const auto [cx, cy] = coords(p);
+    const auto reach = static_cast<std::int64_t>(radius / cell_) + 1;
+    for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+      for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+        const auto it = cells_.find(pack(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+
+  /// Number of cells a query of this radius would visit.
+  [[nodiscard]] double query_cost(double radius) const {
+    const double reach = radius / cell_ + 1.0;
+    return (2.0 * reach + 1.0) * (2.0 * reach + 1.0);
+  }
+
+  /// Collects every link in the class (linear scan fallback).
+  void all(std::vector<std::int32_t>& out) const {
+    for (const auto& [key, bucket] : cells_) {
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+
+  void note_insert() { ++total_; }
+
+ private:
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> coords(
+      const geom::Point& p) const {
+    return {static_cast<std::int64_t>(std::floor((p.x - origin_x_) / cell_)),
+            static_cast<std::int64_t>(std::floor((p.y - origin_y_) / cell_))};
+  }
+  [[nodiscard]] std::uint64_t key(const geom::Point& p) const {
+    const auto [cx, cy] = coords(p);
+    return pack(cx, cy);
+  }
+  static std::uint64_t pack(std::int64_t x, std::int64_t y) {
+    return (static_cast<std::uint64_t>(x) << 32) ^
+           static_cast<std::uint64_t>(y & 0xffffffffLL);
+  }
+
+  double cell_;
+  double origin_x_;
+  double origin_y_;
+  std::size_t total_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::int32_t>> cells_;
+};
+
+}  // namespace
+
+Graph build_conflict_graph_bucketed(const geom::LinkSet& links,
+                                    const ConflictSpec& spec) {
+  validate(spec);
+  Graph graph(links.size());
+  if (links.size() < 2) {
+    graph.finalize();
+    return graph;
+  }
+  const double lmin = links.min_length();
+  double origin_x = links.points().empty() ? 0.0 : links.points()[0].x;
+  double origin_y = links.points().empty() ? 0.0 : links.points()[0].y;
+
+  // Length class of link i: floor(log2(l_i / lmin)).
+  auto class_of = [&](std::size_t i) {
+    return static_cast<int>(
+        std::floor(std::log2(links.length(i) / lmin)));
+  };
+
+  // Process links in non-decreasing length order; each link joins its class
+  // grid after querying all classes of shorter-or-equal links, so every
+  // conflicting pair is examined exactly once from its longer side.
+  const auto order = links.by_increasing_length();
+  std::unordered_map<int, ClassGrid> grids;
+  std::vector<std::int32_t> candidates;
+  for (const std::size_t i : order) {
+    const int ci = class_of(i);
+    const double li = links.length(i);
+    candidates.clear();
+    for (auto& [cs, grid] : grids) {
+      // Conflicting pair (i, j) with j in class cs (all already-inserted
+      // links are no longer than i, so lmin_pair = l_j >= 2^cs * lmin):
+      //   d(i, j) <= l_j * f(l_i / l_j) <= 2^(cs+1) lmin * f(x_max),
+      // with x_max the largest possible length ratio for the class pair.
+      const double class_lo = std::exp2(static_cast<double>(cs)) * lmin;
+      const double class_hi = 2.0 * class_lo;
+      const double x_max = std::max(1.0, li / class_lo);
+      const double radius = std::min(class_hi, li) * spec.f(x_max) +
+                            1e-12 * li;  // guard against exact-boundary ties
+      // Endpoint-to-endpoint distance bound; query around both endpoints.
+      if (grid.query_cost(radius) >
+          static_cast<double>(grid.size()) + 64.0) {
+        // Scanning the class linearly is cheaper than walking cells.
+        grid.all(candidates);
+      } else {
+        grid.query(links.sender_pos(i), radius, candidates);
+        grid.query(links.receiver_pos(i), radius, candidates);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (const std::int32_t j : candidates) {
+      if (spec.conflicting(links, i, static_cast<std::size_t>(j))) {
+        graph.add_edge(i, static_cast<std::size_t>(j));
+      }
+    }
+    auto [it, inserted] = grids.try_emplace(
+        ci, std::exp2(static_cast<double>(ci)) * lmin, origin_x, origin_y);
+    it->second.insert(links.sender_pos(i), static_cast<std::int32_t>(i));
+    it->second.insert(links.receiver_pos(i), static_cast<std::int32_t>(i));
+    it->second.note_insert();
+  }
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace wagg::conflict

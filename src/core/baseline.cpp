@@ -1,0 +1,61 @@
+#include "core/baseline.h"
+
+#include <stdexcept>
+
+namespace wagg::core {
+
+LevelScheduleResult level_schedule(const mst::PairingTree& tree,
+                                   const PlannerConfig& config) {
+  config.validate();
+  const geom::LinkSet& links = tree.tree.links;
+  if (tree.level_of_link.size() != links.size()) {
+    throw std::invalid_argument("level_schedule: malformed pairing tree");
+  }
+  LevelScheduleResult result;
+  result.num_levels = tree.num_levels;
+  result.verified = true;
+
+  // Partition link indices by level, then schedule each level's sub-linkset
+  // with the full pipeline (conflict graph + coloring + repair).
+  std::vector<std::vector<std::size_t>> by_level(
+      static_cast<std::size_t>(tree.num_levels));
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    by_level.at(static_cast<std::size_t>(tree.level_of_link[i])).push_back(i);
+  }
+  const auto oracle = oracle_for_mode(links, config);
+  for (const auto& level_links : by_level) {
+    if (level_links.empty()) {
+      result.slots_per_level.push_back(0);
+      continue;
+    }
+    // Greedy pack the level's links against the exact oracle (levels are
+    // small enough that first-fit with exact checks is affordable, and it
+    // needs no sub-linkset index remapping).
+    std::vector<std::vector<std::size_t>> slots;
+    std::vector<std::size_t> trial;
+    for (std::size_t link : level_links) {
+      bool placed = false;
+      for (auto& slot : slots) {
+        trial = slot;
+        trial.push_back(link);
+        if (oracle(trial)) {
+          slot.push_back(link);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        trial = {link};
+        if (!oracle(trial)) {
+          result.verified = false;
+        }
+        slots.push_back(std::move(trial));
+      }
+    }
+    result.slots_per_level.push_back(slots.size());
+    for (auto& slot : slots) result.schedule.slots.push_back(std::move(slot));
+  }
+  return result;
+}
+
+}  // namespace wagg::core

@@ -1,0 +1,30 @@
+#include "core/kconnect.h"
+
+#include <stdexcept>
+
+#include "mst/mst.h"
+#include "sinr/interference.h"
+
+namespace wagg::core {
+
+KConnectedPlan plan_k_connected(const geom::Pointset& points, int k,
+                                const PlannerConfig& config) {
+  config.validate();
+  if (points.size() < 2) {
+    throw std::invalid_argument("plan_k_connected: need >= 2 points");
+  }
+  const auto edges = mst::k_fold_mst(points, k);
+  std::vector<geom::Link> links;
+  links.reserve(edges.size());
+  for (const auto& e : edges) links.push_back(geom::Link{e.v, e.u});
+
+  KConnectedPlan plan;
+  plan.k = k;
+  plan.links = geom::LinkSet(points, std::move(links));
+  plan.scheduling = schedule_links(plan.links, config);
+  plan.lemma1_statistic =
+      sinr::lemma1_statistic(plan.links, config.sinr.alpha);
+  return plan;
+}
+
+}  // namespace wagg::core

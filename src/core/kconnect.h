@@ -1,0 +1,35 @@
+#ifndef WAGG_CORE_KCONNECT_H
+#define WAGG_CORE_KCONNECT_H
+
+#include "core/planner.h"
+#include "geom/linkset.h"
+#include "schedule/schedule.h"
+
+namespace wagg::core {
+
+/// The paper's Remark 2: the scheduling machinery extends from the MST to
+/// k-edge-connected spanning structures (robust aggregation that survives
+/// k-1 link failures), with the Lemma 1 constant growing polynomially in k.
+/// We build the structure as the union of k successive MSTs over the
+/// remaining complete graph ([11]'s construction), orient each edge from its
+/// later-discovered endpoint, and schedule with the configured power mode.
+struct KConnectedPlan {
+  int k = 1;
+  geom::LinkSet links;
+  LinkScheduleResult scheduling;
+  /// max_i I(i, L_i^+): the Remark 2 statistic, expected to grow with k but
+  /// stay bounded for fixed k.
+  double lemma1_statistic = 0.0;
+
+  [[nodiscard]] double rate() const { return scheduling.rate(); }
+  [[nodiscard]] bool verified() const { return scheduling.verification.ok(); }
+};
+
+/// Throws std::invalid_argument for k < 1 or fewer than 2 points.
+[[nodiscard]] KConnectedPlan plan_k_connected(const geom::Pointset& points,
+                                              int k,
+                                              const PlannerConfig& config);
+
+}  // namespace wagg::core
+
+#endif  // WAGG_CORE_KCONNECT_H

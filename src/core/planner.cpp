@@ -1,0 +1,163 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "coloring/coloring.h"
+#include "schedule/repair.h"
+
+namespace wagg::core {
+
+std::string to_string(PowerMode mode) {
+  switch (mode) {
+    case PowerMode::kUniform:
+      return "uniform";
+    case PowerMode::kLinear:
+      return "linear";
+    case PowerMode::kOblivious:
+      return "oblivious";
+    case PowerMode::kGlobal:
+      return "global";
+  }
+  return "?";
+}
+
+void PlannerConfig::validate() const {
+  sinr.validate();
+  if (!(gamma > 0.0)) {
+    throw std::invalid_argument("PlannerConfig: gamma must be positive");
+  }
+  if (power_mode == PowerMode::kOblivious) {
+    if (!(tau > 0.0 && tau < 1.0)) {
+      throw std::invalid_argument(
+          "PlannerConfig: oblivious mode requires tau in (0, 1)");
+    }
+    if (!(delta > 0.0 && delta < 1.0)) {
+      throw std::invalid_argument("PlannerConfig: delta must lie in (0, 1)");
+    }
+    if (delta <= std::max(tau, 1.0 - tau)) {
+      throw std::invalid_argument(
+          "PlannerConfig: delta must exceed max(tau, 1 - tau) for the "
+          "conflict graph to imply P_tau feasibility");
+    }
+  }
+}
+
+conflict::ConflictSpec spec_for_mode(const PlannerConfig& config) {
+  switch (config.power_mode) {
+    case PowerMode::kGlobal:
+      return conflict::ConflictSpec::logarithmic(config.gamma,
+                                                 config.sinr.alpha);
+    case PowerMode::kOblivious:
+      return conflict::ConflictSpec::power_law(config.gamma, config.delta);
+    case PowerMode::kUniform:
+    case PowerMode::kLinear:
+      return conflict::ConflictSpec::constant(config.gamma);
+  }
+  throw std::logic_error("spec_for_mode: unknown power mode");
+}
+
+sinr::PowerAssignment power_for_mode(const geom::LinkSet& links,
+                                     const PlannerConfig& config) {
+  switch (config.power_mode) {
+    case PowerMode::kUniform:
+      return sinr::uniform_power(links, config.sinr);
+    case PowerMode::kLinear:
+      return sinr::linear_power(links, config.sinr);
+    case PowerMode::kOblivious:
+      return sinr::oblivious_power(links, config.tau, config.sinr);
+    case PowerMode::kGlobal:
+      // Placeholder identity; real powers are per-slot Perron vectors.
+      return sinr::PowerAssignment(std::vector<double>(links.size(), 0.0),
+                                   "global(per-slot)");
+  }
+  throw std::logic_error("power_for_mode: unknown power mode");
+}
+
+schedule::FeasibilityOracle oracle_for_mode(const geom::LinkSet& links,
+                                            const PlannerConfig& config) {
+  if (config.power_mode == PowerMode::kGlobal) {
+    return schedule::power_control_oracle(links, config.sinr);
+  }
+  return schedule::fixed_power_oracle(links, config.sinr,
+                                      power_for_mode(links, config));
+}
+
+LinkScheduleResult schedule_links(const geom::LinkSet& links,
+                                  const PlannerConfig& config) {
+  config.validate();
+  LinkScheduleResult result;
+  result.spec = spec_for_mode(config);
+  result.power = power_for_mode(links, config);
+
+  const conflict::Graph graph =
+      config.bucketed_conflict
+          ? conflict::build_conflict_graph_bucketed(links, result.spec)
+          : conflict::build_conflict_graph(links, result.spec);
+  const auto order = config.order == ColoringOrder::kDecreasingLength
+                         ? links.by_decreasing_length()
+                         : links.by_increasing_length();
+  const coloring::Coloring colors = coloring::greedy_color(graph, order);
+  result.schedule = schedule::from_coloring(colors);
+  result.colors_before_repair = result.schedule.length();
+
+  const auto oracle = oracle_for_mode(links, config);
+  if (config.repair) {
+    // Fixed-power modes use the incremental packer (same output contract,
+    // orders of magnitude faster on large slots).
+    auto repaired =
+        config.power_mode == PowerMode::kGlobal
+            ? schedule::repair_schedule(links, result.schedule, oracle)
+            : schedule::repair_schedule_fixed_power(
+                  links, result.schedule, config.sinr, result.power);
+    result.schedule = std::move(repaired.schedule);
+    result.slots_split = repaired.slots_split;
+  }
+  result.verification = schedule::verify_schedule(links, result.schedule,
+                                                  oracle);
+  return result;
+}
+
+PlanResult plan_aggregation(const geom::Pointset& points,
+                            const PlannerConfig& config) {
+  config.validate();
+  if (points.size() < 2) {
+    throw std::invalid_argument("plan_aggregation: need >= 2 points");
+  }
+  PlanResult result;
+  switch (config.tree) {
+    case TreeKind::kMst:
+      result.tree = mst::mst_tree(points, config.sink);
+      break;
+    case TreeKind::kPairing:
+      result.tree = mst::pairing_tree(points, config.sink).tree;
+      break;
+  }
+  result.scheduling = schedule_links(result.tree.links, config);
+
+  if (config.power_mode == PowerMode::kGlobal) {
+    // Materialize the per-slot global power vectors (the actual output of
+    // the power-control algorithm) and stitch a per-link assignment from
+    // each link's home slot for reporting.
+    std::vector<double> stitched(result.tree.links.size(), 0.0);
+    result.slot_powers.reserve(result.scheduling.schedule.length());
+    for (const auto& slot : result.scheduling.schedule.slots) {
+      const auto pc = sinr::power_control_feasible(result.tree.links, slot,
+                                                   config.sinr);
+      sinr::PowerAssignment slot_power =
+          pc.feasible ? sinr::embed_slot_power(result.tree.links, slot, pc)
+                      : sinr::PowerAssignment(
+                            std::vector<double>(result.tree.links.size(), 0.0),
+                            "infeasible-slot");
+      for (std::size_t a = 0; a < slot.size() && pc.feasible; ++a) {
+        stitched[slot[a]] = pc.log2_power[a];
+      }
+      result.slot_powers.push_back(std::move(slot_power));
+    }
+    result.scheduling.power =
+        sinr::PowerAssignment(std::move(stitched), "global(stitched)");
+  }
+  return result;
+}
+
+}  // namespace wagg::core

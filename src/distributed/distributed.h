@@ -1,0 +1,68 @@
+#ifndef WAGG_DISTRIBUTED_DISTRIBUTED_H
+#define WAGG_DISTRIBUTED_DISTRIBUTED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "conflict/fgraph.h"
+#include "geom/linkset.h"
+#include "sinr/model.h"
+
+namespace wagg::distributed {
+
+/// Round-synchronous simulation of the paper's Sec 3.3 distributed schedule
+/// computation:
+///  - links are partitioned into length classes L_t = { i : l_i in
+///    [2^(t-1) l_min, 2^t l_min) };
+///  - phases process classes from the longest to the shortest; within a
+///    phase the class runs a randomized distributed coloring (each round,
+///    every uncolored link proposes the smallest color unused by its already
+///    colored conflict-graph neighbours; proposals conflicting with an
+///    uncolored neighbour's identical proposal are resolved by per-round
+///    random priorities, Luby style);
+///  - after a class stabilizes, its links notify shorter neighbours (the
+///    paper's local broadcast). We charge the paper's cost model
+///    O(colors + log^2 n) rounds per phase for this step rather than
+///    simulating the packet-level broadcast, as the paper itself only
+///    sketches it ("taken with a grain of salt").
+struct DistributedConfig {
+  sinr::SinrParams sinr;
+  conflict::ConflictSpec spec = conflict::ConflictSpec::constant(2.0);
+  std::uint64_t seed = 1;
+  int max_rounds_per_phase = 100000;
+  /// Multiplier of the modeled log^2 n local-broadcast term.
+  double broadcast_constant = 1.0;
+};
+
+struct PhaseStats {
+  int length_class = 0;         ///< class index t (0 = shortest links)
+  std::size_t links = 0;        ///< links in the class
+  std::size_t coloring_rounds = 0;
+  std::size_t broadcast_rounds = 0;
+  int colors_used = 0;          ///< distinct colors committed by the class
+};
+
+struct DistributedResult {
+  coloring::Coloring coloring;      ///< proper coloring of the conflict graph
+  int num_phases = 0;               ///< non-empty length classes
+  std::size_t coloring_rounds = 0;  ///< simulated contention rounds (total)
+  std::size_t broadcast_rounds = 0; ///< modeled broadcast rounds (total)
+  std::size_t total_rounds = 0;
+  bool proper = false;              ///< validated against the conflict graph
+  std::vector<PhaseStats> phases;
+
+  [[nodiscard]] std::size_t schedule_length() const {
+    return static_cast<std::size_t>(coloring.num_colors);
+  }
+};
+
+/// Runs the simulation on the given link set (typically MST links).
+/// Deterministic given the seed. Throws std::invalid_argument on empty input
+/// or a phase failing to stabilize within max_rounds_per_phase.
+[[nodiscard]] DistributedResult distributed_schedule(
+    const geom::LinkSet& links, const DistributedConfig& config);
+
+}  // namespace wagg::distributed
+
+#endif  // WAGG_DISTRIBUTED_DISTRIBUTED_H

@@ -1,0 +1,42 @@
+#include "geom/point.h"
+
+#include <stdexcept>
+
+namespace wagg::geom {
+
+double min_pairwise_distance(const Pointset& points) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("min_pairwise_distance: need >= 2 points");
+  }
+  double best = distance(points[0], points[1]);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double d = distance(points[i], points[j]);
+      if (d < best) best = d;
+    }
+  }
+  return best;
+}
+
+double diameter(const Pointset& points) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("diameter: need >= 2 points");
+  }
+  double best = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double d = distance(points[i], points[j]);
+      if (d > best) best = d;
+    }
+  }
+  return best;
+}
+
+Pointset line_pointset(const std::vector<double>& xs) {
+  Pointset points;
+  points.reserve(xs.size());
+  for (double x : xs) points.push_back(Point{x, 0.0});
+  return points;
+}
+
+}  // namespace wagg::geom

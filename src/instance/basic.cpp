@@ -1,0 +1,119 @@
+#include "instance/basic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logmath.h"
+#include "util/rng.h"
+
+namespace wagg::instance {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) {
+    throw std::invalid_argument(std::string("instance: ") + what +
+                                " must be positive");
+  }
+}
+}  // namespace
+
+geom::Pointset uniform_square(std::size_t n, double side, std::uint64_t seed) {
+  require_positive(side, "side");
+  util::Rng rng(seed);
+  geom::Pointset points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(geom::Point{rng.uniform(0.0, side),
+                                 rng.uniform(0.0, side)});
+  }
+  return points;
+}
+
+geom::Pointset uniform_disk(std::size_t n, double radius, std::uint64_t seed) {
+  require_positive(radius, "radius");
+  util::Rng rng(seed);
+  geom::Pointset points;
+  points.reserve(n);
+  while (points.size() < n) {
+    const double x = rng.uniform(-radius, radius);
+    const double y = rng.uniform(-radius, radius);
+    if (x * x + y * y <= radius * radius) {
+      points.push_back(geom::Point{x, y});
+    }
+  }
+  return points;
+}
+
+geom::Pointset grid(std::size_t rows, std::size_t cols, double spacing) {
+  require_positive(spacing, "spacing");
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("instance: grid dimensions must be positive");
+  }
+  geom::Pointset points;
+  points.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      points.push_back(geom::Point{static_cast<double>(c) * spacing,
+                                   static_cast<double>(r) * spacing});
+    }
+  }
+  return points;
+}
+
+geom::Pointset clustered(std::size_t clusters, std::size_t per_cluster,
+                         double side, double sigma, std::uint64_t seed) {
+  require_positive(side, "side");
+  require_positive(sigma, "sigma");
+  util::Rng rng(seed);
+  geom::Pointset points;
+  points.reserve(clusters * per_cluster);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const geom::Point center{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    for (std::size_t k = 0; k < per_cluster; ++k) {
+      points.push_back(geom::Point{center.x + sigma * rng.normal(),
+                                   center.y + sigma * rng.normal()});
+    }
+  }
+  return points;
+}
+
+geom::Pointset unit_chain(std::size_t n) {
+  geom::Pointset points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(geom::Point{static_cast<double>(i), 0.0});
+  }
+  return points;
+}
+
+geom::Pointset exponential_chain(std::size_t n, double base) {
+  if (base <= 1.0) {
+    throw std::invalid_argument("exponential_chain: base must exceed 1");
+  }
+  if (n >= 2 && !util::pow_fits(base, static_cast<double>(n))) {
+    throw std::overflow_error("exponential_chain: coordinates overflow");
+  }
+  geom::Pointset points;
+  points.reserve(n);
+  double x = 0.0;
+  double gap = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(geom::Point{x, 0.0});
+    x += gap;
+    gap *= base;
+  }
+  return points;
+}
+
+geom::Pointset uniform_line(std::size_t n, double length, std::uint64_t seed) {
+  require_positive(length, "length");
+  util::Rng rng(seed);
+  geom::Pointset points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(geom::Point{rng.uniform(0.0, length), 0.0});
+  }
+  return points;
+}
+
+}  // namespace wagg::instance

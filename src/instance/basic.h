@@ -1,0 +1,47 @@
+#ifndef WAGG_INSTANCE_BASIC_H
+#define WAGG_INSTANCE_BASIC_H
+
+#include <cstdint>
+
+#include "geom/point.h"
+
+namespace wagg::instance {
+
+/// n nodes uniformly at random in the axis-aligned square [0, side]^2.
+/// The paper's Corollary 1 setting. Deterministic given the seed.
+[[nodiscard]] geom::Pointset uniform_square(std::size_t n, double side,
+                                            std::uint64_t seed);
+
+/// n nodes uniformly at random in a disk of the given radius (rejection
+/// sampling), the other Corollary 1 setting.
+[[nodiscard]] geom::Pointset uniform_disk(std::size_t n, double radius,
+                                          std::uint64_t seed);
+
+/// rows x cols regular grid with the given spacing — the constant-rate
+/// regular deployment mentioned in Related Work ([1]) and Sec 3.1.
+[[nodiscard]] geom::Pointset grid(std::size_t rows, std::size_t cols,
+                                  double spacing);
+
+/// Clustered deployment: `clusters` centers uniform in [0, side]^2, each
+/// surrounded by `per_cluster` Gaussian satellites with the given standard
+/// deviation. Produces high length diversity with multiple scales.
+[[nodiscard]] geom::Pointset clustered(std::size_t clusters,
+                                       std::size_t per_cluster, double side,
+                                       double sigma, std::uint64_t seed);
+
+/// n collinear nodes with unit gaps: the chain whose MST schedules in O(1)
+/// slots but has linear latency (Sec 3.1 rate-vs-latency discussion).
+[[nodiscard]] geom::Pointset unit_chain(std::size_t n);
+
+/// n collinear nodes with geometrically growing gaps base^0, base^1, ...
+/// (base > 1). The classic example where uniform power forces Omega(n) slots
+/// but power control schedules in few slots; Delta = base^(n-2).
+[[nodiscard]] geom::Pointset exponential_chain(std::size_t n, double base);
+
+/// n collinear nodes uniform in [0, length].
+[[nodiscard]] geom::Pointset uniform_line(std::size_t n, double length,
+                                          std::uint64_t seed);
+
+}  // namespace wagg::instance
+
+#endif  // WAGG_INSTANCE_BASIC_H

@@ -1,0 +1,118 @@
+#include "instance/extended.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace wagg::instance {
+
+geom::Pointset hierarchical(int levels, int branching, double scale_ratio,
+                            std::uint64_t seed) {
+  if (levels < 1 || levels > 12) {
+    throw std::invalid_argument("hierarchical: levels must be in [1, 12]");
+  }
+  if (branching < 2 || branching > 16) {
+    throw std::invalid_argument("hierarchical: branching must be in [2, 16]");
+  }
+  if (!(scale_ratio > 1.0)) {
+    throw std::invalid_argument("hierarchical: scale_ratio must exceed 1");
+  }
+  double count = 1.0;
+  for (int level = 0; level < levels; ++level) {
+    count *= static_cast<double>(branching);
+  }
+  if (count > 200000.0) {
+    throw std::invalid_argument("hierarchical: branching^levels too large");
+  }
+  util::Rng rng(seed);
+  geom::Pointset sites{geom::Point{0.0, 0.0}};
+  double spread = std::pow(scale_ratio, static_cast<double>(levels));
+  for (int level = 0; level < levels; ++level) {
+    geom::Pointset next;
+    next.reserve(sites.size() * static_cast<std::size_t>(branching));
+    for (const auto& site : sites) {
+      for (int b = 0; b < branching; ++b) {
+        const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        const double radius = spread * rng.uniform(0.5, 1.0);
+        next.push_back(geom::Point{site.x + radius * std::cos(angle),
+                                   site.y + radius * std::sin(angle)});
+      }
+    }
+    sites = std::move(next);
+    spread /= scale_ratio;
+  }
+  return sites;
+}
+
+geom::Pointset pareto_field(std::size_t n, double alpha_tail,
+                            std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("pareto_field: need n >= 2");
+  if (!(alpha_tail > 0.0)) {
+    throw std::invalid_argument("pareto_field: alpha_tail must be positive");
+  }
+  util::Rng rng(seed);
+  geom::Pointset points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Pareto radius via inverse CDF; capped to keep coordinates finite.
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double radius =
+        std::min(std::pow(u, -1.0 / alpha_tail), 1e100);
+    const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    points.push_back(geom::Point{radius * std::cos(angle),
+                                 radius * std::sin(angle)});
+  }
+  return points;
+}
+
+geom::Pointset spiral(std::size_t n, double turns, double spacing) {
+  if (n < 2) throw std::invalid_argument("spiral: need n >= 2");
+  if (!(turns > 0.0)) throw std::invalid_argument("spiral: turns must be > 0");
+  if (!(spacing > 0.0)) {
+    throw std::invalid_argument("spiral: spacing must be positive");
+  }
+  geom::Pointset points;
+  points.reserve(n);
+  const double theta_max = turns * 2.0 * std::numbers::pi;
+  // r = a * theta with a chosen so successive turns sit `spacing` apart.
+  const double a = spacing / (2.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Uniform in theta^2 gives roughly uniform arc-length spacing.
+    const double frac = static_cast<double>(i) / static_cast<double>(n - 1);
+    const double theta = theta_max * std::sqrt(frac);
+    points.push_back(geom::Point{a * theta * std::cos(theta),
+                                 a * theta * std::sin(theta)});
+  }
+  return points;
+}
+
+geom::Pointset perturbed_grid(std::size_t rows, std::size_t cols,
+                              double spacing, double jitter,
+                              std::uint64_t seed) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("perturbed_grid: empty grid");
+  }
+  if (!(spacing > 0.0)) {
+    throw std::invalid_argument("perturbed_grid: spacing must be positive");
+  }
+  if (!(jitter >= 0.0 && jitter < 0.5)) {
+    throw std::invalid_argument(
+        "perturbed_grid: jitter must lie in [0, 0.5) to keep points distinct");
+  }
+  util::Rng rng(seed);
+  geom::Pointset points;
+  points.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      points.push_back(geom::Point{
+          (static_cast<double>(c) + jitter * rng.uniform(-1.0, 1.0)) * spacing,
+          (static_cast<double>(r) + jitter * rng.uniform(-1.0, 1.0)) *
+              spacing});
+    }
+  }
+  return points;
+}
+
+}  // namespace wagg::instance

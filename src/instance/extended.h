@@ -1,0 +1,41 @@
+#ifndef WAGG_INSTANCE_EXTENDED_H
+#define WAGG_INSTANCE_EXTENDED_H
+
+#include <cstdint>
+
+#include "geom/point.h"
+
+namespace wagg::instance {
+
+/// Hierarchical (multi-scale) deployment: a recursive cluster tree. Level 0
+/// is a single site; each site spawns `branching` child sites at distance
+/// `scale` times the parent spacing, down to `levels` levels; the leaves are
+/// the sensors. Produces length diversity Delta ~ scale_ratio^levels with
+/// populated scales in between — the regime where the G^delta / G_log
+/// machinery earns its keep.
+[[nodiscard]] geom::Pointset hierarchical(int levels, int branching,
+                                          double scale_ratio,
+                                          std::uint64_t seed);
+
+/// Heavy-tailed deployment: points placed at Pareto(alpha_tail)-distributed
+/// radii around a center. Corollary 1's "any non-heavy-tailed distribution"
+/// caveat: for small alpha_tail, Delta grows super-polynomially in n and the
+/// loglog/log* guarantees must absorb it.
+[[nodiscard]] geom::Pointset pareto_field(std::size_t n, double alpha_tail,
+                                          std::uint64_t seed);
+
+/// Archimedean spiral: r = a * theta; a smooth 1-D manifold embedded in the
+/// plane — MSTs follow the spiral arm, conflict graphs see 2-D proximity
+/// between adjacent turns.
+[[nodiscard]] geom::Pointset spiral(std::size_t n, double turns,
+                                    double spacing = 1.0);
+
+/// Regular grid with i.i.d. uniform jitter of magnitude `jitter` * spacing
+/// per coordinate — degrades the grid's massive tie structure smoothly.
+[[nodiscard]] geom::Pointset perturbed_grid(std::size_t rows, std::size_t cols,
+                                            double spacing, double jitter,
+                                            std::uint64_t seed);
+
+}  // namespace wagg::instance
+
+#endif  // WAGG_INSTANCE_EXTENDED_H

@@ -1,0 +1,220 @@
+#include "instance/lowerbound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logmath.h"
+
+namespace wagg::instance {
+
+namespace {
+
+constexpr double kCoordinateGuard = 1e300;
+
+void check_tau(double tau) {
+  if (!(tau > 0.0 && tau < 1.0)) {
+    throw std::invalid_argument("tau must lie in (0, 1)");
+  }
+}
+
+double fig2_base_x(double tau_prime, double alpha, double beta, double margin) {
+  if (!(alpha > 2.0)) throw std::invalid_argument("alpha must exceed 2");
+  if (!(beta > 0.0)) throw std::invalid_argument("beta must be positive");
+  if (!(margin > 1.0)) throw std::invalid_argument("margin must exceed 1");
+  // Paper threshold: x > max(2, (2 / beta^(1/alpha))^(1/tau')).
+  const double threshold =
+      std::max(2.0, std::pow(2.0 / std::pow(beta, 1.0 / alpha),
+                             1.0 / tau_prime));
+  return margin * threshold;
+}
+
+}  // namespace
+
+DoublyExponentialChain doubly_exponential_chain(std::size_t n, double tau,
+                                                double alpha, double beta,
+                                                double margin) {
+  check_tau(tau);
+  if (n < 2) {
+    throw std::invalid_argument("doubly_exponential_chain: need n >= 2");
+  }
+  const double tau_prime = std::min(tau, 1.0 - tau);
+  const double x = fig2_base_x(tau_prime, alpha, beta, margin);
+
+  // Gaps g_t = x^((1/tau')^(t-1)), t = 1..n-1: the smallest gap is x and the
+  // exponents grow geometrically, so Delta is doubly exponential in n.
+  const double growth = 1.0 / tau_prime;
+  std::vector<double> xs;
+  xs.reserve(n);
+  xs.push_back(0.0);
+  double exponent = 1.0;
+  double pos = 0.0;
+  for (std::size_t t = 1; t < n; ++t) {
+    if (!util::pow_fits(x, exponent)) {
+      throw std::overflow_error(
+          "doubly_exponential_chain: coordinates overflow double range");
+    }
+    pos += std::pow(x, exponent);
+    if (pos > kCoordinateGuard) {
+      throw std::overflow_error(
+          "doubly_exponential_chain: coordinates overflow double range");
+    }
+    xs.push_back(pos);
+    exponent *= growth;
+  }
+
+  DoublyExponentialChain result;
+  result.points = geom::line_pointset(xs);
+  result.tau = tau;
+  result.tau_prime = tau_prime;
+  result.x = x;
+  // log2(Delta) = log2(g_(n-1) / g_1) = (growth^(n-2) - 1) * log2(x).
+  result.log2_delta =
+      n >= 3 ? (std::pow(growth, static_cast<double>(n - 2)) - 1.0) *
+                   std::log2(x)
+             : 0.0;
+  return result;
+}
+
+std::size_t max_doubly_exponential_size(double tau, double alpha, double beta,
+                                        double margin) {
+  check_tau(tau);
+  const double tau_prime = std::min(tau, 1.0 - tau);
+  const double x = fig2_base_x(tau_prime, alpha, beta, margin);
+  const double growth = 1.0 / tau_prime;
+  // Need x^(growth^(n-2)) to stay below the guard.
+  double exponent = 1.0;
+  std::size_t n = 2;
+  while (util::pow_fits(x, exponent * growth) && n < 10000) {
+    exponent *= growth;
+    ++n;
+  }
+  return n;
+}
+
+double rho_line_instance(const geom::Pointset& sorted_points) {
+  if (sorted_points.size() < 2) {
+    throw std::invalid_argument("rho_line_instance: need >= 2 points");
+  }
+  const double left = sorted_points.front().x;
+  double rho = 1.0;
+  for (std::size_t i = 0; i + 1 < sorted_points.size(); ++i) {
+    if (sorted_points[i + 1].x < sorted_points[i].x) {
+      throw std::invalid_argument("rho_line_instance: points not sorted");
+    }
+    const double gap = sorted_points[i + 1].x - sorted_points[i].x;
+    const double dhat = sorted_points[i + 1].x - left;
+    if (dhat > 0.0) rho = std::min(rho, gap / dhat);
+  }
+  return rho;
+}
+
+namespace {
+
+/// Internal line-instance representation: sorted positions, leftmost at 0.
+struct LineInstance {
+  std::vector<double> pos;
+
+  [[nodiscard]] double diam() const { return pos.back(); }
+  [[nodiscard]] double max_gap() const {
+    double g = 0.0;
+    for (std::size_t i = 0; i + 1 < pos.size(); ++i) {
+      g = std::max(g, pos[i + 1] - pos[i]);
+    }
+    return g;
+  }
+  [[nodiscard]] double min_gap() const {
+    double g = pos[1] - pos[0];
+    for (std::size_t i = 1; i + 1 < pos.size(); ++i) {
+      g = std::min(g, pos[i + 1] - pos[i]);
+    }
+    return g;
+  }
+  /// rho with the alpha exponent applied.
+  [[nodiscard]] double rho_alpha(double alpha) const {
+    double r = 1.0;
+    for (std::size_t i = 0; i + 1 < pos.size(); ++i) {
+      const double gap = pos[i + 1] - pos[i];
+      r = std::min(r, gap / pos[i + 1]);
+    }
+    return std::pow(r, alpha);
+  }
+};
+
+/// A (+) B sharing one node: B is shifted so its leftmost point coincides
+/// with A's rightmost point.
+LineInstance join(const LineInstance& a, const LineInstance& b) {
+  LineInstance out = a;
+  const double shift = a.diam();
+  for (std::size_t i = 1; i < b.pos.size(); ++i) {
+    out.pos.push_back(shift + b.pos[i]);
+  }
+  return out;
+}
+
+LineInstance scale(const LineInstance& r, double factor) {
+  LineInstance out = r;
+  for (double& p : out.pos) p *= factor;
+  return out;
+}
+
+}  // namespace
+
+RecursiveInstance recursive_rt(int t, double c, std::size_t copy_cap,
+                               std::size_t max_nodes) {
+  if (t < 1) throw std::invalid_argument("recursive_rt: t must be >= 1");
+  if (!(c > 0.0)) throw std::invalid_argument("recursive_rt: c must be > 0");
+  if (copy_cap < 2) {
+    throw std::invalid_argument("recursive_rt: copy_cap must be >= 2");
+  }
+  constexpr double kAlpha = 3.0;  // rho exponent used for the copy count
+
+  RecursiveInstance result;
+  result.t = t;
+  result.c = c;
+  result.copy_cap = copy_cap;
+
+  LineInstance rt;
+  rt.pos = {0.0, 1.0};
+  for (int level = 2; level <= t; ++level) {
+    const double rho = rt.rho_alpha(kAlpha);
+    const double k_exact = c / rho;
+    std::size_t k = copy_cap;
+    if (k_exact < static_cast<double>(copy_cap)) {
+      k = std::max<std::size_t>(2, static_cast<std::size_t>(
+                                       std::ceil(k_exact)));
+    } else {
+      result.capped = true;
+    }
+    result.copies_per_level.push_back(k);
+
+    const double base_max_gap = rt.max_gap();
+    LineInstance concat = rt;  // copy s = 1 is identical
+    for (std::size_t s = 2; s <= k; ++s) {
+      const double factor = concat.diam() / base_max_gap;
+      if (factor > kCoordinateGuard / std::max(1.0, rt.diam())) {
+        throw std::overflow_error("recursive_rt: coordinates overflow");
+      }
+      concat = join(concat, scale(rt, factor));
+      if (concat.pos.size() > max_nodes) {
+        throw std::overflow_error("recursive_rt: node budget exceeded");
+      }
+    }
+    // G = two points at distance diam(R'), prepended on the left.
+    LineInstance g;
+    g.pos = {0.0, concat.diam()};
+    if (g.pos[1] > kCoordinateGuard / 2.0) {
+      throw std::overflow_error("recursive_rt: coordinates overflow");
+    }
+    rt = join(g, concat);
+    if (rt.pos.size() > max_nodes) {
+      throw std::overflow_error("recursive_rt: node budget exceeded");
+    }
+  }
+
+  result.log2_delta = std::log2(rt.max_gap()) - std::log2(rt.min_gap());
+  result.points = geom::line_pointset(rt.pos);
+  return result;
+}
+
+}  // namespace wagg::instance

@@ -1,0 +1,68 @@
+#ifndef WAGG_INSTANCE_LOWERBOUND_H
+#define WAGG_INSTANCE_LOWERBOUND_H
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace wagg::instance {
+
+/// The Sec 4.1 / Fig 2 construction: collinear points whose consecutive gaps
+/// grow doubly exponentially, g_t = x^((1/tau')^(t-1)), tau' = min(tau,1-tau).
+/// On this instance no two links are P_tau-cofeasible, forcing any
+/// aggregation schedule to rate O(1/n) = O(1/loglog Delta) (Proposition 1).
+struct DoublyExponentialChain {
+  geom::Pointset points;
+  double tau = 0.0;        ///< the oblivious power exponent the instance defeats
+  double tau_prime = 0.0;  ///< min(tau, 1 - tau)
+  double x = 0.0;          ///< base separation (paper's constant x)
+  double log2_delta = 0.0; ///< log2 of the length diversity of the chain MST
+};
+
+/// Builds the chain with n >= 2 points for power scheme P_tau (tau in (0,1))
+/// and SINR parameters alpha > 2, beta > 0. `margin > 1` scales x above the
+/// paper's threshold max(2, (2/beta^(1/alpha))^(1/tau')).
+/// Throws std::overflow_error if the coordinates would exceed double range
+/// (use max_doubly_exponential_size to query the cap first).
+[[nodiscard]] DoublyExponentialChain doubly_exponential_chain(
+    std::size_t n, double tau, double alpha, double beta,
+    double margin = 1.5);
+
+/// Largest n such that doubly_exponential_chain(n, ...) does not overflow.
+[[nodiscard]] std::size_t max_doubly_exponential_size(double tau, double alpha,
+                                                      double beta,
+                                                      double margin = 1.5);
+
+/// The Sec 4.2 / Fig 3 recursive construction R_t: instances whose MST
+/// cannot be aggregated at rate better than 2/(t+1), with t = Omega(log* Delta).
+///
+/// The paper's copy count k_(t+1) = c / rho(R_t) explodes doubly
+/// exponentially, so beyond t = 2 the instance is materializable only with a
+/// cap on the number of copies per level; the cap is recorded so experiments
+/// can report when the analytical premise (Claim 1) is weakened.
+struct RecursiveInstance {
+  geom::Pointset points;
+  int t = 0;
+  double c = 0.0;              ///< the constant in k_(t+1) = c / rho(R_t)
+  std::size_t copy_cap = 0;    ///< max copies allowed per level
+  bool capped = false;         ///< true if any level hit the cap
+  std::vector<std::size_t> copies_per_level;  ///< k_2, k_3, ..., k_t
+  double log2_delta = 0.0;
+};
+
+/// Builds R_t (t >= 1). Throws std::overflow_error if coordinates or the
+/// node budget (`max_nodes`) would be exceeded even with capping.
+[[nodiscard]] RecursiveInstance recursive_rt(int t, double c = 4.0,
+                                             std::size_t copy_cap = 32,
+                                             std::size_t max_nodes = 200000);
+
+/// rho(R) = min over MST links i of (l_i / dhat_i)^alpha-free form l_i/dhat_i
+/// (the paper's rho with the alpha exponent left out; callers exponentiate).
+/// Defined for sorted line instances; dhat_i is the distance from the link's
+/// right endpoint to the leftmost point.
+[[nodiscard]] double rho_line_instance(const geom::Pointset& sorted_points);
+
+}  // namespace wagg::instance
+
+#endif  // WAGG_INSTANCE_LOWERBOUND_H

@@ -1,0 +1,70 @@
+#include "instance/special.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wagg::instance {
+
+Fig1Instance fig1_instance(double scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("fig1_instance: scale must be positive");
+  }
+  Fig1Instance inst;
+  const double s = scale;
+  // Node order: a, b, c, d, sink.
+  inst.points = {
+      geom::Point{-s, -s},  // a
+      geom::Point{s, -s},   // b
+      geom::Point{-s, 0.0}, // c
+      geom::Point{s, 0.0},  // d
+      geom::Point{0.0, 0.0} // sink
+  };
+  std::vector<geom::Link> links = {
+      geom::Link{0, 2},  // a -> c
+      geom::Link{1, 3},  // b -> d
+      geom::Link{2, 4},  // c -> sink
+      geom::Link{3, 4},  // d -> sink
+  };
+  inst.tree = geom::LinkSet(inst.points, std::move(links));
+  inst.slots = {{0, 3}, {1, 2}};  // S1 = {a->c, d->sink}, S2 = {b->d, c->sink}
+  inst.sink = 4;
+  return inst;
+}
+
+FiveCycleInstance five_cycle_instance(double circumradius, double eps) {
+  if (!(circumradius > 0.0)) {
+    throw std::invalid_argument("five_cycle_instance: radius must be positive");
+  }
+  if (!(eps > 0.0 && eps < 0.1 * circumradius)) {
+    throw std::invalid_argument(
+        "five_cycle_instance: eps must be positive and small vs radius");
+  }
+  FiveCycleInstance inst;
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (int k = 0; k < 5; ++k) {
+    const double angle = two_pi * static_cast<double>(k) / 5.0;
+    inst.points.push_back(geom::Point{circumradius * std::cos(angle),
+                                      circumradius * std::sin(angle)});
+  }
+  // v6: just outside the pentagon next to v1, so that e5 = v5 -> v6 conflicts
+  // with e1 = v1 -> v2 through interference rather than a shared node.
+  inst.points.push_back(
+      geom::Point{(circumradius + eps), 0.0});
+
+  std::vector<geom::Link> links = {
+      geom::Link{0, 1},  // e1
+      geom::Link{1, 2},  // e2
+      geom::Link{2, 3},  // e3
+      geom::Link{3, 4},  // e4
+      geom::Link{4, 5},  // e5 (ends at the near-duplicate of v1)
+  };
+  inst.links = geom::LinkSet(inst.points, std::move(links));
+  // The paper's multicolor sequence 13, 24, 14, 25, 35 (1-based).
+  inst.multicolor_slots = {{0, 2}, {1, 3}, {0, 3}, {1, 4}, {2, 4}};
+  // chi(C5) = 3: e.g. {e1, e3}, {e2, e4}, {e5}.
+  inst.coloring_slots = {{0, 2}, {1, 3}, {4}};
+  return inst;
+}
+
+}  // namespace wagg::instance

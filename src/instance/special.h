@@ -1,0 +1,52 @@
+#ifndef WAGG_INSTANCE_SPECIAL_H
+#define WAGG_INSTANCE_SPECIAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/linkset.h"
+#include "geom/point.h"
+
+namespace wagg::instance {
+
+/// The paper's Fig 1: five nodes (a, b, c, d and the sink), aggregation tree
+/// a->c, b->d, c->sink, d->sink, and the periodic 2-slot schedule
+/// S1 = {a->c, d->sink}, S2 = {b->d, c->sink} attaining rate 1/2 with
+/// latency 3. The embedding below makes both slots SINR-feasible under
+/// uniform power with alpha = 3, beta = 2 (verified in tests):
+///
+///   a(-1,-1)   b(1,-1)
+///   c(-1, 0)   d(1, 0)      sink(0, 0... at origin between c and d)
+struct Fig1Instance {
+  geom::Pointset points;  ///< order: a, b, c, d, sink
+  geom::LinkSet tree;     ///< links in order: a->c, b->d, c->sink, d->sink
+  std::vector<std::vector<std::size_t>> slots;  ///< {S1, S2} as link indices
+  std::int32_t sink = 4;
+};
+
+[[nodiscard]] Fig1Instance fig1_instance(double scale = 1.0);
+
+/// SINR embedding of the Sec 4 multicoloring example: the 5-cycle whose
+/// proper colorings need 3 slots (rate 1/3) but whose multicoloring schedule
+/// 13, 24, 14, 25, 35 achieves rate 2/5.
+///
+/// Six nodes: five on a regular pentagon of circumradius R plus a sixth at
+/// distance eps from the first, and the five pentagon-edge links
+/// e_i = v_i -> v_(i+1) (e_5 ends at the near-duplicate node v_6 ~ v_1).
+/// Two links are cofeasible under uniform power with beta = 1 iff they are
+/// non-adjacent in the cycle — the line graph of C5 is again C5.
+struct FiveCycleInstance {
+  geom::Pointset points;  ///< v1..v5 on the pentagon, v6 near v1
+  geom::LinkSet links;    ///< e1..e5 along the cycle
+  /// The optimal multicolor schedule {13, 24, 14, 25, 35} (0-based indices).
+  std::vector<std::vector<std::size_t>> multicolor_slots;
+  /// A best proper-coloring schedule: 3 slots.
+  std::vector<std::vector<std::size_t>> coloring_slots;
+};
+
+[[nodiscard]] FiveCycleInstance five_cycle_instance(double circumradius = 1.0,
+                                                    double eps = 1e-3);
+
+}  // namespace wagg::instance
+
+#endif  // WAGG_INSTANCE_SPECIAL_H

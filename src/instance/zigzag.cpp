@@ -1,0 +1,118 @@
+#include "instance/zigzag.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logmath.h"
+
+namespace wagg::instance {
+
+namespace {
+
+void check_params(std::size_t m, double tau, double x) {
+  if (m < 2) throw std::invalid_argument("zigzag_instance: m must be >= 2");
+  if (!(tau > 0.0 && tau < 1.0)) {
+    throw std::invalid_argument("zigzag_instance: tau must lie in (0, 1)");
+  }
+  if (!(x > 1.0)) {
+    throw std::invalid_argument("zigzag_instance: x must exceed 1");
+  }
+}
+
+}  // namespace
+
+ZigzagInstance zigzag_instance(std::size_t m, double tau, double x,
+                               bool mirrored) {
+  check_params(m, tau, x);
+  // The mirrored variant uses exponent parameter t = 1 - tau throughout and
+  // reverses the directions of all links.
+  const double t = mirrored ? 1.0 - tau : tau;
+  const double growth = 1.0 / t;
+
+  // Long link lengths L_1..L_m and short lengths p_1..p_(m-1).
+  std::vector<double> lengths_long(m);
+  std::vector<double> lengths_short(m - 1);
+  double lg_L = std::log2(x);  // log2 of L_k, tracked to detect overflow
+  for (std::size_t k = 0; k < m; ++k) {
+    if (lg_L > 995.0) {
+      throw std::overflow_error("zigzag_instance: L_m overflows double range");
+    }
+    lengths_long[k] = std::exp2(lg_L);
+    if (k + 1 < m) {
+      // p_k = L_(k+1)^t * L_k^(1 - t + t^2) = L_k^(2 - t + t^2)
+      lengths_short[k] = std::pow(lengths_long[k], 2.0 - t + t * t);
+    }
+    lg_L *= growth;
+  }
+
+  // Walk the zigzag: +L_1, +p_1, -L_2, +p_2, ..., -L_m.
+  std::vector<double> xs;
+  xs.reserve(2 * m);
+  xs.push_back(0.0);
+  xs.push_back(lengths_long[0]);
+  for (std::size_t k = 1; k < m; ++k) {
+    xs.push_back(xs.back() + lengths_short[k - 1]);
+    xs.push_back(xs.back() - lengths_long[k]);
+  }
+
+  ZigzagInstance inst;
+  inst.points = geom::line_pointset(xs);
+  inst.tau = tau;
+  inst.x = x;
+  inst.mirrored = mirrored;
+
+  const auto num_nodes = static_cast<std::int32_t>(xs.size());
+  std::vector<geom::Link> links;
+  links.reserve(xs.size() - 1);
+  for (std::int32_t j = 0; j + 1 < num_nodes; ++j) {
+    if (mirrored) {
+      links.push_back(geom::Link{j + 1, j});  // directed towards v_0
+    } else {
+      links.push_back(geom::Link{j, j + 1});  // directed towards v_(2m-1)
+    }
+  }
+  inst.sink = mirrored ? 0 : num_nodes - 1;
+  inst.tree_links = geom::LinkSet(inst.points, std::move(links));
+
+  for (std::size_t j = 0; j + 1 < xs.size(); ++j) {
+    if (j % 2 == 0) {
+      inst.long_links.push_back(j);  // path edges 1,3,5,... are the L_k
+    } else {
+      inst.short_links.push_back(j);
+    }
+  }
+  return inst;
+}
+
+std::size_t max_zigzag_longs(double tau, double x, bool mirrored) {
+  check_params(2, tau, x);
+  const double t = mirrored ? 1.0 - tau : tau;
+  const double growth = 1.0 / t;
+  double lg_L = std::log2(x);
+  std::size_t m = 0;
+  while (lg_L <= 995.0 && m < 10000) {
+    ++m;
+    lg_L *= growth;
+  }
+  return m;
+}
+
+double zigzag_tau_threshold() {
+  // Positive root of gamma(t) = t^4 - 3 t^3 + 4 t^2 - 4 t + 1 in (0, 1/2),
+  // located by bisection.
+  auto gamma = [](double t) {
+    return ((t - 3.0) * t + 4.0) * t * t - 4.0 * t + 1.0;
+  };
+  double lo = 0.0, hi = 0.5;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (gamma(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace wagg::instance

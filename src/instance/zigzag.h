@@ -1,0 +1,57 @@
+#ifndef WAGG_INSTANCE_ZIGZAG_H
+#define WAGG_INSTANCE_ZIGZAG_H
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/linkset.h"
+#include "geom/point.h"
+
+namespace wagg::instance {
+
+/// The Sec 5 / Fig 4 construction showing that the MST is not always the
+/// best aggregation tree under an oblivious power scheme P_tau.
+///
+/// 2m collinear nodes v_0..v_(2m-1) visited by a zigzag spanning path with
+/// displacements +L_1, +p_1, -L_2, +p_2, ..., -L_m where
+///   L_1 = x,   L_(k+1) = L_k^(1/tau),   p_k = L_(k+1)^tau * L_k^(1-tau+tau^2)
+/// (the mirrored variant for tau >= 3/5 swaps tau <-> 1-tau and reverses the
+/// link directions). The m long links {L_k} form one P_tau-feasible slot and
+/// the m-1 short links {p_k} another (Claim 2), so the zigzag tree schedules
+/// in 2 slots, while the MST of the same points contains a doubly-exponential
+/// chain of gaps and needs Theta(m) slots (Proposition 3).
+///
+/// Reproduction note: the feasibility of the short-link slot requires
+/// gamma(tau) = 1 - 4 tau + 4 tau^2 - 3 tau^3 + tau^4 > 0, which holds for
+/// tau < ~0.3403 — slightly narrower than the paper's stated (0, 2/5];
+/// at tau = 0.4 the short slot is numerically infeasible for every x.
+/// See EXPERIMENTS.md (E6).
+struct ZigzagInstance {
+  geom::Pointset points;       ///< the 2m nodes (sorted by construction order)
+  geom::LinkSet tree_links;    ///< the zigzag spanning path, directed to sink
+  std::vector<std::size_t> long_links;   ///< indices of the L_k links (slot 1)
+  std::vector<std::size_t> short_links;  ///< indices of the p_k links (slot 2)
+  std::int32_t sink = 0;       ///< node index the path is directed towards
+  double tau = 0.0;
+  double x = 0.0;
+  bool mirrored = false;
+};
+
+/// Builds the instance with m >= 2 long links (2m nodes). `x > 1` is the base
+/// length. Set `mirrored` for the tau >= 3/5 variant.
+/// Throws std::overflow_error when L_m would exceed double range; use
+/// max_zigzag_longs to query the largest feasible m.
+[[nodiscard]] ZigzagInstance zigzag_instance(std::size_t m, double tau,
+                                             double x, bool mirrored = false);
+
+/// Largest m such that zigzag_instance(m, tau, x, mirrored) does not overflow.
+[[nodiscard]] std::size_t max_zigzag_longs(double tau, double x,
+                                           bool mirrored = false);
+
+/// The tau threshold below which the short-link slot is asymptotically
+/// feasible: the positive root of gamma(tau) = 1 - 4t + 4t^2 - 3t^3 + t^4.
+[[nodiscard]] double zigzag_tau_threshold();
+
+}  // namespace wagg::instance
+
+#endif  // WAGG_INSTANCE_ZIGZAG_H

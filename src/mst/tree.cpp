@@ -1,0 +1,157 @@
+#include "mst/tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace wagg::mst {
+
+int AggregationTree::height() const noexcept {
+  int h = 0;
+  for (const auto d : depth) h = std::max(h, static_cast<int>(d));
+  return h;
+}
+
+AggregationTree orient_toward_sink(geom::Pointset points,
+                                   std::span<const Edge> edges,
+                                   std::int32_t sink) {
+  const std::size_t n = points.size();
+  if (sink < 0 || static_cast<std::size_t>(sink) >= n) {
+    throw std::invalid_argument("orient_toward_sink: sink out of range");
+  }
+  if (!is_spanning_tree(n, edges)) {
+    throw std::invalid_argument("orient_toward_sink: edges not a spanning tree");
+  }
+
+  std::vector<std::vector<std::int32_t>> adjacency(n);
+  for (const Edge& e : edges) {
+    adjacency[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adjacency[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+
+  AggregationTree tree;
+  tree.sink = sink;
+  tree.parent.assign(n, -2);  // -2: unvisited
+  tree.depth.assign(n, -1);
+  tree.link_of_node.assign(n, -1);
+  tree.children.assign(n, {});
+
+  std::queue<std::int32_t> frontier;
+  frontier.push(sink);
+  tree.parent[static_cast<std::size_t>(sink)] = -1;
+  tree.depth[static_cast<std::size_t>(sink)] = 0;
+
+  std::vector<geom::Link> links;
+  links.reserve(n - 1);
+  while (!frontier.empty()) {
+    const std::int32_t v = frontier.front();
+    frontier.pop();
+    for (const std::int32_t w : adjacency[static_cast<std::size_t>(v)]) {
+      if (tree.parent[static_cast<std::size_t>(w)] != -2) continue;
+      tree.parent[static_cast<std::size_t>(w)] = v;
+      tree.depth[static_cast<std::size_t>(w)] =
+          tree.depth[static_cast<std::size_t>(v)] + 1;
+      tree.children[static_cast<std::size_t>(v)].push_back(w);
+      tree.link_of_node[static_cast<std::size_t>(w)] =
+          static_cast<std::int32_t>(links.size());
+      links.push_back(geom::Link{w, v});  // child transmits to parent
+      frontier.push(w);
+    }
+  }
+  tree.links = geom::LinkSet(points, std::move(links));
+  tree.points = std::move(points);
+  return tree;
+}
+
+AggregationTree mst_tree(geom::Pointset points, std::int32_t sink) {
+  const auto edges = euclidean_mst(points);
+  return orient_toward_sink(std::move(points), edges, sink);
+}
+
+PairingTree pairing_tree(geom::Pointset points, std::int32_t sink) {
+  const std::size_t n = points.size();
+  if (n < 2) throw std::invalid_argument("pairing_tree: need >= 2 points");
+  if (sink < 0 || static_cast<std::size_t>(sink) >= n) {
+    throw std::invalid_argument("pairing_tree: sink out of range");
+  }
+
+  std::vector<std::int32_t> active;
+  active.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    active.push_back(static_cast<std::int32_t>(v));
+  }
+
+  std::vector<Edge> edges;
+  std::vector<std::int32_t> level_of_edge;
+  int level = 0;
+  while (active.size() > 1) {
+    // Greedy nearest-pair matching among active nodes: sort all candidate
+    // pairs by distance and take them greedily. Deterministic via
+    // (dist, i, j) ordering.
+    struct Candidate {
+      double d2;
+      std::size_t i;
+      std::size_t j;
+    };
+    std::vector<Candidate> cands;
+    cands.reserve(active.size() * (active.size() - 1) / 2);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        cands.push_back({geom::distance(
+                             points[static_cast<std::size_t>(active[i])],
+                             points[static_cast<std::size_t>(active[j])]),
+                         i, j});
+      }
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.d2 != b.d2) return a.d2 < b.d2;
+                if (a.i != b.i) return a.i < b.i;
+                return a.j < b.j;
+              });
+    std::vector<bool> matched(active.size(), false);
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (const auto& c : cands) {
+      if (matched[c.i] || matched[c.j]) continue;
+      matched[c.i] = matched[c.j] = true;
+      pairs.emplace_back(c.i, c.j);
+    }
+    std::vector<std::int32_t> survivors;
+    // The survivor is the sink if it participates, else the smaller index,
+    // so the sink is never eliminated.
+    for (const auto& [i, j] : pairs) {
+      std::int32_t a = active[i];
+      std::int32_t b = active[j];
+      std::int32_t keep = (b == sink) ? b : (a == sink ? a : std::min(a, b));
+      std::int32_t drop = (keep == a) ? b : a;
+      edges.push_back(Edge{drop, keep});
+      level_of_edge.push_back(level);
+      survivors.push_back(keep);
+    }
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (!matched[i]) survivors.push_back(active[i]);
+    }
+    std::sort(survivors.begin(), survivors.end());
+    active = std::move(survivors);
+    ++level;
+  }
+
+  PairingTree result;
+  result.num_levels = level;
+  result.tree = orient_toward_sink(std::move(points), edges, sink);
+  // orient_toward_sink re-indexes links by BFS order; map levels onto the
+  // final link indices via the child node of each edge (edge {drop, keep}
+  // becomes drop's upward link, since each drop node is dropped exactly once).
+  result.level_of_link.assign(result.tree.links.size(), 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const std::int32_t child = edges[e].u;
+    const std::int32_t link_idx =
+        result.tree.link_of_node[static_cast<std::size_t>(child)];
+    result.level_of_link[static_cast<std::size_t>(link_idx)] =
+        level_of_edge[e];
+  }
+  return result;
+}
+
+}  // namespace wagg::mst

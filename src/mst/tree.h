@@ -1,0 +1,66 @@
+#ifndef WAGG_MST_TREE_H
+#define WAGG_MST_TREE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/linkset.h"
+#include "geom/point.h"
+#include "mst/mst.h"
+
+namespace wagg::mst {
+
+/// A spanning tree oriented towards a sink: the convergecast structure the
+/// paper schedules. Every non-sink node owns exactly one link (node ->
+/// parent); links are indexed consistently with `links`.
+struct AggregationTree {
+  geom::Pointset points;
+  std::int32_t sink = 0;
+  /// parent[v] is v's parent node; parent[sink] == -1.
+  std::vector<std::int32_t> parent;
+  /// depth[v]: hop count from v up to the sink (depth[sink] == 0).
+  std::vector<std::int32_t> depth;
+  /// link_of_node[v]: index into `links` of v's upward link; -1 for the sink.
+  std::vector<std::int32_t> link_of_node;
+  /// The directed links (sender = child, receiver = parent).
+  geom::LinkSet links;
+  /// children[v]: child nodes of v (convenient for the simulator).
+  std::vector<std::vector<std::int32_t>> children;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return points.size();
+  }
+  [[nodiscard]] int height() const noexcept;
+};
+
+/// Orients an undirected spanning tree towards `sink` (BFS from the sink).
+/// Throws std::invalid_argument if `edges` is not a spanning tree of the
+/// pointset or `sink` is out of range.
+[[nodiscard]] AggregationTree orient_toward_sink(geom::Pointset points,
+                                                 std::span<const Edge> edges,
+                                                 std::int32_t sink);
+
+/// Convenience: Euclidean MST oriented towards the given sink.
+[[nodiscard]] AggregationTree mst_tree(geom::Pointset points,
+                                       std::int32_t sink = 0);
+
+/// The matching-hierarchy baseline tree in the spirit of [11] (Halldorsson &
+/// Mitra, SODA 2012): level by level, greedily match each active node to its
+/// nearest active neighbour, keep one survivor per pair, repeat until only
+/// the sink remains. Produces a tree of height O(log n) whose links carry a
+/// level number; scheduling level-by-level yields the classic Theta(1/log n)
+/// rate baseline the paper improves upon.
+struct PairingTree {
+  AggregationTree tree;
+  /// level_of_link[i]: matching round in which link i was created (0-based).
+  std::vector<std::int32_t> level_of_link;
+  int num_levels = 0;
+};
+
+[[nodiscard]] PairingTree pairing_tree(geom::Pointset points,
+                                       std::int32_t sink = 0);
+
+}  // namespace wagg::mst
+
+#endif  // WAGG_MST_TREE_H

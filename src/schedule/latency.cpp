@@ -1,0 +1,132 @@
+#include "schedule/latency.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace wagg::schedule {
+
+namespace {
+
+void check_links(const mst::AggregationTree& tree, const Schedule& schedule) {
+  for (const auto& slot : schedule.slots) {
+    for (const std::size_t link : slot) {
+      if (link >= tree.links.size()) {
+        throw std::invalid_argument(
+            "slot ordering: slot references unknown link");
+      }
+    }
+  }
+}
+
+/// W[a][b] = number of tree edges whose child link sits in slot a and whose
+/// parent link sits in slot b (a != b).
+std::vector<std::vector<double>> transition_weights(
+    const mst::AggregationTree& tree, const Schedule& schedule) {
+  const std::size_t L = schedule.length();
+  // Slot of each link (first occurrence; multicolor links use their first).
+  std::vector<std::ptrdiff_t> slot_of(tree.links.size(), -1);
+  for (std::size_t s = 0; s < L; ++s) {
+    for (const std::size_t link : schedule.slots[s]) {
+      if (slot_of[link] < 0) slot_of[link] = static_cast<std::ptrdiff_t>(s);
+    }
+  }
+  std::vector<std::vector<double>> w(L, std::vector<double>(L, 0.0));
+  for (std::size_t child_link = 0; child_link < tree.links.size();
+       ++child_link) {
+    const auto parent_node =
+        static_cast<std::size_t>(tree.links.link(child_link).receiver);
+    const auto parent_link_idx = tree.link_of_node[parent_node];
+    if (parent_link_idx < 0) continue;  // parent is the sink
+    const auto a = slot_of[child_link];
+    const auto b = slot_of[static_cast<std::size_t>(parent_link_idx)];
+    if (a < 0 || b < 0 || a == b) continue;
+    w[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] += 1.0;
+  }
+  return w;
+}
+
+double cost_of_order(const std::vector<std::vector<double>>& w,
+                     const std::vector<std::size_t>& order) {
+  const std::size_t L = order.size();
+  std::vector<std::size_t> pos(L);
+  for (std::size_t p = 0; p < L; ++p) pos[order[p]] = p;
+  double cost = 0.0;
+  for (std::size_t a = 0; a < L; ++a) {
+    for (std::size_t b = 0; b < L; ++b) {
+      if (w[a][b] == 0.0) continue;
+      const std::size_t gap = (pos[b] + L - pos[a]) % L;
+      cost += w[a][b] * static_cast<double>(gap == 0 ? L : gap);
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+double mean_sender_depth(const mst::AggregationTree& tree,
+                         const std::vector<std::size_t>& slot) {
+  if (slot.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::size_t link : slot) {
+    const auto sender =
+        static_cast<std::size_t>(tree.links.link(link).sender);
+    sum += static_cast<double>(tree.depth[sender]);
+  }
+  return sum / static_cast<double>(slot.size());
+}
+
+double slot_order_cost(const mst::AggregationTree& tree,
+                       const Schedule& schedule) {
+  check_links(tree, schedule);
+  if (schedule.empty()) return 0.0;
+  const auto w = transition_weights(tree, schedule);
+  std::vector<std::size_t> identity(schedule.length());
+  std::iota(identity.begin(), identity.end(), std::size_t{0});
+  return cost_of_order(w, identity);
+}
+
+Schedule optimize_slot_order(const mst::AggregationTree& tree,
+                             const Schedule& schedule) {
+  check_links(tree, schedule);
+  const std::size_t L = schedule.length();
+  if (L <= 2) return schedule;
+  const auto w = transition_weights(tree, schedule);
+
+  // Seed: non-increasing mean sender depth (deep slots early).
+  std::vector<std::size_t> order(L);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return mean_sender_depth(tree, schedule.slots[a]) >
+                            mean_sender_depth(tree, schedule.slots[b]);
+                   });
+
+  // Deterministic hill-climbing over pairwise swaps.
+  double best = cost_of_order(w, order);
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds++ < 64) {
+    improved = false;
+    for (std::size_t i = 0; i < L; ++i) {
+      for (std::size_t j = i + 1; j < L; ++j) {
+        std::swap(order[i], order[j]);
+        const double cost = cost_of_order(w, order);
+        if (cost + 1e-12 < best) {
+          best = cost;
+          improved = true;
+        } else {
+          std::swap(order[i], order[j]);
+        }
+      }
+    }
+  }
+
+  Schedule reordered;
+  reordered.slots.reserve(L);
+  for (const std::size_t s : order) reordered.slots.push_back(schedule.slots[s]);
+  return reordered;
+}
+
+}  // namespace wagg::schedule

@@ -1,0 +1,73 @@
+#include "schedule/multicolor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace wagg::schedule {
+
+MulticolorResult improve_rate_by_multicoloring(
+    const geom::LinkSet& links, const Schedule& baseline,
+    const FeasibilityOracle& oracle, const MulticolorOptions& options) {
+  if (!is_partition(baseline, links.size())) {
+    throw std::invalid_argument(
+        "improve_rate_by_multicoloring: baseline is not a coloring schedule");
+  }
+  if (options.period_stretch < 1.0 || options.restarts_per_period < 1) {
+    throw std::invalid_argument(
+        "improve_rate_by_multicoloring: bad search options");
+  }
+  MulticolorResult best;
+  best.schedule = baseline;
+  best.baseline_rate = baseline.empty() ? 0.0 : baseline.coloring_rate();
+  best.rate = best.baseline_rate;
+  if (links.empty() || baseline.empty()) return best;
+
+  util::Rng rng(options.seed);
+  const std::size_t base_len = baseline.length();
+  const auto max_period = static_cast<std::size_t>(
+      std::ceil(options.period_stretch * static_cast<double>(base_len)));
+  std::vector<std::size_t> order(links.size());
+  std::vector<int> count(links.size());
+  std::vector<double> jitter(links.size());
+  std::vector<std::size_t> trial;
+
+  for (std::size_t period = base_len + 1; period <= max_period; ++period) {
+    for (int restart = 0; restart < options.restarts_per_period; ++restart) {
+      std::fill(count.begin(), count.end(), 0);
+      for (auto& j : jitter) j = rng.uniform();
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      Schedule candidate;
+      candidate.slots.resize(period);
+      for (std::size_t s = 0; s < period; ++s) {
+        // Least-covered links first; random jitter breaks ties differently
+        // per restart, longer links first among equals.
+        for (auto& j : jitter) j = rng.uniform();
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    if (count[a] != count[b]) return count[a] < count[b];
+                    return jitter[a] < jitter[b];
+                  });
+        auto& slot = candidate.slots[s];
+        for (const std::size_t link : order) {
+          trial = slot;
+          trial.push_back(link);
+          if (oracle(trial)) {
+            slot.push_back(link);
+            ++count[link];
+          }
+        }
+      }
+      const double rate = min_link_rate(candidate, links.size());
+      if (rate > best.rate + 1e-12) {
+        best.rate = rate;
+        best.schedule = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace wagg::schedule

@@ -1,0 +1,47 @@
+#ifndef WAGG_SCHEDULE_MULTICOLOR_H
+#define WAGG_SCHEDULE_MULTICOLOR_H
+
+#include <cstdint>
+
+#include "geom/linkset.h"
+#include "schedule/schedule.h"
+#include "schedule/verify.h"
+
+namespace wagg::schedule {
+
+/// Searches for a periodic multicoloring schedule with rate above 1/chi —
+/// the paper's Sec 4 observation that optimal aggregation schedules need not
+/// be colorings (the 5-cycle reaches 2/5 > 1/3). Randomized rounds: for each
+/// candidate period P, slots are greedily packed preferring the links with
+/// the lowest coverage so far (random tie-breaks, multiple restarts), and
+/// the best min-coverage/period schedule is kept.
+struct MulticolorOptions {
+  /// Candidate periods: baseline_length .. ceil(stretch * baseline_length).
+  double period_stretch = 2.0;
+  int restarts_per_period = 24;
+  std::uint64_t seed = 1;
+};
+
+struct MulticolorResult {
+  Schedule schedule;
+  /// min over links of (appearances / period); the achieved rate.
+  double rate = 0.0;
+  /// The coloring-schedule rate it had to beat (1 / baseline length).
+  double baseline_rate = 0.0;
+
+  [[nodiscard]] bool improved() const noexcept {
+    return rate > baseline_rate + 1e-12;
+  }
+};
+
+/// `baseline` must be a feasible coloring schedule (each link once); the
+/// result is verified against the oracle slot by slot and never worse than
+/// the baseline. Throws std::invalid_argument if the baseline is not a
+/// partition of the link set.
+[[nodiscard]] MulticolorResult improve_rate_by_multicoloring(
+    const geom::LinkSet& links, const Schedule& baseline,
+    const FeasibilityOracle& oracle, const MulticolorOptions& options = {});
+
+}  // namespace wagg::schedule
+
+#endif  // WAGG_SCHEDULE_MULTICOLOR_H

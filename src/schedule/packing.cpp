@@ -1,0 +1,40 @@
+#include "schedule/packing.h"
+
+#include "schedule/repair.h"
+
+namespace wagg::schedule {
+
+namespace {
+
+Schedule everything_in_one_slot(const geom::LinkSet& links) {
+  Schedule all;
+  all.slots.emplace_back();
+  all.slots.front().reserve(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    all.slots.front().push_back(i);
+  }
+  return all;
+}
+
+}  // namespace
+
+Schedule ffd_schedule(const geom::LinkSet& links,
+                      const FeasibilityOracle& oracle) {
+  if (links.empty()) return Schedule{};
+  // Repairing the one-slot schedule IS first-fit-decreasing: repair sorts
+  // the slot by non-increasing length and first-fit packs it.
+  return repair_schedule(links, everything_in_one_slot(links), oracle)
+      .schedule;
+}
+
+Schedule ffd_schedule_fixed_power(const geom::LinkSet& links,
+                                  const sinr::SinrParams& params,
+                                  const sinr::PowerAssignment& power,
+                                  double tolerance) {
+  if (links.empty()) return Schedule{};
+  return repair_schedule_fixed_power(links, everything_in_one_slot(links),
+                                     params, power, tolerance)
+      .schedule;
+}
+
+}  // namespace wagg::schedule

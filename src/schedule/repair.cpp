@@ -1,0 +1,189 @@
+#include "schedule/repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sinr/feasibility.h"
+
+namespace wagg::schedule {
+
+RepairResult repair_schedule(const geom::LinkSet& links,
+                             const Schedule& schedule,
+                             const FeasibilityOracle& oracle) {
+  RepairResult result;
+  result.length_before = schedule.length();
+  for (const auto& slot : schedule.slots) {
+    if (oracle(slot)) {
+      result.schedule.slots.push_back(slot);
+      continue;
+    }
+    ++result.slots_split;
+    // Re-pack first-fit in non-increasing length order (longest links are
+    // the hardest to place; packing them first keeps sub-slot counts low).
+    std::vector<std::size_t> ordered(slot.begin(), slot.end());
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (links.length(a) != links.length(b)) {
+                         return links.length(a) > links.length(b);
+                       }
+                       return a < b;
+                     });
+    std::vector<std::vector<std::size_t>> sub_slots;
+    std::vector<std::size_t> trial;
+    for (std::size_t link : ordered) {
+      bool placed = false;
+      for (auto& sub : sub_slots) {
+        trial = sub;
+        trial.push_back(link);
+        if (oracle(trial)) {
+          sub.push_back(link);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        trial = {link};
+        if (!oracle(trial)) {
+          throw std::runtime_error(
+              "repair_schedule: singleton slot infeasible; instance is not "
+              "interference-limited under this oracle");
+        }
+        sub_slots.push_back(std::move(trial));
+      }
+    }
+    for (auto& sub : sub_slots) {
+      result.schedule.slots.push_back(std::move(sub));
+    }
+  }
+  result.length_after = result.schedule.length();
+  return result;
+}
+
+namespace {
+
+/// Incremental first-fit packer for a fixed power assignment: keeps the
+/// running SINR load of every placed link so that each placement attempt
+/// costs O(|sub-slot|).
+class FixedPowerPacker {
+ public:
+  FixedPowerPacker(const geom::LinkSet& links, const sinr::SinrParams& params,
+                   const sinr::PowerAssignment& power, double tolerance)
+      : links_(links), params_(params), power_(power), tolerance_(tolerance) {
+    log2_len_.reserve(links.size());
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      log2_len_.push_back(std::log2(links.length(i)));
+    }
+  }
+
+  /// beta * I_P(j, i), saturating instead of overflowing.
+  [[nodiscard]] double load_term(std::size_t j, std::size_t i) const {
+    const double d = links_.sinr_distance(j, i);
+    if (d <= 0.0) return 1e30;
+    const double lg = std::log2(params_.beta) + power_.log2_power(j) -
+                      power_.log2_power(i) +
+                      params_.alpha * (log2_len_[i] - std::log2(d));
+    if (lg >= 100.0) return 1e30;
+    if (lg <= -1074.0) return 0.0;
+    return std::exp2(lg);
+  }
+
+  /// beta * noise * l_i^alpha / P_i.
+  [[nodiscard]] double noise_load(std::size_t i) const {
+    if (params_.noise <= 0.0) return 0.0;
+    const double lg = std::log2(params_.beta) + std::log2(params_.noise) +
+                      params_.alpha * log2_len_[i] - power_.log2_power(i);
+    return lg >= 100.0 ? 1e30 : std::exp2(lg);
+  }
+
+  /// Greedily packs `ordered` into feasible sub-slots.
+  /// Throws std::runtime_error if a singleton is infeasible.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> pack(
+      std::span<const std::size_t> ordered) const {
+    std::vector<std::vector<std::size_t>> slots;
+    std::vector<std::vector<double>> loads;  // per slot, aligned with members
+    std::vector<double> incoming;
+    for (const std::size_t x : ordered) {
+      const double own = noise_load(x);
+      if (own > 1.0 + tolerance_) {
+        throw std::runtime_error(
+            "repair_schedule_fixed_power: singleton slot infeasible; "
+            "instance is not interference-limited under this power");
+      }
+      bool placed = false;
+      for (std::size_t s = 0; s < slots.size() && !placed; ++s) {
+        auto& members = slots[s];
+        auto& member_loads = loads[s];
+        incoming.assign(1, own);
+        bool ok = true;
+        double new_load = own;
+        for (std::size_t a = 0; a < members.size() && ok; ++a) {
+          const std::size_t i = members[a];
+          if (links_.shares_node(x, i)) {
+            ok = false;
+            break;
+          }
+          const double inc = load_term(x, i);
+          if (member_loads[a] + inc > 1.0 + tolerance_) ok = false;
+          new_load += load_term(i, x);
+          if (new_load > 1.0 + tolerance_) ok = false;
+          incoming.push_back(inc);
+        }
+        if (!ok) continue;
+        for (std::size_t a = 0; a < members.size(); ++a) {
+          member_loads[a] += incoming[a + 1];
+        }
+        members.push_back(x);
+        member_loads.push_back(new_load);
+        placed = true;
+      }
+      if (!placed) {
+        slots.push_back({x});
+        loads.push_back({own});
+      }
+    }
+    return slots;
+  }
+
+ private:
+  const geom::LinkSet& links_;
+  sinr::SinrParams params_;
+  const sinr::PowerAssignment& power_;
+  double tolerance_;
+  std::vector<double> log2_len_;
+};
+
+}  // namespace
+
+RepairResult repair_schedule_fixed_power(const geom::LinkSet& links,
+                                         const Schedule& schedule,
+                                         const sinr::SinrParams& params,
+                                         const sinr::PowerAssignment& power,
+                                         double tolerance) {
+  params.validate();
+  RepairResult result;
+  result.length_before = schedule.length();
+  const FixedPowerPacker packer(links, params, power, tolerance);
+  for (const auto& slot : schedule.slots) {
+    if (sinr::is_feasible(links, slot, params, power, tolerance)) {
+      result.schedule.slots.push_back(slot);
+      continue;
+    }
+    ++result.slots_split;
+    std::vector<std::size_t> ordered(slot.begin(), slot.end());
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (links.length(a) != links.length(b)) {
+                         return links.length(a) > links.length(b);
+                       }
+                       return a < b;
+                     });
+    for (auto& sub : packer.pack(ordered)) {
+      result.schedule.slots.push_back(std::move(sub));
+    }
+  }
+  result.length_after = result.schedule.length();
+  return result;
+}
+
+}  // namespace wagg::schedule

@@ -1,0 +1,69 @@
+#include "schedule/schedule.h"
+
+#include <stdexcept>
+
+namespace wagg::schedule {
+
+double Schedule::coloring_rate() const {
+  if (slots.empty()) {
+    throw std::logic_error("Schedule::coloring_rate: empty schedule");
+  }
+  return 1.0 / static_cast<double>(slots.size());
+}
+
+std::size_t Schedule::total_transmissions() const noexcept {
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  return total;
+}
+
+Schedule from_coloring(const coloring::Coloring& coloring) {
+  Schedule schedule;
+  schedule.slots = coloring.classes();
+  return schedule;
+}
+
+bool covers_all_links(const Schedule& schedule, std::size_t num_links) {
+  std::vector<bool> seen(num_links, false);
+  for (const auto& slot : schedule.slots) {
+    for (std::size_t link : slot) {
+      if (link >= num_links) return false;
+      seen[link] = true;
+    }
+  }
+  for (bool s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+bool is_partition(const Schedule& schedule, std::size_t num_links) {
+  std::vector<int> count(num_links, 0);
+  for (const auto& slot : schedule.slots) {
+    for (std::size_t link : slot) {
+      if (link >= num_links) return false;
+      ++count[link];
+    }
+  }
+  for (int c : count) {
+    if (c != 1) return false;
+  }
+  return true;
+}
+
+double min_link_rate(const Schedule& schedule, std::size_t num_links) {
+  if (schedule.slots.empty() || num_links == 0) return 0.0;
+  std::vector<std::size_t> count(num_links, 0);
+  for (const auto& slot : schedule.slots) {
+    for (std::size_t link : slot) {
+      if (link >= num_links) return 0.0;
+      ++count[link];
+    }
+  }
+  std::size_t min_count = count[0];
+  for (std::size_t c : count) min_count = std::min(min_count, c);
+  return static_cast<double>(min_count) /
+         static_cast<double>(schedule.slots.size());
+}
+
+}  // namespace wagg::schedule

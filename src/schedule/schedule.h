@@ -1,0 +1,52 @@
+#ifndef WAGG_SCHEDULE_SCHEDULE_H
+#define WAGG_SCHEDULE_SCHEDULE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "coloring/coloring.h"
+#include "geom/linkset.h"
+
+namespace wagg::schedule {
+
+/// A periodic TDMA schedule: slot s transmits the links in slots[s]; the
+/// sequence repeats forever. A *coloring schedule* (partition of the link
+/// set) schedules every link once per period, giving rate 1/length; a
+/// *multicoloring* schedule may repeat links within the period (Sec 4's
+/// 5-cycle example achieves rate 2/5 that way).
+struct Schedule {
+  std::vector<std::vector<std::size_t>> slots;
+
+  [[nodiscard]] std::size_t length() const noexcept { return slots.size(); }
+  [[nodiscard]] bool empty() const noexcept { return slots.empty(); }
+
+  /// Rate of a coloring schedule: 1 / length. Requires non-empty.
+  [[nodiscard]] double coloring_rate() const;
+
+  /// Number of link transmissions per period.
+  [[nodiscard]] std::size_t total_transmissions() const noexcept;
+};
+
+/// Builds a coloring schedule from a vertex coloring of the conflict graph
+/// whose vertices are the links 0..n-1.
+[[nodiscard]] Schedule from_coloring(const coloring::Coloring& coloring);
+
+/// True iff every link index in [0, num_links) appears in at least one slot.
+[[nodiscard]] bool covers_all_links(const Schedule& schedule,
+                                    std::size_t num_links);
+
+/// True iff the slots form a partition of [0, num_links) (each link exactly
+/// once) — the coloring-schedule property.
+[[nodiscard]] bool is_partition(const Schedule& schedule,
+                                std::size_t num_links);
+
+/// The aggregation rate guaranteed by the periodic schedule: the minimum over
+/// links of (appearances within the period) / period. 0 if some link never
+/// appears. This is the paper's definition of rate restricted to periodic
+/// schedules.
+[[nodiscard]] double min_link_rate(const Schedule& schedule,
+                                   std::size_t num_links);
+
+}  // namespace wagg::schedule
+
+#endif  // WAGG_SCHEDULE_SCHEDULE_H

@@ -1,0 +1,195 @@
+#include "schedule/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wagg::schedule {
+
+namespace {
+
+/// Deterministic per-(node, frame) measurement value; values are small enough
+/// that int64 sums over any tree are exact.
+std::int64_t measurement(std::size_t node, std::size_t frame) {
+  return static_cast<std::int64_t>(node + 1) * 1009 +
+         static_cast<std::int64_t>(frame % 997);
+}
+
+}  // namespace
+
+SimulationReport simulate_aggregation(const mst::AggregationTree& tree,
+                                      const Schedule& schedule,
+                                      const SimulationConfig& config) {
+  const std::size_t n = tree.num_nodes();
+  const std::size_t num_links = tree.links.size();
+  if (schedule.empty()) {
+    throw std::invalid_argument("simulate_aggregation: empty schedule");
+  }
+  if (config.generation_period == 0) {
+    throw std::invalid_argument("simulate_aggregation: period must be >= 1");
+  }
+  if (config.num_frames == 0) {
+    throw std::invalid_argument("simulate_aggregation: need >= 1 frame");
+  }
+  for (const auto& slot : schedule.slots) {
+    for (std::size_t link : slot) {
+      if (link >= num_links) {
+        throw std::invalid_argument(
+            "simulate_aggregation: slot references unknown link");
+      }
+    }
+  }
+
+  const std::size_t frames = config.num_frames;
+  const std::size_t period = config.generation_period;
+  const auto sink = static_cast<std::size_t>(tree.sink);
+
+  std::size_t max_slots = config.max_slots;
+  if (max_slots == 0) {
+    // Enough for the offered load plus a generous drain allowance.
+    max_slots = period * frames +
+                schedule.length() *
+                    (static_cast<std::size_t>(tree.height()) + 2) *
+                    (num_links + 2) +
+                64;
+  }
+
+  // Per (node, frame) state, row-major node * frames + k.
+  std::vector<std::int32_t> received(n * frames, 0);
+  std::vector<std::int64_t> partial(n * frames, 0);
+  std::vector<std::uint8_t> has_data(n * frames, 0);
+  std::vector<std::size_t> next_to_send(n, 0);  // per node: oldest unsent frame
+  std::vector<std::size_t> buffer(n, 0);
+  std::vector<std::int32_t> need(n);  // children contributions required
+  for (std::size_t v = 0; v < n; ++v) {
+    need[v] = static_cast<std::int32_t>(tree.children[v].size());
+  }
+
+  auto idx = [frames](std::size_t v, std::size_t k) { return v * frames + k; };
+
+  auto own_available = [&](std::size_t v, std::size_t k, std::size_t t) {
+    if (v == sink && !config.sink_generates) return true;
+    return t >= period * k;
+  };
+
+  auto is_complete = [&](std::size_t v, std::size_t k, std::size_t t) {
+    return received[idx(v, k)] == need[v] && own_available(v, k, t);
+  };
+
+  auto own_value = [&](std::size_t v, std::size_t k) -> std::int64_t {
+    if (v == sink && !config.sink_generates) return 0;
+    return measurement(v, k);
+  };
+
+  SimulationReport report;
+  report.latencies.reserve(frames);
+  std::size_t next_generation = 0;  // next frame index to generate
+  std::size_t completed = 0;
+  std::vector<std::size_t> sink_completion(frames, 0);
+
+  struct Arrival {
+    std::size_t node;
+    std::size_t frame;
+    std::int64_t value;
+  };
+  std::vector<Arrival> arrivals;
+
+  std::size_t t = 0;
+  for (; t < max_slots && completed < frames; ++t) {
+    // Frame generation events at the start of the slot.
+    while (next_generation < frames && period * next_generation <= t) {
+      const std::size_t k = next_generation;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (v == sink && !config.sink_generates) continue;
+        if (!has_data[idx(v, k)]) {
+          has_data[idx(v, k)] = 1;
+          ++buffer[v];
+        }
+      }
+      ++next_generation;
+    }
+    // Peak buffers are attained at the start of a slot, after generation and
+    // before the slot's transmissions remove frames (Fig 1: node d holding
+    // b1+d1 and d2 at the start of slot 3).
+    for (std::size_t v = 0; v < n; ++v) {
+      report.max_buffer = std::max(report.max_buffer, buffer[v]);
+    }
+
+    // Transmissions of the current slot, based on start-of-slot state.
+    arrivals.clear();
+    for (const std::size_t link : schedule.slots[t % schedule.length()]) {
+      const auto sender =
+          static_cast<std::size_t>(tree.links.link(link).sender);
+      const auto parent =
+          static_cast<std::size_t>(tree.links.link(link).receiver);
+      const std::size_t k = next_to_send[sender];
+      if (k >= frames || !is_complete(sender, k, t)) continue;
+      arrivals.push_back(
+          {parent, k, partial[idx(sender, k)] + own_value(sender, k)});
+      ++next_to_send[sender];
+      --buffer[sender];
+    }
+    // Deliveries take effect at the end of the slot.
+    for (const Arrival& a : arrivals) {
+      const std::size_t id = idx(a.node, a.frame);
+      if (!has_data[id]) {
+        has_data[id] = 1;
+        ++buffer[a.node];
+      }
+      partial[id] += a.value;
+      ++received[id];
+      if (a.node == sink && received[id] == need[sink]) {
+        // Frame complete at the sink (its own measurement, if any, is
+        // available no later than the last child contribution arrives,
+        // because children cannot complete frame k before slot period*k).
+        const std::size_t completion_time = t + 1;
+        sink_completion[a.frame] = completion_time;
+        const std::size_t generated_at = period * a.frame;
+        const std::size_t latency = completion_time - generated_at;
+        report.latencies.push_back(latency);
+        report.max_latency = std::max(report.max_latency, latency);
+        const std::int64_t expected = [&] {
+          std::int64_t total = 0;
+          for (std::size_t v = 0; v < n; ++v) {
+            if (v == sink && !config.sink_generates) continue;
+            total += measurement(v, a.frame);
+          }
+          return total;
+        }();
+        if (partial[id] + own_value(sink, a.frame) != expected) {
+          report.aggregates_correct = false;
+        }
+        ++completed;
+        --buffer[sink];
+      }
+    }
+    // Peak buffer after all events of the slot.
+    for (std::size_t v = 0; v < n; ++v) {
+      report.max_buffer = std::max(report.max_buffer, buffer[v]);
+    }
+  }
+
+  report.frames_completed = completed;
+  report.slots_elapsed = t;
+  report.all_frames_completed = completed == frames;
+  report.achieved_rate =
+      t == 0 ? 0.0
+             : static_cast<double>(completed) / static_cast<double>(t);
+  if (completed >= 2) {
+    // First/last completed frames are 0 and completed-1: sinks complete
+    // frames in generation order.
+    const std::size_t first = sink_completion[0];
+    const std::size_t last = sink_completion[completed - 1];
+    if (last > first) {
+      report.steady_rate =
+          static_cast<double>(completed - 1) / static_cast<double>(last - first);
+    }
+  }
+  if (!report.latencies.empty()) {
+    double sum = 0.0;
+    for (std::size_t l : report.latencies) sum += static_cast<double>(l);
+    report.mean_latency = sum / static_cast<double>(report.latencies.size());
+  }
+  return report;
+}
+
+}  // namespace wagg::schedule

@@ -1,0 +1,38 @@
+#include "schedule/verify.h"
+
+namespace wagg::schedule {
+
+FeasibilityOracle fixed_power_oracle(const geom::LinkSet& links,
+                                     const sinr::SinrParams& params,
+                                     sinr::PowerAssignment power,
+                                     double tolerance) {
+  return [&links, params, power = std::move(power),
+          tolerance](std::span<const std::size_t> slot) {
+    return sinr::is_feasible(links, slot, params, power, tolerance);
+  };
+}
+
+FeasibilityOracle power_control_oracle(const geom::LinkSet& links,
+                                       const sinr::SinrParams& params,
+                                       sinr::PowerControlOptions options) {
+  return [&links, params, options](std::span<const std::size_t> slot) {
+    return sinr::power_control_feasible(links, slot, params, options).feasible;
+  };
+}
+
+VerificationReport verify_schedule(const geom::LinkSet& links,
+                                   const Schedule& schedule,
+                                   const FeasibilityOracle& oracle) {
+  VerificationReport report;
+  report.all_slots_feasible = true;
+  for (std::size_t s = 0; s < schedule.slots.size(); ++s) {
+    if (!oracle(schedule.slots[s])) {
+      report.all_slots_feasible = false;
+      report.infeasible_slots.push_back(s);
+    }
+  }
+  report.covers_all_links = covers_all_links(schedule, links.size());
+  return report;
+}
+
+}  // namespace wagg::schedule

@@ -1,0 +1,51 @@
+#ifndef WAGG_SCHEDULE_VERIFY_H
+#define WAGG_SCHEDULE_VERIFY_H
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/linkset.h"
+#include "schedule/schedule.h"
+#include "sinr/feasibility.h"
+#include "sinr/model.h"
+#include "sinr/power.h"
+
+namespace wagg::schedule {
+
+/// A slot-feasibility oracle: true iff the given links may share a slot.
+using FeasibilityOracle =
+    std::function<bool(std::span<const std::size_t> slot)>;
+
+/// Oracle for a fixed power assignment (exact SINR check).
+[[nodiscard]] FeasibilityOracle fixed_power_oracle(
+    const geom::LinkSet& links, const sinr::SinrParams& params,
+    sinr::PowerAssignment power, double tolerance = 1e-9);
+
+/// Oracle for arbitrary power control (spectral-radius decision + certified
+/// power vector, see sinr::power_control_feasible).
+[[nodiscard]] FeasibilityOracle power_control_oracle(
+    const geom::LinkSet& links, const sinr::SinrParams& params,
+    sinr::PowerControlOptions options = {});
+
+/// Per-schedule verification result.
+struct VerificationReport {
+  bool all_slots_feasible = false;
+  bool covers_all_links = false;
+  /// Indices of slots that failed the oracle.
+  std::vector<std::size_t> infeasible_slots;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return all_slots_feasible && covers_all_links;
+  }
+};
+
+/// Verifies every slot of the schedule against the oracle and checks link
+/// coverage.
+[[nodiscard]] VerificationReport verify_schedule(const geom::LinkSet& links,
+                                                 const Schedule& schedule,
+                                                 const FeasibilityOracle& oracle);
+
+}  // namespace wagg::schedule
+
+#endif  // WAGG_SCHEDULE_VERIFY_H

@@ -1,0 +1,277 @@
+#include "sinr/feasibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wagg::sinr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// exp2 with saturation instead of overflow/underflow surprises.
+double safe_exp2(double x) noexcept {
+  if (x >= 1024.0) return kInf;
+  if (x <= -1074.0) return 0.0;
+  return std::exp2(x);
+}
+
+/// log2 of the noise load term beta * N * l_i^alpha / P_i, or -inf if N == 0.
+double log2_noise_term(const geom::LinkSet& links, const SinrParams& params,
+                       const PowerAssignment& power, std::size_t i) {
+  if (params.noise <= 0.0) return -kInf;
+  return std::log2(params.noise) + params.alpha * std::log2(links.length(i)) -
+         power.log2_power(i);
+}
+
+}  // namespace
+
+double log2_sum_exp2(std::span<const double> values) {
+  double max_v = -kInf;
+  for (double v : values) max_v = std::max(max_v, v);
+  if (max_v == -kInf) return -kInf;
+  if (max_v == kInf) return kInf;
+  double sum = 0.0;
+  for (double v : values) {
+    if (v == -kInf) continue;
+    sum += std::exp2(v - max_v);
+  }
+  return max_v + std::log2(sum);
+}
+
+double log2_affectance(const geom::LinkSet& links, const SinrParams& params,
+                       const PowerAssignment& power, std::size_t j,
+                       std::size_t i) {
+  if (j == i) return -kInf;
+  const double d = links.sinr_distance(j, i);
+  if (d <= 0.0) return kInf;
+  return power.log2_power(j) - power.log2_power(i) +
+         params.alpha * (std::log2(links.length(i)) - std::log2(d));
+}
+
+bool has_shared_node(const geom::LinkSet& links,
+                     std::span<const std::size_t> set) {
+  for (std::size_t a = 0; a < set.size(); ++a) {
+    for (std::size_t b = a + 1; b < set.size(); ++b) {
+      if (links.shares_node(set[a], set[b])) return true;
+    }
+  }
+  return false;
+}
+
+FeasibilityReport check_feasible(const geom::LinkSet& links,
+                                 std::span<const std::size_t> set,
+                                 const SinrParams& params,
+                                 const PowerAssignment& power,
+                                 double tolerance) {
+  params.validate();
+  FeasibilityReport report;
+  report.worst_link = set.size();
+  if (set.empty()) {
+    report.feasible = true;
+    return report;
+  }
+  if (has_shared_node(links, set)) {
+    report.shared_node = true;
+    report.feasible = false;
+    report.max_load = kInf;
+    return report;
+  }
+  const double log2_beta = std::log2(params.beta);
+  report.max_load = 0.0;
+  std::vector<double> terms;
+  terms.reserve(set.size());
+  for (std::size_t a = 0; a < set.size(); ++a) {
+    terms.clear();
+    for (std::size_t b = 0; b < set.size(); ++b) {
+      if (b == a) continue;
+      terms.push_back(
+          log2_affectance(links, params, power, set[b], set[a]));
+    }
+    terms.push_back(log2_noise_term(links, params, power, set[a]));
+    const double load = safe_exp2(log2_beta + log2_sum_exp2(terms));
+    if (load > report.max_load) {
+      report.max_load = load;
+      report.worst_link = a;
+    }
+  }
+  report.feasible = report.max_load <= 1.0 + tolerance;
+  return report;
+}
+
+bool is_feasible(const geom::LinkSet& links, std::span<const std::size_t> set,
+                 const SinrParams& params, const PowerAssignment& power,
+                 double tolerance) {
+  return check_feasible(links, set, params, power, tolerance).feasible;
+}
+
+namespace {
+
+/// log2 of the normalized gain matrix M_ij = beta * (l_i / d_ji)^alpha,
+/// row-major over the set; diagonal is -inf.
+std::vector<double> log2_gain_matrix(const geom::LinkSet& links,
+                                     std::span<const std::size_t> set,
+                                     const SinrParams& params) {
+  const std::size_t k = set.size();
+  const double log2_beta = std::log2(params.beta);
+  std::vector<double> m(k * k, -kInf);
+  for (std::size_t a = 0; a < k; ++a) {
+    const double log2_len = std::log2(links.length(set[a]));
+    for (std::size_t b = 0; b < k; ++b) {
+      if (a == b) continue;
+      const double d = links.sinr_distance(set[b], set[a]);
+      m[a * k + b] = d <= 0.0
+                         ? kInf
+                         : log2_beta + params.alpha * (log2_len - std::log2(d));
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+PowerControlResult power_control_feasible(const geom::LinkSet& links,
+                                          std::span<const std::size_t> set,
+                                          const SinrParams& params,
+                                          const PowerControlOptions& options) {
+  params.validate();
+  PowerControlResult result;
+  if (set.empty()) {
+    result.feasible = true;
+    result.spectral_radius = 0.0;
+    return result;
+  }
+  if (has_shared_node(links, set)) {
+    result.shared_node = true;
+    result.spectral_radius = kInf;
+    return result;
+  }
+  const std::size_t k = set.size();
+  if (k == 1) {
+    result.feasible = true;
+    result.spectral_radius = 0.0;
+    result.log2_power = {0.0};
+    return result;
+  }
+  const auto m = log2_gain_matrix(links, set, params);
+
+  if (k == 2) {
+    // Exact: rho([[0,a],[b,0]]) = sqrt(a*b), computed in log2 space.
+    const double a = m[1];  // effect of link 2's power on link 1
+    const double b = m[2];  // effect of link 1's power on link 2
+    const double lg = 0.5 * (a + b);
+    result.spectral_radius = safe_exp2(lg);
+    result.iterations = 0;
+    if (lg < std::log2(1.0 - options.strictness)) {
+      if (a == -kInf && b == -kInf) {
+        result.log2_power = {0.0, 0.0};
+      } else if (a == -kInf) {
+        // Only link 1 interferes with link 2: depress link 1's power.
+        result.log2_power = {std::min(0.0, -b - 1.0), 0.0};
+      } else if (b == -kInf) {
+        result.log2_power = {0.0, std::min(0.0, -a - 1.0)};
+      } else {
+        // Balanced Perron powers p1/p2 = sqrt(M12 / M21).
+        result.log2_power = {0.0, 0.5 * (b - a)};
+      }
+      const double mx =
+          std::max(result.log2_power[0], result.log2_power[1]);
+      for (double& p : result.log2_power) p -= mx;
+      result.feasible = true;
+    }
+  } else {
+    // Power iteration in log2 space. The Collatz–Wielandt inequality gives
+    // rho <= max_i (Mx)_i / x_i for every positive x, so as soon as the max
+    // ratio drops below the feasibility threshold we can stop: the current
+    // iterate is itself a certified power vector (each link's load is at
+    // most the max ratio). Ambiguous spectra iterate up to the budget.
+    std::vector<double> v(k, 0.0), w(k, -kInf), terms(k);
+    double rho_upper = kInf;
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      ++result.iterations;
+      for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b) terms[b] = m[a * k + b] + v[b];
+        w[a] = log2_sum_exp2(terms);
+      }
+      double max_ratio = -kInf;
+      double max_w = -kInf;
+      for (std::size_t a = 0; a < k; ++a) {
+        if (w[a] != -kInf) max_ratio = std::max(max_ratio, w[a] - v[a]);
+        max_w = std::max(max_w, w[a]);
+      }
+      if (max_ratio == -kInf) {
+        // No interference at all; trivially feasible.
+        result.spectral_radius = 0.0;
+        result.feasible = true;
+        result.log2_power.assign(k, 0.0);
+        return result;
+      }
+      const double new_upper = safe_exp2(max_ratio);
+      const bool upper_conclusive = new_upper < 1.0 - options.strictness;
+      const bool converged =
+          std::isfinite(rho_upper) &&
+          std::abs(new_upper - rho_upper) <=
+              options.tolerance * std::max(1.0, rho_upper);
+      rho_upper = new_upper;
+      if (upper_conclusive && iter > 0) break;
+      // Normalize to max 0. Links receiving zero interference have w = -inf;
+      // pin them far below the pack (their own SINR is unconstrained and a
+      // low power keeps their outgoing interference negligible).
+      for (std::size_t a = 0; a < k; ++a) {
+        v[a] = w[a] == -kInf ? -500.0 : w[a] - max_w;
+      }
+      if (converged) break;
+    }
+    result.spectral_radius = rho_upper;
+    if (rho_upper < 1.0 - options.strictness) {
+      result.log2_power = v;
+      result.feasible = true;
+    }
+  }
+
+  if (!result.feasible) return result;
+
+  // Certify with an explicit power vector. With noise, run the
+  // Foschini–Miljanic fixed-point update in log2 space first.
+  PowerAssignment slot_power = embed_slot_power(links, set, result);
+  if (params.noise > 0.0) {
+    std::vector<double> lp(k);
+    for (std::size_t a = 0; a < k; ++a) {
+      lp[a] = std::log2((1.0 + params.epsilon) * params.beta * params.noise) +
+              params.alpha * std::log2(links.length(set[a]));
+    }
+    std::vector<double> terms(k + 1);
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = 0; b < k; ++b) terms[b] = m[a * k + b] + lp[b];
+        terms[k] = std::log2(params.beta * params.noise) +
+                   params.alpha * std::log2(links.length(set[a]));
+        lp[a] = log2_sum_exp2(terms);
+      }
+    }
+    // Headroom against the exact-equality fixed point.
+    for (double& p : lp) p += std::log2(1.0 + params.epsilon);
+    result.log2_power = lp;
+    slot_power = embed_slot_power(links, set, result);
+  }
+  const auto report = check_feasible(links, set, params, slot_power, 1e-7);
+  result.feasible = report.feasible;
+  return result;
+}
+
+PowerAssignment embed_slot_power(const geom::LinkSet& links,
+                                 std::span<const std::size_t> set,
+                                 const PowerControlResult& result) {
+  if (result.log2_power.size() != set.size()) {
+    throw std::invalid_argument("embed_slot_power: size mismatch");
+  }
+  std::vector<double> lp(links.size(), 0.0);
+  for (std::size_t a = 0; a < set.size(); ++a) {
+    lp.at(set[a]) = result.log2_power[a];
+  }
+  return PowerAssignment(std::move(lp), "power-control");
+}
+
+}  // namespace wagg::sinr

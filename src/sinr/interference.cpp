@@ -1,0 +1,86 @@
+#include "sinr/interference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace wagg::sinr {
+
+double interference_between(const geom::LinkSet& links, std::size_t j,
+                            std::size_t i, double alpha) {
+  if (i == j) return 0.0;
+  const double d = links.link_distance(i, j);
+  if (d <= 0.0) return 1.0;  // shared node: min{1, inf}
+  const double lj = links.length(j);
+  if (lj >= d) return 1.0;  // ratio >= 1, min clamps
+  // (l_j / d)^alpha with l_j < d: safe in log space for extreme scales.
+  return std::exp2(alpha * (std::log2(lj) - std::log2(d)));
+}
+
+double outgoing_interference(const geom::LinkSet& links, std::size_t i,
+                             std::span<const std::size_t> set, double alpha) {
+  double sum = 0.0;
+  for (std::size_t j : set) {
+    if (j == i) continue;
+    sum += interference_between(links, i, j, alpha);
+  }
+  return sum;
+}
+
+double incoming_interference(const geom::LinkSet& links,
+                             std::span<const std::size_t> set, std::size_t i,
+                             double alpha) {
+  double sum = 0.0;
+  for (std::size_t j : set) {
+    if (j == i) continue;
+    sum += interference_between(links, j, i, alpha);
+  }
+  return sum;
+}
+
+double outgoing_to_longer(const geom::LinkSet& links, std::size_t i,
+                          double alpha) {
+  double sum = 0.0;
+  const double li = links.length(i);
+  for (std::size_t j = 0; j < links.size(); ++j) {
+    if (j == i || links.length(j) < li) continue;
+    sum += interference_between(links, i, j, alpha);
+  }
+  return sum;
+}
+
+double incoming_from_shorter(const geom::LinkSet& links, std::size_t i,
+                             double alpha) {
+  double sum = 0.0;
+  const double li = links.length(i);
+  for (std::size_t j = 0; j < links.size(); ++j) {
+    if (j == i || links.length(j) > li) continue;
+    sum += interference_between(links, j, i, alpha);
+  }
+  return sum;
+}
+
+double lemma1_statistic(const geom::LinkSet& links, double alpha) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    worst = std::max(worst, outgoing_to_longer(links, i, alpha));
+  }
+  return worst;
+}
+
+double theorem3_statistic(const geom::LinkSet& links,
+                          std::span<const std::size_t> set, double alpha) {
+  double worst = 0.0;
+  for (std::size_t idx : set) {
+    const double li = links.length(idx);
+    double sum = 0.0;
+    for (std::size_t j : set) {
+      if (j == idx || links.length(j) > li) continue;
+      sum += interference_between(links, j, idx, alpha);
+    }
+    worst = std::max(worst, sum);
+  }
+  return worst;
+}
+
+}  // namespace wagg::sinr

@@ -1,0 +1,22 @@
+#include "sinr/model.h"
+
+#include <stdexcept>
+
+namespace wagg::sinr {
+
+void SinrParams::validate() const {
+  if (!(alpha > 2.0)) {
+    throw std::invalid_argument("SinrParams: alpha must exceed 2");
+  }
+  if (!(beta > 0.0)) {
+    throw std::invalid_argument("SinrParams: beta must be positive");
+  }
+  if (!(noise >= 0.0)) {
+    throw std::invalid_argument("SinrParams: noise must be non-negative");
+  }
+  if (!(epsilon > 0.0)) {
+    throw std::invalid_argument("SinrParams: epsilon must be positive");
+  }
+}
+
+}  // namespace wagg::sinr

@@ -1,0 +1,28 @@
+#ifndef WAGG_SINR_MODEL_H
+#define WAGG_SINR_MODEL_H
+
+namespace wagg::sinr {
+
+/// Parameters of the physical (SINR) interference model, Sec 2 of the paper.
+///
+/// A transmission on link i succeeds, among concurrently transmitting set S,
+/// iff   P(i)/l_i^alpha >= beta * ( sum_{j in S\{i}} P(j)/d_ji^alpha + N ).
+struct SinrParams {
+  /// Path-loss exponent; the model requires alpha > 2.
+  double alpha = 3.0;
+  /// Minimum SINR threshold beta > 0.
+  double beta = 1.0;
+  /// Ambient noise N >= 0. The paper's interference-limited assumption
+  /// corresponds to noise = 0 (Sec 2 argues this only affects constants).
+  double noise = 0.0;
+  /// Interference-limitation margin: every power assignment must satisfy
+  /// P(i) >= (1 + epsilon) * beta * N * l_i^alpha when noise > 0.
+  double epsilon = 0.5;
+
+  /// Throws std::invalid_argument when outside the model's domain.
+  void validate() const;
+};
+
+}  // namespace wagg::sinr
+
+#endif  // WAGG_SINR_MODEL_H

@@ -1,0 +1,58 @@
+#include "sinr/power.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wagg::sinr {
+
+PowerAssignment::PowerAssignment(std::vector<double> log2_power,
+                                 std::string description)
+    : log2_power_(std::move(log2_power)),
+      description_(std::move(description)) {}
+
+double PowerAssignment::power(std::size_t i) const {
+  return std::exp2(log2_power_.at(i));
+}
+
+PowerAssignment oblivious_power(const geom::LinkSet& links, double tau,
+                                const SinrParams& params) {
+  params.validate();
+  if (!(tau >= 0.0 && tau <= 1.0)) {
+    throw std::invalid_argument("oblivious_power: tau must lie in [0, 1]");
+  }
+  double log2_c = 0.0;
+  if (params.noise > 0.0 && !links.empty()) {
+    // Smallest C making every link interference-limited:
+    // C >= (1+eps) * beta * N * l^((1-tau)*alpha) for every link length l.
+    double max_term = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const double term =
+          (1.0 - tau) * params.alpha * std::log2(links.length(i));
+      max_term = std::max(max_term, term);
+    }
+    log2_c = std::log2((1.0 + params.epsilon) * params.beta * params.noise) +
+             max_term;
+  }
+  std::vector<double> lp;
+  lp.reserve(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    lp.push_back(log2_c + tau * params.alpha * std::log2(links.length(i)));
+  }
+  return PowerAssignment(std::move(lp),
+                         "P_tau(tau=" + std::to_string(tau) + ")");
+}
+
+PowerAssignment uniform_power(const geom::LinkSet& links,
+                              const SinrParams& params) {
+  auto p = oblivious_power(links, 0.0, params);
+  return PowerAssignment(p.log2_powers(), "uniform");
+}
+
+PowerAssignment linear_power(const geom::LinkSet& links,
+                             const SinrParams& params) {
+  auto p = oblivious_power(links, 1.0, params);
+  return PowerAssignment(p.log2_powers(), "linear");
+}
+
+}  // namespace wagg::sinr

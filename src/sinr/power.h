@@ -1,0 +1,63 @@
+#ifndef WAGG_SINR_POWER_H
+#define WAGG_SINR_POWER_H
+
+#include <string>
+#include <vector>
+
+#include "geom/linkset.h"
+#include "sinr/model.h"
+
+namespace wagg::sinr {
+
+/// Per-link transmit powers, stored and manipulated in log2 space.
+///
+/// The paper's doubly-exponential constructions produce link lengths whose
+/// required powers (~ l^alpha) far exceed the range of IEEE doubles, so every
+/// power-dependent computation in this library works on log2(P) and converts
+/// to linear scale only inside clamped exponentials.
+class PowerAssignment {
+ public:
+  PowerAssignment() = default;
+  explicit PowerAssignment(std::vector<double> log2_power,
+                           std::string description = "explicit");
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return log2_power_.size();
+  }
+  [[nodiscard]] double log2_power(std::size_t i) const {
+    return log2_power_.at(i);
+  }
+  /// Linear-scale power; may overflow to +inf for extreme instances.
+  [[nodiscard]] double power(std::size_t i) const;
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+  [[nodiscard]] const std::vector<double>& log2_powers() const noexcept {
+    return log2_power_;
+  }
+
+ private:
+  std::vector<double> log2_power_;
+  std::string description_;
+};
+
+/// The oblivious power scheme P_tau(i) = C * l_i^(tau * alpha), tau in [0, 1]
+/// (Sec 2). C is 1 for noise-free instances; otherwise the smallest constant
+/// making every link interference-limited:
+///   C = (1 + eps) * beta * N * max_i l_i^((1 - tau) * alpha).
+/// tau = 0 is the uniform scheme P_0, tau = 1 the linear scheme P_1.
+[[nodiscard]] PowerAssignment oblivious_power(const geom::LinkSet& links,
+                                              double tau,
+                                              const SinrParams& params);
+
+/// Uniform power P_0 (every sender uses the same power).
+[[nodiscard]] PowerAssignment uniform_power(const geom::LinkSet& links,
+                                            const SinrParams& params);
+
+/// Linear power P_1 (power proportional to l^alpha).
+[[nodiscard]] PowerAssignment linear_power(const geom::LinkSet& links,
+                                           const SinrParams& params);
+
+}  // namespace wagg::sinr
+
+#endif  // WAGG_SINR_POWER_H

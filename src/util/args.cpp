@@ -1,0 +1,53 @@
+#include "util/args.h"
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace wagg::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "1";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t consumed = 0;
+  const double value = std::stod(it->second, &consumed);
+  if (consumed != it->second.size()) {
+    throw std::invalid_argument("Args: --" + key + " is not a number: " +
+                                it->second);
+  }
+  return value;
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t consumed = 0;
+  const long long value = std::stoll(it->second, &consumed);
+  if (consumed != it->second.size()) {
+    throw std::invalid_argument("Args: --" + key + " is not an integer: " +
+                                it->second);
+  }
+  return value;
+}
+
+}  // namespace wagg::util

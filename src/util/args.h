@@ -1,0 +1,30 @@
+#ifndef WAGG_UTIL_ARGS_H
+#define WAGG_UTIL_ARGS_H
+
+#include <map>
+#include <string>
+
+namespace wagg::util {
+
+/// Minimal `--key=value` command-line parser for the example binaries.
+/// `--flag` with no value maps to "1"; non-`--` tokens are ignored.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  /// Throws std::invalid_argument when the value does not parse fully.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace wagg::util
+
+#endif  // WAGG_UTIL_ARGS_H

@@ -1,0 +1,63 @@
+#include "util/logmath.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wagg::util {
+
+namespace {
+constexpr double kOverflowGuard = 1e300;
+}  // namespace
+
+int log2_star(double x) noexcept {
+  int k = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++k;
+    if (k > 64) break;  // unreachable for finite doubles; belt and braces
+  }
+  return k;
+}
+
+int log2_star_of_log2(double lg) noexcept {
+  // log2*(x) = 1 + log2*(log2 x) for x > 1; here lg = log2(x).
+  if (lg <= 0.0) return 0;  // x <= 1
+  return 1 + log2_star(lg);
+}
+
+double log2_log2(double x) noexcept {
+  if (x <= 2.0) return 0.0;
+  const double l = std::log2(x);
+  return l <= 1.0 ? 0.0 : std::log2(l);
+}
+
+double log2_log2_of_log2(double lg) noexcept {
+  return lg <= 1.0 ? 0.0 : std::log2(lg);
+}
+
+double tower2(int h) {
+  if (h < 0) throw std::invalid_argument("tower2: negative height");
+  double v = 1.0;
+  for (int i = 0; i < h; ++i) {
+    if (v > 1020.0) throw std::overflow_error("tower2: exceeds double range");
+    v = std::exp2(v);
+  }
+  return v;
+}
+
+int floor_log2(std::uint64_t x) noexcept {
+  if (x == 0) return -1;
+  return 63 - __builtin_clzll(x);
+}
+
+int ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+bool pow_fits(double base, double exp) noexcept {
+  if (base <= 1.0) return true;
+  return exp * std::log10(base) < std::log10(kOverflowGuard);
+}
+
+}  // namespace wagg::util

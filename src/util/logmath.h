@@ -1,0 +1,40 @@
+#ifndef WAGG_UTIL_LOGMATH_H
+#define WAGG_UTIL_LOGMATH_H
+
+#include <cstdint>
+
+namespace wagg::util {
+
+/// Iterated binary logarithm log2*(x): the number of times log2 must be
+/// applied to x before the result is <= 1. log2_star(x) == 0 for x <= 1.
+/// This is the `log*` of the paper's rate bound Omega(1 / log* Delta).
+int log2_star(double x) noexcept;
+
+/// log2*(x) where the argument is given as lg = log2(x). Needed for the
+/// doubly-exponential instances whose Delta overflows IEEE doubles.
+int log2_star_of_log2(double lg) noexcept;
+
+/// Iterated-log count of log log: returns log2(log2(x)) clamped at >= 0,
+/// for reporting Theta(log log Delta) series. Arguments <= 2 map to 0.
+double log2_log2(double x) noexcept;
+
+/// Same but taking lg = log2(x) to survive huge Delta.
+double log2_log2_of_log2(double lg) noexcept;
+
+/// Power tower 2^^h (tower(0)=1, tower(1)=2, tower(2)=4, tower(3)=16, ...).
+/// Throws std::overflow_error for h that would exceed double range.
+double tower2(int h);
+
+/// Floor of log2 for positive integers.
+int floor_log2(std::uint64_t x) noexcept;
+
+/// Ceiling of log2 for positive integers (ceil_log2(1) == 0).
+int ceil_log2(std::uint64_t x) noexcept;
+
+/// True if base^exp (base > 1, exp > 0) stays below the overflow guard
+/// (~1e300). Used by instance generators before materializing coordinates.
+bool pow_fits(double base, double exp) noexcept;
+
+}  // namespace wagg::util
+
+#endif  // WAGG_UTIL_LOGMATH_H

@@ -1,0 +1,36 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace wagg::util {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless method with rejection.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (lo < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  // Marsaglia polar method; no cached second value to keep state minimal
+  // and behaviour independent of call parity.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace wagg::util

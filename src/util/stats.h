@@ -1,0 +1,60 @@
+#ifndef WAGG_UTIL_STATS_H
+#define WAGG_UTIL_STATS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wagg::util {
+
+/// Streaming accumulator for count/mean/variance/min/max (Welford update).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * count_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation between order statistics.
+/// p in [0, 100]. Throws std::invalid_argument on empty input or bad p.
+double percentile(std::span<const double> values, double p);
+
+/// Least-squares slope of y against x. Throws on size mismatch or < 2 points.
+/// Used to measure growth rates (e.g. schedule length vs log log Delta).
+double regression_slope(std::span<const double> x, std::span<const double> y);
+
+/// Convenience: collect, then query. Keeps all samples (unlike RunningStats).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace wagg::util
+
+#endif  // WAGG_UTIL_STATS_H

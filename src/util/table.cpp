@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace wagg::util {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (rows_.empty()) throw std::logic_error("Table::cell before row()");
+  if (rows_.back().size() >= header_.size()) {
+    throw std::logic_error("Table::cell: row wider than header");
+  }
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << "| " << v << std::string(width[c] - v.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace wagg::util

@@ -1,0 +1,44 @@
+#ifndef WAGG_UTIL_TABLE_H
+#define WAGG_UTIL_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wagg::util {
+
+/// Column-aligned ASCII table, used by the benchmark harness to print the
+/// paper-shaped rows (one table per paper figure/claim). Cells are strings;
+/// numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(int value);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule; pads every column to its widest cell.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering for machine consumption.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace wagg::util
+
+#endif  // WAGG_UTIL_TABLE_H

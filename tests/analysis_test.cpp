@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/audit.h"
+#include "instance/basic.h"
+#include "instance/lowerbound.h"
+#include "mst/tree.h"
+#include "schedule/verify.h"
+#include "sinr/power.h"
+
+namespace wagg::analysis {
+namespace {
+
+sinr::SinrParams params(double alpha = 3.0, double beta = 1.0) {
+  sinr::SinrParams p;
+  p.alpha = alpha;
+  p.beta = beta;
+  return p;
+}
+
+TEST(Audit, InfeasibilityGraphOnChain) {
+  // Unit chain: adjacent links share nodes -> always pairwise infeasible;
+  // far-apart links are cofeasible under uniform power with beta = 1.
+  const auto tree = mst::mst_tree(instance::unit_chain(8), 0);
+  const auto prm = params(3.0, 1.0);
+  const auto oracle = schedule::fixed_power_oracle(
+      tree.links, prm, sinr::uniform_power(tree.links, prm));
+  const auto h = pairwise_infeasibility_graph(tree.links, oracle);
+  EXPECT_EQ(h.num_vertices(), 7u);
+  // Neighbouring chain links always conflict.
+  for (std::size_t i = 0; i + 1 < 7; ++i) {
+    const auto a = static_cast<std::size_t>(
+        tree.links.link(i).sender);
+    for (std::size_t j = i + 1; j < 7; ++j) {
+      if (tree.links.shares_node(i, j)) {
+        EXPECT_TRUE(h.has_edge(i, j));
+      }
+    }
+    (void)a;
+  }
+  // Some pair must be cofeasible on a chain of this length.
+  EXPECT_GT(count_cofeasible_pairs(tree.links, oracle), 0u);
+}
+
+TEST(Audit, CountCofeasiblePairsComplement) {
+  const auto tree = mst::mst_tree(instance::unit_chain(6), 0);
+  const auto prm = params(3.0, 1.0);
+  const auto oracle = schedule::fixed_power_oracle(
+      tree.links, prm, sinr::uniform_power(tree.links, prm));
+  const auto h = pairwise_infeasibility_graph(tree.links, oracle);
+  const std::size_t n = tree.links.size();
+  EXPECT_EQ(count_cofeasible_pairs(tree.links, oracle) + h.num_edges(),
+            n * (n - 1) / 2);
+}
+
+TEST(Audit, GreedyPackingRespectsOracleAndAnchor) {
+  const auto tree = mst::mst_tree(instance::unit_chain(10), 0);
+  const auto prm = params(3.0, 1.0);
+  const auto oracle = schedule::fixed_power_oracle(
+      tree.links, prm, sinr::uniform_power(tree.links, prm));
+  const auto order = tree.links.by_decreasing_length();
+  const auto packed = greedy_feasible_packing(tree.links, order, oracle,
+                                              std::size_t{0});
+  EXPECT_FALSE(packed.empty());
+  EXPECT_EQ(packed.front(), 0u);
+  EXPECT_TRUE(oracle(packed));
+  // Maximality: no remaining candidate fits.
+  for (std::size_t cand : order) {
+    if (std::find(packed.begin(), packed.end(), cand) != packed.end()) {
+      continue;
+    }
+    auto trial = packed;
+    trial.push_back(cand);
+    EXPECT_FALSE(oracle(trial)) << cand;
+  }
+}
+
+TEST(Audit, ExhaustiveAnchorSearchBeatsGreedy) {
+  const auto tree = mst::mst_tree(instance::unit_chain(10), 0);
+  const auto prm = params(3.0, 1.0);
+  const auto oracle = schedule::fixed_power_oracle(
+      tree.links, prm, sinr::uniform_power(tree.links, prm));
+  std::vector<std::size_t> all(tree.links.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const auto greedy =
+      greedy_feasible_packing(tree.links, all, oracle, std::size_t{0});
+  const auto best = max_feasible_set_with_anchor(tree.links, all, 0, oracle);
+  EXPECT_GE(best, greedy.size());
+  EXPECT_GE(best, 1u);
+}
+
+TEST(Audit, ExhaustiveSearchSizeGuard) {
+  const auto tree = mst::mst_tree(instance::uniform_square(30, 6.0, 1), 0);
+  const auto prm = params();
+  const auto oracle = schedule::fixed_power_oracle(
+      tree.links, prm, sinr::uniform_power(tree.links, prm));
+  std::vector<std::size_t> all(tree.links.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  EXPECT_THROW((void)max_feasible_set_with_anchor(tree.links, all, 0, oracle),
+               std::invalid_argument);
+}
+
+TEST(Audit, MinSlotsLowerBoundOnCompleteConflict) {
+  // Doubly-exponential chain under P_tau: every pair infeasible -> the
+  // pairwise graph is complete -> lower bound = n.
+  const auto chain = instance::doubly_exponential_chain(6, 0.5, 3.0, 1.0);
+  const auto tree = mst::mst_tree(chain.points, 0);
+  const auto prm = params(3.0, 1.0);
+  const auto power = sinr::oblivious_power(tree.links, chain.tau, prm);
+  const auto oracle = schedule::fixed_power_oracle(tree.links, prm, power);
+  const auto bound = min_slots_lower_bound(tree.links, oracle);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(*bound, static_cast<int>(tree.links.size()));
+}
+
+TEST(Audit, MinSlotsLowerBoundSmallOnUniformDeployment) {
+  const auto tree = mst::mst_tree(instance::uniform_square(20, 40.0, 3), 0);
+  const auto prm = params(3.0, 1.0);
+  const auto oracle = schedule::power_control_oracle(tree.links, prm);
+  const auto bound = min_slots_lower_bound(tree.links, oracle);
+  ASSERT_TRUE(bound.has_value());
+  // Sparse deployment: a handful of slots suffice, so the bound is small.
+  EXPECT_LE(*bound, 6);
+  EXPECT_GE(*bound, 1);
+}
+
+TEST(Audit, AnchorMustBeFeasibleAlone) {
+  // An oracle rejecting everything makes the anchor infeasible.
+  const auto tree = mst::mst_tree(instance::unit_chain(4), 0);
+  const schedule::FeasibilityOracle never =
+      [](std::span<const std::size_t>) { return false; };
+  std::vector<std::size_t> all{0, 1, 2};
+  EXPECT_THROW(greedy_feasible_packing(tree.links, all, never, std::size_t{0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wagg::analysis

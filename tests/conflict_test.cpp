@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "conflict/fgraph.h"
+#include "conflict/graph.h"
+#include "geom/linkset.h"
+#include "instance/basic.h"
+#include "instance/lowerbound.h"
+#include "mst/tree.h"
+
+namespace wagg::conflict {
+namespace {
+
+TEST(Graph, EdgeBasics) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 2);  // duplicate collapses
+  g.finalize();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, IndependenceCheck) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.finalize();
+  const std::vector<std::size_t> indep{0, 2, 3};
+  const std::vector<std::size_t> dep{0, 1};
+  EXPECT_TRUE(g.is_independent(indep));
+  EXPECT_FALSE(g.is_independent(dep));
+}
+
+TEST(Graph, Validation) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)g.has_edge(0, 1), std::logic_error);  // not finalized
+}
+
+TEST(Spec, ThresholdFunctions) {
+  const auto c = ConflictSpec::constant(2.0);
+  EXPECT_DOUBLE_EQ(c.f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.f(100.0), 2.0);
+
+  const auto p = ConflictSpec::power_law(1.5, 0.5);
+  EXPECT_DOUBLE_EQ(p.f(4.0), 3.0);
+
+  // alpha = 4 -> exponent 2/(alpha-2) = 1: f = gamma * max(1, log2 x).
+  const auto l = ConflictSpec::logarithmic(1.0, 4.0);
+  EXPECT_DOUBLE_EQ(l.f(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(l.f(16.0), 4.0);
+  // alpha = 3 -> exponent 2: f = gamma * log2^2 x.
+  const auto l3 = ConflictSpec::logarithmic(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(l3.f(16.0), 16.0);
+}
+
+TEST(Spec, Validation) {
+  EXPECT_THROW(ConflictSpec::constant(0.0), std::invalid_argument);
+  EXPECT_THROW(ConflictSpec::power_law(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ConflictSpec::logarithmic(1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)ConflictSpec::constant(1.0).f(0.5),
+               std::invalid_argument);
+}
+
+TEST(Spec, ConflictPredicateMatchesDefinition) {
+  // Two unit links at distance d conflict under G_gamma iff d <= gamma.
+  auto make = [](double d) {
+    geom::Pointset pts{{0, 0}, {0, 1}, {d, 0}, {d, 1}};
+    return geom::LinkSet(pts, {geom::Link{0, 1}, geom::Link{2, 3}});
+  };
+  const auto spec = ConflictSpec::constant(1.0);
+  EXPECT_TRUE(spec.conflicting(make(0.99), 0, 1));
+  EXPECT_TRUE(spec.conflicting(make(1.0), 0, 1));  // boundary: d <= f
+  EXPECT_FALSE(spec.conflicting(make(1.01), 0, 1));
+  EXPECT_FALSE(spec.conflicting(make(1.0), 0, 0));  // i == j never conflicts
+}
+
+TEST(Spec, SharedNodeAlwaysConflicts) {
+  geom::Pointset pts{{0, 0}, {1, 0}, {100, 0}};
+  const geom::LinkSet ls(pts, {geom::Link{0, 1}, geom::Link{1, 2}});
+  for (const auto& spec :
+       {ConflictSpec::constant(0.5), ConflictSpec::power_law(0.5, 0.3),
+        ConflictSpec::logarithmic(0.5, 3.0)}) {
+    EXPECT_TRUE(spec.conflicting(ls, 0, 1)) << spec.name();
+  }
+}
+
+TEST(Spec, ConstantEdgesAreSubsetOfPowerLawEdges) {
+  // With equal gamma, f_const(x) <= f_powerlaw(x) for x >= 1, so G_gamma's
+  // edge set is contained in G^delta_gamma's.
+  const auto pts = instance::uniform_square(80, 6.0, 21);
+  const auto tree = mst::mst_tree(pts, 0);
+  const auto g_const =
+      build_conflict_graph(tree.links, ConflictSpec::constant(1.0));
+  const auto g_pow =
+      build_conflict_graph(tree.links, ConflictSpec::power_law(1.0, 0.5));
+  for (std::size_t u = 0; u < tree.links.size(); ++u) {
+    for (const auto v : g_const.neighbors(u)) {
+      EXPECT_TRUE(g_pow.has_edge(u, static_cast<std::size_t>(v)));
+    }
+  }
+  EXPECT_GE(g_pow.num_edges(), g_const.num_edges());
+}
+
+TEST(Builder, NaiveMatchesBruteForcePredicate) {
+  const auto pts = instance::uniform_square(40, 4.0, 3);
+  const auto tree = mst::mst_tree(pts, 0);
+  const auto spec = ConflictSpec::power_law(1.2, 0.6);
+  const auto g = build_conflict_graph(tree.links, spec);
+  for (std::size_t i = 0; i < tree.links.size(); ++i) {
+    for (std::size_t j = i + 1; j < tree.links.size(); ++j) {
+      EXPECT_EQ(g.has_edge(i, j), spec.conflicting(tree.links, i, j));
+    }
+  }
+}
+
+class BucketedEqualsNaive
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BucketedEqualsNaive, OnSeveralFamiliesAndSpecs) {
+  const auto [family, seed] = GetParam();
+  geom::Pointset pts;
+  switch (family) {
+    case 0:
+      pts = instance::uniform_square(120, 8.0, seed);
+      break;
+    case 1:
+      pts = instance::clustered(6, 20, 60.0, 0.4, seed);
+      break;
+    case 2:
+      pts = instance::exponential_chain(16, 1.6);
+      break;
+    case 3:
+      pts = instance::grid(10, 12, 1.0);
+      break;
+    default:
+      FAIL();
+  }
+  const auto tree = mst::mst_tree(pts, 0);
+  for (const auto& spec :
+       {ConflictSpec::constant(1.0), ConflictSpec::constant(3.0),
+        ConflictSpec::power_law(1.0, 0.5),
+        ConflictSpec::logarithmic(1.0, 3.0)}) {
+    const auto naive = build_conflict_graph(tree.links, spec);
+    const auto bucketed = build_conflict_graph_bucketed(tree.links, spec);
+    ASSERT_EQ(naive.num_vertices(), bucketed.num_vertices());
+    EXPECT_EQ(naive.num_edges(), bucketed.num_edges()) << spec.name();
+    for (std::size_t u = 0; u < naive.num_vertices(); ++u) {
+      for (const auto v : naive.neighbors(u)) {
+        EXPECT_TRUE(bucketed.has_edge(u, static_cast<std::size_t>(v)))
+            << spec.name() << " missing edge " << u << "-" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BucketedEqualsNaive,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1ULL, 7ULL, 13ULL)));
+
+TEST(Builder, ExtremeScalesDoNotOverflow) {
+  // Doubly-exponential chain: lengths spanning hundreds of orders of
+  // magnitude must not break the predicate or the builders.
+  const auto chain = instance::doubly_exponential_chain(8, 0.5, 3.0, 1.0);
+  const auto tree = mst::mst_tree(chain.points, 0);
+  for (const auto& spec :
+       {ConflictSpec::constant(1.0), ConflictSpec::power_law(1.0, 0.5),
+        ConflictSpec::logarithmic(1.0, 3.0)}) {
+    const auto g = build_conflict_graph(tree.links, spec);
+    EXPECT_EQ(g.num_vertices(), tree.links.size());
+    const auto gb = build_conflict_graph_bucketed(tree.links, spec);
+    EXPECT_EQ(g.num_edges(), gb.num_edges()) << spec.name();
+  }
+}
+
+TEST(Builder, EmptyAndSingle) {
+  geom::Pointset pts{{0, 0}, {1, 0}};
+  const geom::LinkSet single(pts, {geom::Link{0, 1}});
+  const auto spec = ConflictSpec::constant(1.0);
+  EXPECT_EQ(build_conflict_graph_bucketed(single, spec).num_edges(), 0u);
+  const geom::LinkSet empty(pts, {});
+  EXPECT_EQ(build_conflict_graph_bucketed(empty, spec).num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace wagg::conflict

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "conflict/fgraph.h"
+#include "distributed/distributed.h"
+#include "instance/basic.h"
+#include "mst/tree.h"
+
+namespace wagg::distributed {
+namespace {
+
+DistributedConfig config(std::uint64_t seed = 1) {
+  DistributedConfig cfg;
+  cfg.seed = seed;
+  cfg.spec = conflict::ConflictSpec::constant(2.0);
+  return cfg;
+}
+
+TEST(Distributed, ProducesProperColoring) {
+  const auto pts = instance::uniform_square(120, 8.0, 3);
+  const auto tree = mst::mst_tree(pts, 0);
+  const auto result = distributed_schedule(tree.links, config());
+  EXPECT_TRUE(result.proper);
+  EXPECT_GT(result.schedule_length(), 0u);
+  EXPECT_EQ(result.coloring.color_of.size(), tree.links.size());
+}
+
+TEST(Distributed, DeterministicGivenSeed) {
+  const auto pts = instance::uniform_square(60, 6.0, 5);
+  const auto tree = mst::mst_tree(pts, 0);
+  const auto a = distributed_schedule(tree.links, config(7));
+  const auto b = distributed_schedule(tree.links, config(7));
+  EXPECT_EQ(a.coloring.color_of, b.coloring.color_of);
+  EXPECT_EQ(a.total_rounds, b.total_rounds);
+}
+
+TEST(Distributed, PhasesFollowLengthClasses) {
+  // Exponential chain: every link in its own length class.
+  const auto pts = instance::exponential_chain(10, 2.0);
+  const auto tree = mst::mst_tree(pts, 0);
+  const auto result = distributed_schedule(tree.links, config());
+  EXPECT_EQ(result.num_phases, 9);
+  // Phases are ordered longest class first.
+  for (std::size_t i = 0; i + 1 < result.phases.size(); ++i) {
+    EXPECT_GT(result.phases[i].length_class,
+              result.phases[i + 1].length_class);
+  }
+  // Every phase here has exactly one link and needs exactly one round.
+  for (const auto& phase : result.phases) {
+    EXPECT_EQ(phase.links, 1u);
+    EXPECT_EQ(phase.coloring_rounds, 1u);
+  }
+}
+
+TEST(Distributed, ColoringQualityComparableToCentralized) {
+  const auto pts = instance::uniform_square(150, 10.0, 9);
+  const auto tree = mst::mst_tree(pts, 0);
+  const auto cfg = config(11);
+  const auto result = distributed_schedule(tree.links, cfg);
+  const auto graph = conflict::build_conflict_graph(tree.links, cfg.spec);
+  const auto central =
+      coloring::greedy_color(graph, tree.links.by_decreasing_length());
+  // Randomized distributed coloring wastes at most a small factor.
+  EXPECT_LE(result.schedule_length(),
+            3 * static_cast<std::size_t>(central.num_colors) + 3);
+}
+
+TEST(Distributed, BroadcastCostModelScalesWithColorsAndLogN) {
+  const auto pts = instance::uniform_square(100, 8.0, 13);
+  const auto tree = mst::mst_tree(pts, 0);
+  auto cfg = config();
+  const auto result = distributed_schedule(tree.links, cfg);
+  const double log_n =
+      std::max(1.0, std::log2(static_cast<double>(pts.size())));
+  for (const auto& phase : result.phases) {
+    EXPECT_GE(phase.broadcast_rounds,
+              static_cast<std::size_t>(log_n * log_n));
+  }
+  // Total adds up.
+  std::size_t sum = 0;
+  for (const auto& phase : result.phases) {
+    sum += phase.coloring_rounds + phase.broadcast_rounds;
+  }
+  EXPECT_EQ(sum, result.total_rounds);
+}
+
+TEST(Distributed, Validation) {
+  geom::Pointset pts{{0, 0}, {1, 0}};
+  const geom::LinkSet empty(pts, {});
+  EXPECT_THROW(distributed_schedule(empty, config()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wagg::distributed

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/linkset.h"
+#include "geom/point.h"
+#include "instance/basic.h"
+
+namespace wagg::geom {
+namespace {
+
+TEST(Point, DistanceBasics) {
+  const Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+TEST(Point, DistanceSymmetric) {
+  const Point a{1.5, -2.0}, b{-0.5, 7.25};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Point, MinPairwiseAndDiameter) {
+  const Pointset pts{{0, 0}, {1, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(min_pairwise_distance(pts), 1.0);
+  EXPECT_DOUBLE_EQ(diameter(pts), 10.0);
+}
+
+TEST(Point, MinPairwiseValidation) {
+  EXPECT_THROW((void)min_pairwise_distance({{0, 0}}), std::invalid_argument);
+  EXPECT_THROW((void)diameter({}), std::invalid_argument);
+}
+
+TEST(Point, LinePointsetPlacesOnAxis) {
+  const auto pts = line_pointset({0.0, 2.5, 7.0});
+  ASSERT_EQ(pts.size(), 3u);
+  for (const auto& p : pts) EXPECT_DOUBLE_EQ(p.y, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].x, 2.5);
+}
+
+LinkSet make_two_links() {
+  // Link 0: (0,0) -> (1,0); link 1: (5,0) -> (5,2).
+  Pointset pts{{0, 0}, {1, 0}, {5, 0}, {5, 2}};
+  return LinkSet(pts, {Link{0, 1}, Link{2, 3}});
+}
+
+TEST(LinkSet, LengthsComputed) {
+  const auto ls = make_two_links();
+  EXPECT_DOUBLE_EQ(ls.length(0), 1.0);
+  EXPECT_DOUBLE_EQ(ls.length(1), 2.0);
+  EXPECT_DOUBLE_EQ(ls.min_length(), 1.0);
+  EXPECT_DOUBLE_EQ(ls.max_length(), 2.0);
+  EXPECT_DOUBLE_EQ(ls.delta(), 2.0);
+  EXPECT_NEAR(ls.log2_delta(), 1.0, 1e-12);
+}
+
+TEST(LinkSet, SinrDistanceIsSenderToReceiver) {
+  const auto ls = make_two_links();
+  // d_01 = d(sender 0, receiver 1) = d((0,0),(5,2)).
+  EXPECT_DOUBLE_EQ(ls.sinr_distance(0, 1), std::hypot(5.0, 2.0));
+  // d_10 = d(sender 1, receiver 0) = d((5,0),(1,0)) = 4.
+  EXPECT_DOUBLE_EQ(ls.sinr_distance(1, 0), 4.0);
+  // Diagonal equals the link length.
+  EXPECT_DOUBLE_EQ(ls.sinr_distance(0, 0), ls.length(0));
+}
+
+TEST(LinkSet, LinkDistanceIsMinOverNodePairs) {
+  const auto ls = make_two_links();
+  // Closest pair of endpoints: (1,0) vs (5,0) -> 4.
+  EXPECT_DOUBLE_EQ(ls.link_distance(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(ls.link_distance(1, 0), 4.0);
+}
+
+TEST(LinkSet, SharedNodeDistanceZero) {
+  Pointset pts{{0, 0}, {1, 0}, {2, 0}};
+  const LinkSet ls(pts, {Link{0, 1}, Link{1, 2}});
+  EXPECT_TRUE(ls.shares_node(0, 1));
+  EXPECT_DOUBLE_EQ(ls.link_distance(0, 1), 0.0);
+}
+
+TEST(LinkSet, Validation) {
+  Pointset pts{{0, 0}, {1, 0}};
+  EXPECT_THROW(LinkSet(pts, {Link{0, 0}}), std::invalid_argument);  // self
+  EXPECT_THROW(LinkSet(pts, {Link{0, 2}}), std::invalid_argument);  // range
+  Pointset dup{{0, 0}, {0, 0}};
+  EXPECT_THROW(LinkSet(dup, {Link{0, 1}}), std::invalid_argument);  // zero len
+}
+
+TEST(LinkSet, SubsetKeepsGeometry) {
+  const auto ls = make_two_links();
+  const std::vector<std::size_t> idx{1};
+  const auto sub = ls.subset(idx);
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_DOUBLE_EQ(sub.length(0), 2.0);
+  EXPECT_EQ(sub.num_points(), ls.num_points());
+}
+
+TEST(LinkSet, OrderingsAreInverseAndDeterministic) {
+  Pointset pts{{0, 0}, {1, 0}, {10, 0}, {12, 0}, {20, 0}, {25, 0}};
+  const LinkSet ls(pts, {Link{0, 1}, Link{2, 3}, Link{4, 5}});
+  const auto dec = ls.by_decreasing_length();
+  const auto inc = ls.by_increasing_length();
+  ASSERT_EQ(dec.size(), 3u);
+  EXPECT_EQ(dec[0], 2u);  // length 5
+  EXPECT_EQ(dec[1], 1u);  // length 2
+  EXPECT_EQ(dec[2], 0u);  // length 1
+  EXPECT_EQ(inc[0], 0u);
+  EXPECT_EQ(inc[2], 2u);
+}
+
+TEST(LinkSet, TieBreakByIndex) {
+  Pointset pts{{0, 0}, {1, 0}, {5, 0}, {6, 0}};
+  const LinkSet ls(pts, {Link{0, 1}, Link{2, 3}});  // equal lengths
+  EXPECT_EQ(ls.by_decreasing_length()[0], 0u);
+  EXPECT_EQ(ls.by_increasing_length()[0], 0u);
+}
+
+TEST(LinkSet, LogDeltaSurvivesExtremeScales) {
+  // Lengths 1 and 1e250: delta overflows nothing, log2_delta is finite.
+  Pointset pts{{0, 0}, {1, 0}, {1e260, 0}, {2e260, 0}};
+  Pointset shifted = pts;
+  shifted[3].x = pts[2].x + 1e250;
+  const LinkSet ls(shifted, {Link{0, 1}, Link{2, 3}});
+  EXPECT_NEAR(ls.log2_delta(), 250.0 * std::log2(10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace wagg::geom

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/point.h"
+#include "instance/basic.h"
+#include "instance/lowerbound.h"
+#include "instance/special.h"
+#include "instance/zigzag.h"
+#include "util/logmath.h"
+
+namespace wagg::instance {
+namespace {
+
+TEST(Basic, UniformSquareBoundsAndDeterminism) {
+  const auto a = uniform_square(200, 10.0, 7);
+  const auto b = uniform_square(200, 10.0, 7);
+  const auto c = uniform_square(200, 10.0, 8);
+  ASSERT_EQ(a.size(), 200u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const auto& p : a) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 10.0);
+  }
+}
+
+TEST(Basic, UniformDiskInRadius) {
+  const auto pts = uniform_disk(300, 2.0, 3);
+  ASSERT_EQ(pts.size(), 300u);
+  for (const auto& p : pts) {
+    EXPECT_LE(p.x * p.x + p.y * p.y, 4.0 + 1e-12);
+  }
+}
+
+TEST(Basic, GridShape) {
+  const auto pts = grid(3, 4, 0.5);
+  ASSERT_EQ(pts.size(), 12u);
+  EXPECT_DOUBLE_EQ(geom::min_pairwise_distance(pts), 0.5);
+  EXPECT_DOUBLE_EQ(geom::diameter(pts), std::hypot(1.5, 1.0));
+}
+
+TEST(Basic, ClusteredCounts) {
+  const auto pts = clustered(5, 20, 100.0, 0.5, 11);
+  EXPECT_EQ(pts.size(), 100u);
+}
+
+TEST(Basic, UnitChainGaps) {
+  const auto pts = unit_chain(5);
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pts[i + 1].x - pts[i].x, 1.0);
+  }
+}
+
+TEST(Basic, ExponentialChainGapsGrow) {
+  const auto pts = exponential_chain(6, 2.0);
+  ASSERT_EQ(pts.size(), 6u);
+  for (std::size_t i = 0; i + 2 < pts.size(); ++i) {
+    const double g0 = pts[i + 1].x - pts[i].x;
+    const double g1 = pts[i + 2].x - pts[i + 1].x;
+    EXPECT_DOUBLE_EQ(g1 / g0, 2.0);
+  }
+}
+
+TEST(Basic, ExponentialChainValidation) {
+  EXPECT_THROW(exponential_chain(5, 1.0), std::invalid_argument);
+  EXPECT_THROW(exponential_chain(2000, 2.0), std::overflow_error);
+}
+
+TEST(Basic, Validation) {
+  EXPECT_THROW(uniform_square(5, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(grid(0, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(clustered(2, 2, 1.0, -1.0, 1), std::invalid_argument);
+}
+
+// --- Fig 2: doubly-exponential chain ---------------------------------------
+
+TEST(Fig2, GapsGrowDoublyExponentially) {
+  const auto chain = doubly_exponential_chain(6, 0.5, 3.0, 1.0);
+  const auto& pts = chain.points;
+  ASSERT_EQ(pts.size(), 6u);
+  // Gap exponents grow by 1/tau' = 2 each step: g_(t+1) = g_t^2 / x^...;
+  // precisely g_t = x^(2^(t-1)), so g_(t+1) = g_t^2.
+  for (std::size_t t = 0; t + 2 < pts.size(); ++t) {
+    const double g0 = pts[t + 1].x - pts[t].x;
+    const double g1 = pts[t + 2].x - pts[t + 1].x;
+    EXPECT_NEAR(g1, g0 * g0, g1 * 1e-9) << "gap " << t;
+  }
+  // Smallest gap is x itself.
+  EXPECT_DOUBLE_EQ(pts[1].x - pts[0].x, chain.x);
+  EXPECT_GT(chain.x, 2.0);
+}
+
+TEST(Fig2, TauPrimeIsMin) {
+  const auto a = doubly_exponential_chain(4, 0.25, 3.0, 1.0);
+  const auto b = doubly_exponential_chain(4, 0.75, 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(a.tau_prime, 0.25);
+  EXPECT_DOUBLE_EQ(b.tau_prime, 0.25);
+}
+
+TEST(Fig2, LogDeltaMatchesGapRatio) {
+  const auto chain = doubly_exponential_chain(5, 0.5, 3.0, 1.0);
+  const auto& pts = chain.points;
+  const double g_first = pts[1].x - pts[0].x;
+  const double g_last = pts[4].x - pts[3].x;
+  EXPECT_NEAR(chain.log2_delta, std::log2(g_last / g_first),
+              1e-6 * chain.log2_delta + 1e-9);
+}
+
+TEST(Fig2, SizeCapHonoured) {
+  const std::size_t cap = max_doubly_exponential_size(0.5, 3.0, 1.0);
+  EXPECT_GE(cap, 8u);
+  EXPECT_NO_THROW(doubly_exponential_chain(cap, 0.5, 3.0, 1.0));
+  EXPECT_THROW(doubly_exponential_chain(cap + 1, 0.5, 3.0, 1.0),
+               std::overflow_error);
+}
+
+TEST(Fig2, NumPointsIsThetaLogLogDelta) {
+  // n should track log2(log2(Delta)) within a small additive constant.
+  for (std::size_t n : {5u, 7u, 9u}) {
+    const auto chain = doubly_exponential_chain(n, 0.5, 3.0, 1.0);
+    const double loglog = util::log2_log2_of_log2(chain.log2_delta);
+    EXPECT_NEAR(static_cast<double>(n), loglog, 4.0) << n;
+  }
+}
+
+TEST(Fig2, Validation) {
+  EXPECT_THROW(doubly_exponential_chain(4, 0.0, 3.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(doubly_exponential_chain(4, 1.0, 3.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(doubly_exponential_chain(1, 0.5, 3.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(doubly_exponential_chain(4, 0.5, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+// --- Fig 3: recursive R_t ---------------------------------------------------
+
+TEST(Fig3, BaseCase) {
+  const auto r1 = recursive_rt(1);
+  ASSERT_EQ(r1.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(r1.points[1].x - r1.points[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(r1.log2_delta, 0.0);
+}
+
+TEST(Fig3, LevelTwoStructure) {
+  const auto r2 = recursive_rt(2, 4.0, 32);
+  // k_2 = c / rho(R_1)^alpha = 4 copies of the unit link, then the long link.
+  ASSERT_EQ(r2.copies_per_level.size(), 1u);
+  EXPECT_EQ(r2.copies_per_level[0], 4u);
+  // Nodes: G contributes 1 extra + R' has k+1 nodes (joined copies).
+  EXPECT_EQ(r2.points.size(), 6u);
+  // Positions are sorted and start at 0.
+  EXPECT_DOUBLE_EQ(r2.points.front().x, 0.0);
+  for (std::size_t i = 0; i + 1 < r2.points.size(); ++i) {
+    EXPECT_LT(r2.points[i].x, r2.points[i + 1].x);
+  }
+  // The long link G spans half the instance.
+  const double total = r2.points.back().x;
+  EXPECT_DOUBLE_EQ(r2.points[1].x, total / 2.0);
+}
+
+TEST(Fig3, DeltaGrowsFastWithT) {
+  const auto r2 = recursive_rt(2, 4.0, 16);
+  const auto r3 = recursive_rt(3, 4.0, 16);
+  EXPECT_GT(r3.log2_delta, 2.0 * r2.log2_delta + 1.0);
+}
+
+TEST(Fig3, CapReportedWhenHit) {
+  const auto r3 = recursive_rt(3, 4.0, 8);
+  EXPECT_TRUE(r3.capped);  // k_3 = c / rho(R_2)^3 is astronomically large
+  for (const auto k : r3.copies_per_level) EXPECT_LE(k, 8u);
+}
+
+TEST(Fig3, RhoLineInstance) {
+  // rho of {0,1,2,4}: min over links of gap/right-endpoint:
+  // 1/1, 1/2, 2/4 -> 0.5.
+  geom::Pointset pts = geom::line_pointset({0, 1, 2, 4});
+  EXPECT_DOUBLE_EQ(rho_line_instance(pts), 0.5);
+  EXPECT_THROW((void)rho_line_instance(geom::line_pointset({1, 0})),
+               std::invalid_argument);
+}
+
+TEST(Fig3, Validation) {
+  EXPECT_THROW(recursive_rt(0), std::invalid_argument);
+  EXPECT_THROW(recursive_rt(2, -1.0), std::invalid_argument);
+  EXPECT_THROW(recursive_rt(3, 4.0, 32, 10), std::overflow_error);  // budget
+}
+
+// --- Fig 4: zigzag ----------------------------------------------------------
+
+TEST(Fig4, EightNodeLengthsMatchPaper) {
+  const double tau = 0.3, x = 32.0;
+  const auto inst = zigzag_instance(4, tau, x);
+  ASSERT_EQ(inst.points.size(), 8u);
+  ASSERT_EQ(inst.tree_links.size(), 7u);
+  const double y = std::pow(x, 1.0 / tau);
+  const double z = std::pow(y, 1.0 / tau);
+  const double w = std::pow(z, 1.0 / tau);
+  const double e = 2.0 - tau + tau * tau;
+  EXPECT_NEAR(inst.tree_links.length(0), x, x * 1e-9);
+  EXPECT_NEAR(inst.tree_links.length(1), std::pow(x, e),
+              std::pow(x, e) * 1e-9);  // p
+  EXPECT_NEAR(inst.tree_links.length(2), y, y * 1e-9);
+  EXPECT_NEAR(inst.tree_links.length(3), std::pow(y, e),
+              std::pow(y, e) * 1e-9);  // q
+  EXPECT_NEAR(inst.tree_links.length(4), z, z * 1e-9);
+  EXPECT_NEAR(inst.tree_links.length(5), std::pow(z, e),
+              std::pow(z, e) * 1e-9);  // r
+  EXPECT_NEAR(inst.tree_links.length(6), w, w * 1e-9);
+}
+
+TEST(Fig4, PaperProofDistancesHold) {
+  // The key SINR distances used in the Claim 2 proof, in our layout.
+  const double tau = 0.3, x = 32.0;
+  const auto inst = zigzag_instance(4, tau, x);
+  const auto& ls = inst.tree_links;
+  const double p = ls.length(1), q = ls.length(3), y = ls.length(2);
+  const double z = ls.length(4), r = ls.length(5);
+  // d_21 = d(s_2, r_1) = p (link ids: long 2 is index 2; long 1 is index 0).
+  EXPECT_NEAR(ls.sinr_distance(2, 0), p, p * 1e-9);
+  // d_31 = q - e1 = q - (y - p).
+  EXPECT_NEAR(ls.sinr_distance(4, 0), q - y + p, q * 1e-9);
+  // d_65 = y (short links 6,5 are indices 3,1).
+  EXPECT_NEAR(ls.sinr_distance(3, 1), y, y * 1e-9);
+  // d_75 = z + y - q ~ z.
+  EXPECT_NEAR(ls.sinr_distance(5, 1), z + y - q, z * 1e-9);
+  // d(r_7, r_6) = r - z (the proof's d_3).
+  EXPECT_NEAR(std::abs(ls.receiver_pos(5).x - ls.receiver_pos(3).x), r - z,
+              r * 1e-9);
+}
+
+TEST(Fig4, LongShortPartition) {
+  const auto inst = zigzag_instance(5, 0.3, 16.0);
+  EXPECT_EQ(inst.long_links.size(), 5u);
+  EXPECT_EQ(inst.short_links.size(), 4u);
+  // Longs occupy even path indices.
+  for (std::size_t k = 0; k < inst.long_links.size(); ++k) {
+    EXPECT_EQ(inst.long_links[k], 2 * k);
+  }
+}
+
+TEST(Fig4, MirroredVariantReversesDirections) {
+  const auto fwd = zigzag_instance(3, 0.3, 16.0, false);
+  const auto mir = zigzag_instance(3, 0.7, 16.0, true);
+  EXPECT_EQ(fwd.sink, static_cast<std::int32_t>(fwd.points.size() - 1));
+  EXPECT_EQ(mir.sink, 0);
+  // Mirrored with tau = 0.7 uses exponent 1/(1-tau): same lengths as fwd 0.3.
+  for (std::size_t i = 0; i < fwd.tree_links.size(); ++i) {
+    EXPECT_NEAR(fwd.tree_links.length(i), mir.tree_links.length(i),
+                fwd.tree_links.length(i) * 1e-9);
+  }
+}
+
+TEST(Fig4, TreeSpansAllNodes) {
+  const auto inst = zigzag_instance(4, 0.3, 32.0);
+  std::vector<bool> seen(inst.points.size(), false);
+  for (const auto& link : inst.tree_links.links()) {
+    seen[static_cast<std::size_t>(link.sender)] = true;
+    seen[static_cast<std::size_t>(link.receiver)] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Fig4, OverflowGuard) {
+  const std::size_t cap = max_zigzag_longs(0.3, 32.0);
+  EXPECT_GE(cap, 3u);
+  EXPECT_NO_THROW(zigzag_instance(cap, 0.3, 32.0));
+  EXPECT_THROW(zigzag_instance(cap + 1, 0.3, 32.0), std::overflow_error);
+}
+
+TEST(Fig4, TauThreshold) {
+  const double t = zigzag_tau_threshold();
+  EXPECT_GT(t, 0.33);
+  EXPECT_LT(t, 0.35);
+  // gamma changes sign at the threshold.
+  auto gamma = [](double v) {
+    return 1.0 - 4 * v + 4 * v * v - 3 * v * v * v + v * v * v * v;
+  };
+  EXPECT_GT(gamma(t - 0.01), 0.0);
+  EXPECT_LT(gamma(t + 0.01), 0.0);
+}
+
+// --- Fig 1 and the 5-cycle --------------------------------------------------
+
+TEST(Fig1, Structure) {
+  const auto inst = fig1_instance();
+  ASSERT_EQ(inst.points.size(), 5u);
+  ASSERT_EQ(inst.tree.size(), 4u);
+  ASSERT_EQ(inst.slots.size(), 2u);
+  // All four links have unit length.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(inst.tree.length(i), 1.0);
+  }
+  // Slots partition the links.
+  std::vector<int> count(4, 0);
+  for (const auto& slot : inst.slots) {
+    for (auto l : slot) ++count[l];
+  }
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(Fig1, SlotsShareNoNode) {
+  const auto inst = fig1_instance();
+  for (const auto& slot : inst.slots) {
+    ASSERT_EQ(slot.size(), 2u);
+    EXPECT_FALSE(inst.tree.shares_node(slot[0], slot[1]));
+  }
+}
+
+TEST(FiveCycle, Structure) {
+  const auto inst = five_cycle_instance();
+  ASSERT_EQ(inst.points.size(), 6u);
+  ASSERT_EQ(inst.links.size(), 5u);
+  // Multicolor schedule: 5 slots, each link exactly twice.
+  std::vector<int> count(5, 0);
+  for (const auto& slot : inst.multicolor_slots) {
+    ASSERT_EQ(slot.size(), 2u);
+    for (auto l : slot) ++count[l];
+  }
+  for (int c : count) EXPECT_EQ(c, 2);
+  // Coloring schedule: 3 slots, each link once.
+  std::vector<int> count2(5, 0);
+  for (const auto& slot : inst.coloring_slots) {
+    for (auto l : slot) ++count2[l];
+  }
+  for (int c : count2) EXPECT_EQ(c, 1);
+}
+
+TEST(FiveCycle, AdjacentLinksShareNodes) {
+  const auto inst = five_cycle_instance();
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_TRUE(inst.links.shares_node(i, i + 1));
+  }
+  // e5 and e1 do NOT share a node (v6 is a distinct point near v1).
+  EXPECT_FALSE(inst.links.shares_node(4, 0));
+  // ... but their endpoints nearly coincide.
+  EXPECT_LT(inst.links.link_distance(4, 0), 0.01);
+}
+
+TEST(FiveCycle, Validation) {
+  EXPECT_THROW(five_cycle_instance(0.0), std::invalid_argument);
+  EXPECT_THROW(five_cycle_instance(1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wagg::instance

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "geom/point.h"
+#include "instance/basic.h"
+#include "mst/mst.h"
+#include "mst/tree.h"
+
+namespace wagg::mst {
+namespace {
+
+TEST(UnionFind, MergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_components(), 4u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_components(), 2u);
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.find(1), uf.find(2));
+  EXPECT_EQ(uf.num_components(), 1u);
+}
+
+TEST(Mst, TwoPoints) {
+  const geom::Pointset pts{{0, 0}, {1, 1}};
+  const auto edges = euclidean_mst(pts);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(is_spanning_tree(2, edges));
+}
+
+TEST(Mst, MatchesKruskalWeightOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto pts = instance::uniform_square(60, 10.0, seed);
+    const auto prim = euclidean_mst(pts);
+    const auto kruskal = kruskal_mst(pts);
+    EXPECT_TRUE(is_spanning_tree(pts.size(), prim));
+    EXPECT_TRUE(is_spanning_tree(pts.size(), kruskal));
+    EXPECT_NEAR(total_weight(pts, prim), total_weight(pts, kruskal), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Mst, LineMstIsAdjacentPairs) {
+  const auto pts = geom::line_pointset({5.0, 1.0, 3.0, 0.0});
+  const auto edges = line_mst(pts);
+  ASSERT_EQ(edges.size(), 3u);
+  // Edges connect sorted neighbours: (3,1), (1,2), (2,0) by index.
+  const auto weight = total_weight(pts, edges);
+  EXPECT_DOUBLE_EQ(weight, 5.0);
+  EXPECT_TRUE(is_spanning_tree(4, edges));
+}
+
+TEST(Mst, LineMstMatchesEuclideanOnLine) {
+  const auto pts = instance::exponential_chain(12, 1.7);
+  EXPECT_NEAR(total_weight(pts, line_mst(pts)),
+              total_weight(pts, euclidean_mst(pts)), 1e-9);
+}
+
+TEST(Mst, LineMstRejectsPlanarInput) {
+  EXPECT_THROW(line_mst({{0, 0}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(Mst, GridMstWeightIsMinimal) {
+  // 3x3 unit grid: MST weight = 8 (all unit edges).
+  const auto pts = instance::grid(3, 3, 1.0);
+  EXPECT_NEAR(total_weight(pts, euclidean_mst(pts)), 8.0, 1e-12);
+}
+
+TEST(Mst, KFoldProducesMoreEdges) {
+  const auto pts = instance::uniform_square(30, 10.0, 5);
+  const auto one = k_fold_mst(pts, 1);
+  const auto two = k_fold_mst(pts, 2);
+  EXPECT_EQ(one.size(), pts.size() - 1);
+  EXPECT_EQ(two.size(), 2 * (pts.size() - 1));
+  // Rounds are edge-disjoint.
+  std::set<std::pair<int, int>> seen;
+  for (const auto& e : two) {
+    const auto key = std::minmax(e.u, e.v);
+    EXPECT_TRUE(seen.emplace(key.first, key.second).second);
+  }
+  // First round equals the plain MST weight.
+  EXPECT_NEAR(total_weight(pts, one),
+              total_weight(pts, kruskal_mst(pts)), 1e-9);
+}
+
+TEST(Mst, IsSpanningTreeRejectsCyclesAndForests) {
+  EXPECT_FALSE(is_spanning_tree(3, std::vector<Edge>{{0, 1}, {0, 1}}));  // dup
+  EXPECT_FALSE(is_spanning_tree(4, std::vector<Edge>{{0, 1}, {2, 3}}));  // cnt
+  std::vector<Edge> cycle{{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(is_spanning_tree(4, cycle));
+  std::vector<Edge> tree{{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_TRUE(is_spanning_tree(4, tree));
+}
+
+TEST(Mst, Validation) {
+  EXPECT_THROW(euclidean_mst({{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(k_fold_mst({{0, 0}, {1, 0}}, 0), std::invalid_argument);
+}
+
+TEST(Tree, OrientationBasics) {
+  //   0 - 1 - 2
+  //       |
+  //       3
+  const geom::Pointset pts{{0, 0}, {1, 0}, {2, 0}, {1, 1}};
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {1, 3}};
+  const auto tree = orient_toward_sink(pts, edges, 0);
+  EXPECT_EQ(tree.sink, 0);
+  EXPECT_EQ(tree.parent[0], -1);
+  EXPECT_EQ(tree.parent[1], 0);
+  EXPECT_EQ(tree.parent[2], 1);
+  EXPECT_EQ(tree.parent[3], 1);
+  EXPECT_EQ(tree.depth[0], 0);
+  EXPECT_EQ(tree.depth[2], 2);
+  EXPECT_EQ(tree.height(), 2);
+  ASSERT_EQ(tree.links.size(), 3u);
+  // Every non-sink node's link points to its parent.
+  for (std::size_t v = 1; v < 4; ++v) {
+    const auto li = tree.link_of_node[v];
+    ASSERT_GE(li, 0);
+    EXPECT_EQ(tree.links.link(static_cast<std::size_t>(li)).sender,
+              static_cast<std::int32_t>(v));
+    EXPECT_EQ(tree.links.link(static_cast<std::size_t>(li)).receiver,
+              tree.parent[v]);
+  }
+  EXPECT_EQ(tree.children[1].size(), 2u);
+  EXPECT_EQ(tree.children[0].size(), 1u);
+}
+
+TEST(Tree, RejectsBadInput) {
+  const geom::Pointset pts{{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<Edge> not_tree{{0, 1}};
+  EXPECT_THROW(orient_toward_sink(pts, not_tree, 0), std::invalid_argument);
+  const std::vector<Edge> tree{{0, 1}, {1, 2}};
+  EXPECT_THROW(orient_toward_sink(pts, tree, 5), std::invalid_argument);
+}
+
+TEST(Tree, MstTreeProperties) {
+  const auto pts = instance::uniform_square(100, 10.0, 9);
+  const auto tree = mst_tree(pts, 0);
+  EXPECT_EQ(tree.num_nodes(), 100u);
+  EXPECT_EQ(tree.links.size(), 99u);
+  // Depths are consistent with parents.
+  for (std::size_t v = 0; v < 100; ++v) {
+    if (tree.parent[v] >= 0) {
+      EXPECT_EQ(tree.depth[v],
+                tree.depth[static_cast<std::size_t>(tree.parent[v])] + 1);
+    }
+  }
+}
+
+TEST(Tree, PairingTreeLogHeight) {
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    const auto pts = instance::uniform_square(128, 10.0, seed);
+    const auto pt = pairing_tree(pts, 0);
+    EXPECT_EQ(pt.tree.links.size(), 127u);
+    // Matching halves the active set each level: ~log2(128) = 7 levels.
+    EXPECT_LE(pt.num_levels, 9);
+    EXPECT_GE(pt.num_levels, 7);
+    // Levels partition the links, each level at most half the prior nodes.
+    ASSERT_EQ(pt.level_of_link.size(), 127u);
+    std::vector<int> per_level(static_cast<std::size_t>(pt.num_levels), 0);
+    for (auto lv : pt.level_of_link) {
+      ASSERT_GE(lv, 0);
+      ASSERT_LT(lv, pt.num_levels);
+      ++per_level[static_cast<std::size_t>(lv)];
+    }
+    EXPECT_EQ(per_level[0], 64);
+    // The tree height is bounded by the number of levels... loosely.
+    EXPECT_LE(pt.tree.height(), 2 * pt.num_levels + 1);
+  }
+}
+
+TEST(Tree, PairingTreeKeepsSink) {
+  const auto pts = instance::uniform_square(33, 10.0, 4);
+  const auto pt = pairing_tree(pts, 17);
+  EXPECT_EQ(pt.tree.sink, 17);
+  EXPECT_EQ(pt.tree.parent[17], -1);
+}
+
+}  // namespace
+}  // namespace wagg::mst

@@ -1,0 +1,342 @@
+// Cross-module tests pinning the paper's claims (the executable versions of
+// Theorems 1-4 and Propositions 1-3). Each test states the claim it checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/audit.h"
+#include "core/planner.h"
+#include "instance/basic.h"
+#include "instance/lowerbound.h"
+#include "instance/special.h"
+#include "instance/zigzag.h"
+#include "mst/tree.h"
+#include "schedule/verify.h"
+#include "sinr/interference.h"
+#include "sinr/power.h"
+#include "util/logmath.h"
+#include "util/rng.h"
+
+namespace wagg {
+namespace {
+
+sinr::SinrParams params(double alpha = 3.0, double beta = 1.0) {
+  sinr::SinrParams p;
+  p.alpha = alpha;
+  p.beta = beta;
+  return p;
+}
+
+// --- Lemma 1: MST sparsity I(i, T_i^+) = O(1) -------------------------------
+
+class Lemma1OnFamilies
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(Lemma1OnFamilies, OutgoingInterferenceToLongerLinksBounded) {
+  const auto [family, seed] = GetParam();
+  geom::Pointset pts;
+  switch (family) {
+    case 0:
+      pts = instance::uniform_square(250, 12.0, seed);
+      break;
+    case 1:
+      pts = instance::clustered(10, 25, 200.0, 0.3, seed);
+      break;
+    case 2:
+      pts = instance::exponential_chain(26, 1.4);
+      break;
+    case 3:
+      pts = instance::grid(16, 16, 1.0);
+      break;
+    case 4:
+      pts = instance::uniform_disk(250, 10.0, seed);
+      break;
+    default:
+      FAIL();
+  }
+  const auto tree = mst::mst_tree(pts, 0);
+  // The paper proves an absolute constant. Measured: ~6.7 for uniform
+  // deployments, ~15.3 for grids (equal-length ties put every link in
+  // T_i^+), flat in n. Assert family-appropriate ceilings.
+  const double ceiling = family == 3 ? 18.0 : 10.0;
+  EXPECT_LT(sinr::lemma1_statistic(tree.links, 3.0), ceiling);
+  // Sanity-check the statistic itself is not vacuous.
+  EXPECT_GT(sinr::lemma1_statistic(tree.links, 3.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Lemma1OnFamilies,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(2ULL, 6ULL)));
+
+// --- Theorem 1 / Corollary 1: schedule lengths ------------------------------
+
+TEST(Theorem1, GlobalPowerSchedulesRandomInstancesInFewSlots) {
+  // Cor 1: O(log* n) slots with global power control, w.h.p. log*(4096) = 4;
+  // with constants, anything below ~20 demonstrates "nearly constant".
+  core::PlannerConfig cfg;
+  cfg.power_mode = core::PowerMode::kGlobal;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto pts = instance::uniform_square(512, 100.0, seed);
+    const auto plan = core::plan_aggregation(pts, cfg);
+    EXPECT_TRUE(plan.verified());
+    EXPECT_LE(plan.schedule().length(), 20u) << "seed " << seed;
+  }
+}
+
+TEST(Theorem1, ObliviousPowerWithinLogLogFactor) {
+  core::PlannerConfig cfg;
+  cfg.power_mode = core::PowerMode::kOblivious;
+  cfg.tau = 0.5;
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    const auto pts = instance::uniform_square(512, 100.0, seed);
+    const auto plan = core::plan_aggregation(pts, cfg);
+    EXPECT_TRUE(plan.verified());
+    // log log Delta is ~4-5 here; allow generous constants.
+    EXPECT_LE(plan.schedule().length(), 40u) << "seed " << seed;
+  }
+}
+
+TEST(Theorem1, ExponentialChainGlobalBeatsUniformAsymptotically) {
+  // On the exponential chain uniform power degenerates (Omega(n) slots)
+  // while global power control stays polylog — the paper's headline gap.
+  const std::size_t n = 48;
+  const auto pts = instance::exponential_chain(n, 2.0);
+  core::PlannerConfig uni;
+  uni.power_mode = core::PowerMode::kUniform;
+  core::PlannerConfig glob;
+  glob.power_mode = core::PowerMode::kGlobal;
+  const auto plan_uni = core::plan_aggregation(pts, uni);
+  const auto plan_glob = core::plan_aggregation(pts, glob);
+  ASSERT_TRUE(plan_uni.verified());
+  ASSERT_TRUE(plan_glob.verified());
+  // Uniform needs a constant fraction of n; global stays far below.
+  EXPECT_GE(plan_uni.schedule().length(), n / 3);
+  EXPECT_LE(plan_glob.schedule().length(), n / 3);
+  EXPECT_LT(plan_glob.schedule().length() * 2,
+            plan_uni.schedule().length());
+}
+
+// --- Proposition 1 / Fig 2: oblivious lower bound ---------------------------
+
+class Prop1Taus : public ::testing::TestWithParam<double> {};
+
+TEST_P(Prop1Taus, NoTwoLinksCofeasibleOnDoublyExponentialChain) {
+  const double tau = GetParam();
+  const auto prm = params(3.0, 1.0);
+  const std::size_t n = std::min<std::size_t>(
+      8, instance::max_doubly_exponential_size(tau, prm.alpha, prm.beta));
+  const auto chain =
+      instance::doubly_exponential_chain(n, tau, prm.alpha, prm.beta);
+  const auto tree = mst::mst_tree(chain.points, 0);
+  const auto power = sinr::oblivious_power(tree.links, tau, prm);
+  const auto oracle = schedule::fixed_power_oracle(tree.links, prm, power);
+  // The paper's Sec 4.1 argument: every pair of links on this pointset is
+  // P_tau-infeasible, regardless of orientation. Our MST orients links one
+  // way; check all pairs.
+  EXPECT_EQ(analysis::count_cofeasible_pairs(tree.links, oracle), 0u);
+  // Hence every aggregation schedule needs n-1 slots: rate Theta(1/loglogD).
+  const auto bound = analysis::min_slots_lower_bound(tree.links, oracle);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(*bound, static_cast<int>(tree.links.size()));
+  // And n-1 tracks loglog Delta.
+  const double loglog = util::log2_log2_of_log2(chain.log2_delta);
+  EXPECT_NEAR(static_cast<double>(n), loglog, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, Prop1Taus,
+                         ::testing::Values(0.25, 0.4, 0.5, 0.6, 0.75));
+
+TEST(Prop1, ReversedOrientationAlsoInfeasible) {
+  const auto prm = params(3.0, 1.0);
+  const auto chain = instance::doubly_exponential_chain(6, 0.5, 3.0, 1.0);
+  // Orient all links right-to-left instead.
+  std::vector<geom::Link> links;
+  for (std::size_t i = 0; i + 1 < chain.points.size(); ++i) {
+    links.push_back(geom::Link{static_cast<std::int32_t>(i + 1),
+                               static_cast<std::int32_t>(i)});
+  }
+  const geom::LinkSet ls(chain.points, links);
+  const auto power = sinr::oblivious_power(ls, 0.5, prm);
+  const auto oracle = schedule::fixed_power_oracle(ls, prm, power);
+  EXPECT_EQ(analysis::count_cofeasible_pairs(ls, oracle), 0u);
+}
+
+// --- Theorem 4 / Fig 3: MST lower bound under arbitrary power ---------------
+
+TEST(Theorem4, RtNeedsMoreSlotsAsTGrows) {
+  const auto prm = params(3.0, 1.0);
+  core::PlannerConfig cfg;
+  cfg.power_mode = core::PowerMode::kGlobal;
+  cfg.sinr = prm;
+  std::vector<std::size_t> lengths;
+  for (int t = 1; t <= 3; ++t) {
+    const auto rt = instance::recursive_rt(t, 4.0, 12, 4000);
+    const auto plan = core::plan_aggregation(rt.points, cfg);
+    ASSERT_TRUE(plan.verified());
+    lengths.push_back(plan.schedule().length());
+    // The exact lower bound for any coloring schedule is at least t on these
+    // instances (pairwise infeasibility alone shows this for small t).
+    if (rt.points.size() <= 14) {
+      const auto oracle = schedule::power_control_oracle(plan.tree.links, prm);
+      const auto bound =
+          analysis::min_slots_lower_bound(plan.tree.links, oracle);
+      ASSERT_TRUE(bound.has_value());
+      EXPECT_GE(*bound, t);
+    }
+  }
+  // Monotone growth with t.
+  EXPECT_LT(lengths[0], lengths[2]);
+}
+
+TEST(Theorem4, DeltaGrowsTowerLikeSoTIsLogStar) {
+  // log2 Delta(R_t) should grow at least geometrically in t, so that
+  // t = O(log* Delta) with small constants.
+  double prev = 0.0;
+  for (int t = 2; t <= 4; ++t) {
+    const auto rt = instance::recursive_rt(t, 4.0, 12, 100000);
+    EXPECT_GT(rt.log2_delta, 1.5 * prev);
+    prev = rt.log2_delta;
+  }
+}
+
+// --- Claim 2 / Proposition 3 / Fig 4: MST sub-optimality --------------------
+
+TEST(Claim2, ZigzagTwoSlotScheduleIsPtauFeasible) {
+  const double tau = 0.3;
+  const auto prm = params(3.0, 1.0);
+  const auto inst = instance::zigzag_instance(4, tau, 32.0);
+  const auto power = sinr::oblivious_power(inst.tree_links, tau, prm);
+  // Claim 2: the long links form one feasible slot, the shorts another.
+  EXPECT_TRUE(sinr::is_feasible(inst.tree_links, inst.long_links, prm, power));
+  EXPECT_TRUE(sinr::is_feasible(inst.tree_links, inst.short_links, prm, power));
+}
+
+TEST(Claim2, HoldsForSmallerTauAndMirrored) {
+  const auto prm = params(3.0, 1.0);
+  for (double tau : {0.2, 0.25, 0.3}) {
+    const auto inst = instance::zigzag_instance(3, tau, 64.0);
+    const auto power = sinr::oblivious_power(inst.tree_links, tau, prm);
+    EXPECT_TRUE(
+        sinr::is_feasible(inst.tree_links, inst.long_links, prm, power))
+        << tau;
+    EXPECT_TRUE(
+        sinr::is_feasible(inst.tree_links, inst.short_links, prm, power))
+        << tau;
+  }
+  // Mirrored variant for tau >= 3/5 (here 0.7 mirrors 0.3).
+  const auto mir = instance::zigzag_instance(3, 0.7, 64.0, true);
+  const auto power = sinr::oblivious_power(mir.tree_links, 0.7, prm);
+  EXPECT_TRUE(sinr::is_feasible(mir.tree_links, mir.long_links, prm, power));
+  EXPECT_TRUE(sinr::is_feasible(mir.tree_links, mir.short_links, prm, power));
+}
+
+TEST(Claim2, ReproductionNoteTauPointFourShortSlotInfeasible) {
+  // The paper claims tau in (0, 2/5]; numerically gamma(tau) < 0 already at
+  // tau = 0.4 (threshold ~0.3403) and the short slot is infeasible for every
+  // x we can represent. Pin this reproduction finding.
+  EXPECT_LT(instance::zigzag_tau_threshold(), 0.4);
+  const auto prm = params(3.0, 1.0);
+  for (double x : {16.0, 64.0, 256.0}) {
+    const auto inst = instance::zigzag_instance(4, 0.4, x);
+    const auto power = sinr::oblivious_power(inst.tree_links, 0.4, prm);
+    EXPECT_FALSE(
+        sinr::is_feasible(inst.tree_links, inst.short_links, prm, power))
+        << x;
+  }
+}
+
+TEST(Prop3, MstOfZigzagPointsNeedsLinearSlots) {
+  const double tau = 0.3;
+  const auto prm = params(3.0, 1.0);
+  const auto inst = instance::zigzag_instance(4, tau, 32.0);
+  const auto mst_links = mst::mst_tree(inst.points, inst.sink).links;
+  const auto power = sinr::oblivious_power(mst_links, tau, prm);
+  const auto oracle = schedule::fixed_power_oracle(mst_links, prm, power);
+  // The MST contains the doubly-exponential gap chain: no two links
+  // cofeasible under P_tau.
+  EXPECT_EQ(analysis::count_cofeasible_pairs(mst_links, oracle), 0u);
+  const auto bound = analysis::min_slots_lower_bound(mst_links, oracle);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(*bound, static_cast<int>(mst_links.size()));
+  // Meanwhile the zigzag tree needs only 2 slots (Claim2 tests above):
+  // a Theta(n) separation between MST and the best spanning tree.
+  EXPECT_GE(*bound, 7);
+}
+
+// --- Proposition 2: MST is optimal on the line for P_0 / P_1 ----------------
+
+TEST(Prop2, LineMstSlotsNeverWorseThanRandomTreesUnderUniformPower) {
+  // Compare the MST against random alternative spanning trees on random
+  // line instances: with P_0 the MST schedule (after repair, i.e. exact)
+  // should be within a constant factor — here we check it is simply no
+  // longer than any sampled alternative.
+  util::Rng rng(5);
+  const auto prm = params(3.0, 3.0);
+  core::PlannerConfig cfg;
+  cfg.power_mode = core::PowerMode::kUniform;
+  cfg.sinr = prm;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto pts = instance::uniform_line(12, 100.0, 100 + trial);
+    const auto mst_plan = core::plan_aggregation(pts, cfg);
+    ASSERT_TRUE(mst_plan.verified());
+    // Random spanning tree: random parent among later-sorted nodes.
+    std::vector<std::size_t> order(pts.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pts[a].x < pts[b].x;
+    });
+    std::vector<mst::Edge> edges;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const std::size_t parent = rng.below(i);
+      edges.push_back(mst::Edge{static_cast<std::int32_t>(order[parent]),
+                                static_cast<std::int32_t>(order[i])});
+    }
+    const auto alt_tree = mst::orient_toward_sink(
+        pts, edges, static_cast<std::int32_t>(order[0]));
+    const auto alt = core::schedule_links(alt_tree.links, cfg);
+    EXPECT_TRUE(alt.verification.ok());
+    EXPECT_LE(mst_plan.schedule().length(), alt.schedule.length())
+        << "trial " << trial;
+  }
+}
+
+// --- Fig 1: worked example held by the scheduler itself ---------------------
+
+TEST(Fig1, BothSlotsFeasibleUnderUniformPower) {
+  const auto inst = instance::fig1_instance();
+  const auto prm = params(3.0, 2.0);
+  const auto power = sinr::uniform_power(inst.tree, prm);
+  for (const auto& slot : inst.slots) {
+    EXPECT_TRUE(sinr::is_feasible(inst.tree, slot, prm, power));
+  }
+  // And the two-slot schedule verifies end to end.
+  schedule::Schedule s;
+  s.slots = inst.slots;
+  const auto oracle = schedule::fixed_power_oracle(inst.tree, prm, power);
+  EXPECT_TRUE(schedule::verify_schedule(inst.tree, s, oracle).ok());
+}
+
+// --- Remark 2: k-fold MST keeps the sparsity statistic moderate -------------
+
+TEST(Remark2, KFoldMstLemma1StatGrowsSlowly) {
+  const auto pts = instance::uniform_square(120, 10.0, 3);
+  const auto one = mst::k_fold_mst(pts, 1);
+  const auto three = mst::k_fold_mst(pts, 3);
+  auto to_links = [&](const std::vector<mst::Edge>& edges) {
+    std::vector<geom::Link> links;
+    for (const auto& e : edges) links.push_back(geom::Link{e.u, e.v});
+    return geom::LinkSet(pts, links);
+  };
+  const double stat1 = sinr::lemma1_statistic(to_links(one), 3.0);
+  const double stat3 = sinr::lemma1_statistic(to_links(three), 3.0);
+  EXPECT_LT(stat1, 8.0);
+  // k-connected structures pay more interference but stay bounded.
+  EXPECT_LT(stat3, 60.0);
+  EXPECT_GE(stat3, stat1 * 0.9);
+}
+
+}  // namespace
+}  // namespace wagg

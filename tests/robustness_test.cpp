@@ -1,0 +1,133 @@
+// Model-parameter robustness: the pipeline must produce verified schedules
+// across path-loss exponents, SINR thresholds, noise levels and conflict
+// constants — the theory's O(.) bounds hide these constants, the library
+// must not.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/planner.h"
+#include "instance/basic.h"
+#include "mst/tree.h"
+#include "schedule/simulator.h"
+#include "sinr/interference.h"
+
+namespace wagg {
+namespace {
+
+class AlphaBetaSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AlphaBetaSweep, AllModesVerifyAndSimulate) {
+  const auto [alpha, beta] = GetParam();
+  const auto pts = instance::uniform_square(90, 9.0, 17);
+  for (const auto mode :
+       {core::PowerMode::kUniform, core::PowerMode::kOblivious,
+        core::PowerMode::kGlobal}) {
+    core::PlannerConfig cfg;
+    cfg.power_mode = mode;
+    cfg.sinr.alpha = alpha;
+    cfg.sinr.beta = beta;
+    const auto plan = core::plan_aggregation(pts, cfg);
+    EXPECT_TRUE(plan.verified())
+        << core::to_string(mode) << " alpha=" << alpha << " beta=" << beta;
+    // Harder SINR regimes may need more slots but never a broken schedule.
+    schedule::SimulationConfig sim;
+    sim.num_frames = 4;
+    sim.generation_period = plan.schedule().length();
+    const auto rep =
+        schedule::simulate_aggregation(plan.tree, plan.schedule(), sim);
+    EXPECT_TRUE(rep.all_frames_completed);
+    EXPECT_TRUE(rep.aggregates_correct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, AlphaBetaSweep,
+    ::testing::Combine(::testing::Values(2.5, 3.0, 4.0, 6.0),
+                       ::testing::Values(0.5, 1.0, 4.0)));
+
+TEST(AlphaBetaSweep, HigherBetaNeverShortensSchedules) {
+  const auto pts = instance::uniform_square(120, 9.0, 23);
+  core::PlannerConfig cfg;
+  cfg.power_mode = core::PowerMode::kGlobal;
+  std::size_t prev = 0;
+  for (double beta : {0.5, 1.0, 2.0, 8.0}) {
+    cfg.sinr.beta = beta;
+    const auto plan = core::plan_aggregation(pts, cfg);
+    ASSERT_TRUE(plan.verified()) << beta;
+    EXPECT_GE(plan.schedule().length() + 1, prev) << beta;  // +1: repair noise
+    prev = plan.schedule().length();
+  }
+}
+
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, InterferenceLimitedMarginsHold) {
+  const double noise = GetParam();
+  const auto pts = instance::uniform_square(70, 8.0, 29);
+  for (const auto mode :
+       {core::PowerMode::kUniform, core::PowerMode::kOblivious,
+        core::PowerMode::kGlobal}) {
+    core::PlannerConfig cfg;
+    cfg.power_mode = mode;
+    cfg.sinr.noise = noise;
+    cfg.sinr.epsilon = 0.5;
+    const auto plan = core::plan_aggregation(pts, cfg);
+    EXPECT_TRUE(plan.verified())
+        << core::to_string(mode) << " noise=" << noise;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, NoiseSweep,
+                         ::testing::Values(0.0, 1e-6, 1e-3, 0.1));
+
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, RepairAbsorbsAnyConflictConstant) {
+  // gamma far too small (many infeasible color classes) or large (wastefully
+  // long schedules): the output must stay verified either way.
+  const double gamma = GetParam();
+  const auto pts = instance::uniform_square(100, 9.0, 31);
+  for (const auto mode :
+       {core::PowerMode::kOblivious, core::PowerMode::kGlobal}) {
+    core::PlannerConfig cfg;
+    cfg.power_mode = mode;
+    cfg.gamma = gamma;
+    const auto plan = core::plan_aggregation(pts, cfg);
+    EXPECT_TRUE(plan.verified()) << core::to_string(mode) << " g=" << gamma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweep,
+                         ::testing::Values(0.25, 1.0, 4.0, 8.0));
+
+TEST(AlphaSweep, Lemma1StatDropsWithAlpha) {
+  // Larger path-loss exponents attenuate interference faster, so the MST
+  // sparsity statistic decreases monotonically in alpha.
+  const auto pts = instance::uniform_square(200, 10.0, 37);
+  const auto tree = mst::mst_tree(pts, 0);
+  double prev = 1e9;
+  for (double alpha : {2.5, 3.0, 4.0, 5.0, 6.0}) {
+    const double stat = sinr::lemma1_statistic(tree.links, alpha);
+    EXPECT_LT(stat, prev) << alpha;
+    prev = stat;
+  }
+}
+
+TEST(DeterminismSweep, PlansAreReproducible) {
+  const auto pts = instance::uniform_square(100, 9.0, 41);
+  for (const auto mode :
+       {core::PowerMode::kUniform, core::PowerMode::kOblivious,
+        core::PowerMode::kGlobal}) {
+    core::PlannerConfig cfg;
+    cfg.power_mode = mode;
+    const auto a = core::plan_aggregation(pts, cfg);
+    const auto b = core::plan_aggregation(pts, cfg);
+    EXPECT_EQ(a.schedule().slots, b.schedule().slots) << core::to_string(mode);
+  }
+}
+
+}  // namespace
+}  // namespace wagg

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "geom/linkset.h"
+#include "instance/basic.h"
+#include "instance/special.h"
+#include "mst/tree.h"
+#include "schedule/repair.h"
+#include "schedule/schedule.h"
+#include "schedule/verify.h"
+#include "sinr/power.h"
+
+namespace wagg::schedule {
+namespace {
+
+sinr::SinrParams params(double alpha = 3.0, double beta = 1.0) {
+  sinr::SinrParams p;
+  p.alpha = alpha;
+  p.beta = beta;
+  return p;
+}
+
+TEST(Schedule, RatesAndCounts) {
+  Schedule s;
+  s.slots = {{0, 1}, {2}, {0}};
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_EQ(s.total_transmissions(), 4u);
+  EXPECT_NEAR(s.coloring_rate(), 1.0 / 3.0, 1e-12);
+  // Link 0 appears twice, links 1, 2 once: min rate = 1/3.
+  EXPECT_NEAR(min_link_rate(s, 3), 1.0 / 3.0, 1e-12);
+  // With a missing link the rate is 0.
+  EXPECT_DOUBLE_EQ(min_link_rate(s, 4), 0.0);
+}
+
+TEST(Schedule, PartitionAndCoverage) {
+  Schedule good;
+  good.slots = {{0, 2}, {1}};
+  EXPECT_TRUE(covers_all_links(good, 3));
+  EXPECT_TRUE(is_partition(good, 3));
+  Schedule repeat;
+  repeat.slots = {{0, 2}, {1, 0}};
+  EXPECT_TRUE(covers_all_links(repeat, 3));
+  EXPECT_FALSE(is_partition(repeat, 3));
+  Schedule missing;
+  missing.slots = {{0}};
+  EXPECT_FALSE(covers_all_links(missing, 2));
+}
+
+TEST(Schedule, FromColoring) {
+  coloring::Coloring c;
+  c.color_of = {0, 1, 0};
+  c.num_colors = 2;
+  const auto s = from_coloring(c);
+  ASSERT_EQ(s.length(), 2u);
+  EXPECT_EQ(s.slots[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(s.slots[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(Schedule, EmptyScheduleRateThrows) {
+  Schedule s;
+  EXPECT_THROW((void)s.coloring_rate(), std::logic_error);
+}
+
+geom::LinkSet chain_links(std::size_t n) {
+  return mst::mst_tree(instance::unit_chain(n), 0).links;
+}
+
+TEST(Verify, FixedPowerOracleFindsInfeasibleSlot) {
+  const auto links = chain_links(5);  // 4 unit links in a row
+  const auto prm = params(3.0, 2.0);
+  const auto oracle =
+      fixed_power_oracle(links, prm, sinr::uniform_power(links, prm));
+  Schedule bad;
+  bad.slots = {{0, 1, 2, 3}};  // neighbours share nodes: infeasible
+  const auto rep = verify_schedule(links, bad, oracle);
+  EXPECT_FALSE(rep.all_slots_feasible);
+  EXPECT_TRUE(rep.covers_all_links);
+  EXPECT_FALSE(rep.ok());
+  ASSERT_EQ(rep.infeasible_slots.size(), 1u);
+  EXPECT_EQ(rep.infeasible_slots[0], 0u);
+}
+
+TEST(Verify, AcceptsFeasibleSchedule) {
+  const auto links = chain_links(5);
+  const auto prm = params(3.0, 2.0);
+  const auto oracle =
+      fixed_power_oracle(links, prm, sinr::uniform_power(links, prm));
+  Schedule one_at_a_time;
+  one_at_a_time.slots = {{0}, {1}, {2}, {3}};
+  EXPECT_TRUE(verify_schedule(links, one_at_a_time, oracle).ok());
+}
+
+TEST(Verify, PowerControlOracleAcceptsPairsUniformCannot) {
+  // Nested links: short inside the shadow of long. Uniform fails, power
+  // control succeeds.
+  geom::Pointset pts{{0, 0}, {16, 0}, {20, 0}, {21, 0}};
+  const geom::LinkSet ls(pts, {geom::Link{0, 1}, geom::Link{3, 2}});
+  const auto prm = params(3.0, 2.0);
+  const std::vector<std::size_t> both{0, 1};
+  EXPECT_FALSE(fixed_power_oracle(ls, prm, sinr::uniform_power(ls, prm))(both));
+  EXPECT_TRUE(power_control_oracle(ls, prm)(both));
+}
+
+TEST(Repair, SplitsInfeasibleSlotIntoFeasibleOnes) {
+  const auto links = chain_links(6);
+  const auto prm = params(3.0, 2.0);
+  const auto oracle =
+      fixed_power_oracle(links, prm, sinr::uniform_power(links, prm));
+  Schedule everything;
+  everything.slots = {{0, 1, 2, 3, 4}};
+  const auto repaired = repair_schedule(links, everything, oracle);
+  EXPECT_EQ(repaired.slots_split, 1u);
+  EXPECT_EQ(repaired.length_before, 1u);
+  EXPECT_GT(repaired.length_after, 1u);
+  const auto rep = verify_schedule(links, repaired.schedule, oracle);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(is_partition(repaired.schedule, links.size()));
+}
+
+TEST(Repair, LeavesFeasibleSlotsUntouched) {
+  const auto links = chain_links(4);
+  const auto prm = params(3.0, 2.0);
+  const auto oracle =
+      fixed_power_oracle(links, prm, sinr::uniform_power(links, prm));
+  Schedule fine;
+  fine.slots = {{0}, {1}, {2}};
+  const auto repaired = repair_schedule(links, fine, oracle);
+  EXPECT_EQ(repaired.slots_split, 0u);
+  EXPECT_EQ(repaired.schedule.slots, fine.slots);
+}
+
+TEST(Repair, PreservesMultiplicity) {
+  // Multicolor schedules keep their per-link multiplicities through repair.
+  const auto links = chain_links(4);
+  const auto prm = params(3.0, 2.0);
+  const auto oracle =
+      fixed_power_oracle(links, prm, sinr::uniform_power(links, prm));
+  Schedule multi;
+  multi.slots = {{0, 1, 2}, {0}};
+  const auto repaired = repair_schedule(links, multi, oracle);
+  std::vector<int> count(3, 0);
+  for (const auto& slot : repaired.schedule.slots) {
+    for (auto l : slot) ++count[l];
+  }
+  EXPECT_EQ(count[0], 2);
+  EXPECT_EQ(count[1], 1);
+  EXPECT_EQ(count[2], 1);
+}
+
+TEST(FiveCycle, MulticolorBeatsColoring) {
+  // The paper's Sec 4 example: coloring rate 1/3, multicoloring rate 2/5.
+  const auto inst = instance::five_cycle_instance();
+  const auto prm = params(3.0, 1.0);
+  const auto oracle = fixed_power_oracle(inst.links, prm,
+                                         sinr::uniform_power(inst.links, prm));
+  Schedule multicolor;
+  multicolor.slots = inst.multicolor_slots;
+  Schedule coloring;
+  coloring.slots = inst.coloring_slots;
+
+  EXPECT_TRUE(verify_schedule(inst.links, multicolor, oracle).ok());
+  EXPECT_TRUE(verify_schedule(inst.links, coloring, oracle).ok());
+
+  EXPECT_NEAR(min_link_rate(coloring, 5), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(min_link_rate(multicolor, 5), 2.0 / 5.0, 1e-12);
+  EXPECT_GT(min_link_rate(multicolor, 5), min_link_rate(coloring, 5));
+}
+
+TEST(FiveCycle, AdjacentPairsAreInfeasible) {
+  const auto inst = instance::five_cycle_instance();
+  const auto prm = params(3.0, 1.0);
+  const auto power = sinr::uniform_power(inst.links, prm);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::vector<std::size_t> pair{i, (i + 1) % 5};
+    EXPECT_FALSE(sinr::is_feasible(inst.links, pair, prm, power))
+        << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace wagg::schedule

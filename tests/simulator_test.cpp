@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "instance/basic.h"
+#include "instance/special.h"
+#include "mst/mst.h"
+#include "mst/tree.h"
+#include "schedule/schedule.h"
+#include "schedule/simulator.h"
+
+namespace wagg::schedule {
+namespace {
+
+/// The Fig 1 tree, oriented at the sink, plus its 2-slot schedule with the
+/// link indices remapped to the oriented tree's numbering.
+struct Fig1Setup {
+  mst::AggregationTree tree;
+  Schedule schedule;
+};
+
+Fig1Setup fig1_setup() {
+  const auto inst = instance::fig1_instance();
+  // Nodes: a=0, b=1, c=2, d=3, sink=4; tree edges as in the paper.
+  const std::vector<mst::Edge> edges{{0, 2}, {1, 3}, {2, 4}, {3, 4}};
+  Fig1Setup setup;
+  setup.tree = mst::orient_toward_sink(inst.points, edges, 4);
+  auto link_of = [&](std::int32_t child) {
+    return static_cast<std::size_t>(
+        setup.tree.link_of_node[static_cast<std::size_t>(child)]);
+  };
+  // S1 = {a->c, d->sink}, S2 = {b->d, c->sink}.
+  setup.schedule.slots = {{link_of(0), link_of(3)}, {link_of(1), link_of(2)}};
+  return setup;
+}
+
+TEST(Simulator, Fig1RateOneHalfLatencyThree) {
+  const auto setup = fig1_setup();
+  SimulationConfig config;
+  config.num_frames = 50;
+  config.generation_period = 2;  // measurements in every other slot
+  const auto report = simulate_aggregation(setup.tree, setup.schedule, config);
+  EXPECT_TRUE(report.all_frames_completed);
+  EXPECT_TRUE(report.aggregates_correct);
+  // Paper: "the first frame will be aggregated at the root by start of
+  // timeslot 4, for a latency of 3".
+  EXPECT_EQ(report.latencies.front(), 3u);
+  EXPECT_EQ(report.max_latency, 3u);
+  // Paper: "this schedule attains a throughput rate of 1/2".
+  EXPECT_NEAR(report.achieved_rate, 0.5, 0.05);
+  // Paper: node d holds two values (b1+d1 and d2) -> max buffer 2.
+  EXPECT_EQ(report.max_buffer, 2u);
+}
+
+TEST(Simulator, Fig1OverdrivenBuffersGrow) {
+  const auto setup = fig1_setup();
+  SimulationConfig slow, fast;
+  slow.num_frames = 40;
+  slow.generation_period = 2;
+  fast.num_frames = 40;
+  fast.generation_period = 1;  // offered rate 1 > capacity 1/2
+  const auto ok = simulate_aggregation(setup.tree, setup.schedule, slow);
+  const auto over = simulate_aggregation(setup.tree, setup.schedule, fast);
+  EXPECT_LE(ok.max_buffer, 2u);
+  // Over capacity the backlog scales with the frame count.
+  EXPECT_GE(over.max_buffer, 15u);
+  EXPECT_GE(over.max_latency, 30u);
+}
+
+TEST(Simulator, ChainPipelinesAtConstantRate) {
+  // Unit chain scheduled with 3 colors (link i in slot i mod 3): rate 1/3
+  // regardless of n, but latency grows linearly (Sec 3.1).
+  for (std::size_t n : {8u, 16u, 32u}) {
+    const auto tree = mst::mst_tree(instance::unit_chain(n),
+                                    static_cast<std::int32_t>(n - 1));
+    Schedule s;
+    s.slots.assign(3, {});
+    for (std::size_t i = 0; i < tree.links.size(); ++i) {
+      // Links are BFS-indexed from the sink; depth of sender = distance.
+      const auto sender = static_cast<std::size_t>(
+          tree.links.link(i).sender);
+      s.slots[static_cast<std::size_t>(tree.depth[sender]) % 3].push_back(i);
+    }
+    SimulationConfig config;
+    config.num_frames = 30;
+    config.generation_period = 3;
+    const auto report = simulate_aggregation(tree, s, config);
+    EXPECT_TRUE(report.all_frames_completed) << n;
+    EXPECT_TRUE(report.aggregates_correct) << n;
+    // Steady-state throughput matches the offered 1/3 exactly; the
+    // whole-run average is dragged below it by pipeline fill/drain.
+    EXPECT_NEAR(report.steady_rate, 1.0 / 3.0, 1e-9) << n;
+    EXPECT_LE(report.achieved_rate, 1.0 / 3.0 + 1e-9) << n;
+    // Latency grows with n (pipeline depth).
+    EXPECT_GE(report.max_latency, n - 2) << n;
+    // Buffers scale with pipeline depth (nodes near the sink hold their own
+    // measurements while the subtree data climbs the chain), but NOT with
+    // the number of frames: that is the sustainability criterion.
+    EXPECT_LE(report.max_buffer, n) << n;
+    SimulationConfig longer_run = config;
+    longer_run.num_frames = 60;
+    const auto report2 = simulate_aggregation(tree, s, longer_run);
+    EXPECT_EQ(report2.max_buffer, report.max_buffer) << n;
+  }
+}
+
+TEST(Simulator, StarAggregatesEachFrameInOneSweep) {
+  // Star: all leaves attach to the sink; schedule = one leaf per slot.
+  const std::size_t n = 6;
+  geom::Pointset pts;
+  pts.push_back({0, 0});
+  for (std::size_t i = 1; i < n; ++i) {
+    pts.push_back({std::cos(static_cast<double>(i)),
+                   std::sin(static_cast<double>(i))});
+  }
+  std::vector<mst::Edge> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.push_back({0, static_cast<std::int32_t>(i)});
+  }
+  const auto tree = mst::orient_toward_sink(pts, edges, 0);
+  Schedule s;
+  for (std::size_t i = 0; i < tree.links.size(); ++i) s.slots.push_back({i});
+  SimulationConfig config;
+  config.num_frames = 12;
+  config.generation_period = tree.links.size();
+  const auto report = simulate_aggregation(tree, s, config);
+  EXPECT_TRUE(report.all_frames_completed);
+  EXPECT_TRUE(report.aggregates_correct);
+  EXPECT_NEAR(report.achieved_rate, 1.0 / static_cast<double>(n - 1), 0.02);
+  EXPECT_EQ(report.max_latency, n - 1);
+}
+
+TEST(Simulator, SinkGeneratesFlagIncludesSinkValue) {
+  const auto setup = fig1_setup();
+  SimulationConfig config;
+  config.num_frames = 10;
+  config.generation_period = 2;
+  config.sink_generates = true;
+  const auto report = simulate_aggregation(setup.tree, setup.schedule, config);
+  EXPECT_TRUE(report.all_frames_completed);
+  EXPECT_TRUE(report.aggregates_correct);
+}
+
+TEST(Simulator, RandomMstEndToEnd) {
+  const auto pts = instance::uniform_square(60, 10.0, 12);
+  const auto tree = mst::mst_tree(pts, 0);
+  // Simple valid schedule: one link per slot.
+  Schedule s;
+  for (std::size_t i = 0; i < tree.links.size(); ++i) s.slots.push_back({i});
+  SimulationConfig config;
+  config.num_frames = 5;
+  config.generation_period = tree.links.size();
+  const auto report = simulate_aggregation(tree, s, config);
+  EXPECT_TRUE(report.all_frames_completed);
+  EXPECT_TRUE(report.aggregates_correct);
+  EXPECT_LE(report.max_latency,
+            tree.links.size() * (static_cast<std::size_t>(tree.height()) + 1));
+}
+
+TEST(Simulator, Validation) {
+  const auto setup = fig1_setup();
+  SimulationConfig config;
+  config.num_frames = 0;
+  EXPECT_THROW(simulate_aggregation(setup.tree, setup.schedule, config),
+               std::invalid_argument);
+  config.num_frames = 1;
+  config.generation_period = 0;
+  EXPECT_THROW(simulate_aggregation(setup.tree, setup.schedule, config),
+               std::invalid_argument);
+  config.generation_period = 1;
+  Schedule empty;
+  EXPECT_THROW(simulate_aggregation(setup.tree, empty, config),
+               std::invalid_argument);
+  Schedule bad;
+  bad.slots = {{99}};
+  EXPECT_THROW(simulate_aggregation(setup.tree, bad, config),
+               std::invalid_argument);
+}
+
+TEST(Simulator, MaxSlotsCapReportsIncomplete) {
+  const auto setup = fig1_setup();
+  SimulationConfig config;
+  config.num_frames = 100;
+  config.generation_period = 2;
+  config.max_slots = 10;
+  const auto report = simulate_aggregation(setup.tree, setup.schedule, config);
+  EXPECT_FALSE(report.all_frames_completed);
+  EXPECT_EQ(report.slots_elapsed, 10u);
+  EXPECT_LT(report.frames_completed, 100u);
+}
+
+}  // namespace
+}  // namespace wagg::schedule
