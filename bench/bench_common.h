@@ -2,8 +2,13 @@
 #define WAGG_BENCH_COMMON_H
 
 // Shared helpers for the experiment harness. Every bench binary prints the
-// paper-shaped table(s) for its experiment (see DESIGN.md experiment index)
-// and then runs its google-benchmark timings.
+// paper-shaped table(s) for its experiment (see the experiment index in
+// README.md) and then runs its google-benchmark timings.
+//
+// Instance families and mode defaults live in the workload registry
+// (src/workload/workload.h); the wrappers below keep the historical bench
+// call sites unchanged while guaranteeing benches, tests, and the batch
+// runtime all draw instances from one definition.
 
 #include <benchmark/benchmark.h>
 
@@ -12,42 +17,20 @@
 
 #include "core/planner.h"
 #include "geom/point.h"
-#include "instance/basic.h"
 #include "util/table.h"
+#include "workload/workload.h"
 
 namespace wagg::bench {
 
-/// Named instance family generators used across experiments.
+/// Named instance family generators used across experiments. Delegates to
+/// workload::FamilyRegistry; throws std::invalid_argument on unknown names.
 inline geom::Pointset make_family(const std::string& family, std::size_t n,
                                   std::uint64_t seed) {
-  if (family == "uniform") {
-    return instance::uniform_square(n, std::sqrt(static_cast<double>(n)),
-                                    seed);
-  }
-  if (family == "cluster") {
-    return instance::clustered(std::max<std::size_t>(n / 16, 1), 16,
-                               std::sqrt(static_cast<double>(n)) * 4.0, 0.1,
-                               seed);
-  }
-  if (family == "grid") {
-    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
-    return instance::grid(side, side, 1.0);
-  }
-  if (family == "expchain") {
-    return instance::exponential_chain(std::min<std::size_t>(n, 900), 2.0);
-  }
-  if (family == "unitchain") {
-    return instance::unit_chain(n);
-  }
-  throw std::invalid_argument("unknown family: " + family);
+  return workload::FamilyRegistry::global().make(family, n, seed);
 }
 
 inline core::PlannerConfig mode_config(core::PowerMode mode) {
-  core::PlannerConfig cfg;
-  cfg.power_mode = mode;
-  cfg.sinr.alpha = 3.0;
-  cfg.sinr.beta = 1.0;
-  return cfg;
+  return workload::mode_config(mode);
 }
 
 inline void print_header(const std::string& experiment,

@@ -4,6 +4,7 @@
 #include "bench_common.h"
 
 #include "core/baseline.h"
+#include "instance/basic.h"
 #include "instance/special.h"
 #include "mst/tree.h"
 #include "schedule/latency.h"

@@ -5,6 +5,8 @@
 
 #include "bench_common.h"
 
+#include "instance/basic.h"
+
 #include "mst/tree.h"
 #include "util/rng.h"
 #include "util/stats.h"

@@ -1,0 +1,89 @@
+// Runtime scaling: batch-planning throughput of the PlanService as the
+// worker pool grows. Requests are independent, so outcomes must be
+// bit-identical for every worker count — the table asserts that via the
+// plan digests while measuring plans/sec at 1, 2, 4, and 8 workers.
+
+#include "bench_common.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/plan_service.h"
+#include "workload/workload.h"
+
+namespace wagg {
+namespace {
+
+std::vector<runtime::PlanRequest> scaling_batch(std::size_t count,
+                                                std::size_t n) {
+  const auto spec = workload::WorkloadSpec::parse(
+      "name=scaling families=uniform sizes=" + std::to_string(n) +
+      " modes=global reps=" + std::to_string(count));
+  return spec.expand();
+}
+
+std::vector<std::uint64_t> digests(const runtime::BatchResult& result) {
+  std::vector<std::uint64_t> out;
+  out.reserve(result.outcomes.size());
+  for (const auto& outcome : result.outcomes) out.push_back(outcome.digest);
+  return out;
+}
+
+void print_scaling_table() {
+  bench::print_header(
+      "runtime scaling",
+      "PlanService throughput vs worker count (uniform family, n=256; "
+      "identical digests across rows certify bit-identical batches)");
+
+  const auto requests = scaling_batch(32, 256);
+  util::Table table({"workers", "plans/sec", "wall ms", "p95 ms", "ok",
+                     "identical"});
+  std::vector<std::uint64_t> reference;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    runtime::PlanService service(
+        runtime::ServiceOptions{.num_workers = workers});
+    const auto result = service.run(requests);
+    const auto ds = digests(result);
+    if (reference.empty()) reference = ds;
+    table.row()
+        .cell(workers)
+        .cell(result.stats.plans_per_sec, 1)
+        .cell(result.stats.wall_ms, 1)
+        .cell(result.stats.total_latency.p95, 1)
+        .cell(result.stats.succeeded)
+        .cell(ds == reference ? "yes" : "NO");
+  }
+  table.print(std::cout);
+}
+
+void BM_BatchPlan(benchmark::State& state) {
+  const auto requests =
+      scaling_batch(16, static_cast<std::size_t>(state.range(1)));
+  runtime::PlanService service(runtime::ServiceOptions{
+      .num_workers = static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    const auto result = service.run(requests);
+    benchmark::DoNotOptimize(result.stats.succeeded);
+  }
+  state.counters["plans/sec"] = benchmark::Counter(
+      static_cast<double>(requests.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchPlan)
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({4, 256})
+    ->Args({8, 256})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  wagg::print_scaling_table();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

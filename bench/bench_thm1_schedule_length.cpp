@@ -5,6 +5,8 @@
 
 #include "bench_common.h"
 
+#include "instance/basic.h"
+
 #include <cmath>
 
 #include "util/logmath.h"

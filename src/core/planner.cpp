@@ -5,8 +5,12 @@
 
 #include "coloring/coloring.h"
 #include "schedule/repair.h"
+#include "util/clock.h"
 
 namespace wagg::core {
+
+using util::Clock;
+using util::ms_since;
 
 std::string to_string(PowerMode mode) {
   switch (mode) {
@@ -84,25 +88,32 @@ schedule::FeasibilityOracle oracle_for_mode(const geom::LinkSet& links,
 }
 
 LinkScheduleResult schedule_links(const geom::LinkSet& links,
-                                  const PlannerConfig& config) {
+                                  const PlannerConfig& config,
+                                  StageTimings* timings) {
   config.validate();
   LinkScheduleResult result;
   result.spec = spec_for_mode(config);
   result.power = power_for_mode(links, config);
 
+  auto stage_start = Clock::now();
   const conflict::Graph graph =
       config.bucketed_conflict
           ? conflict::build_conflict_graph_bucketed(links, result.spec)
           : conflict::build_conflict_graph(links, result.spec);
+  if (timings) timings->conflict_ms = ms_since(stage_start);
+
+  stage_start = Clock::now();
   const auto order = config.order == ColoringOrder::kDecreasingLength
                          ? links.by_decreasing_length()
                          : links.by_increasing_length();
   const coloring::Coloring colors = coloring::greedy_color(graph, order);
   result.schedule = schedule::from_coloring(colors);
   result.colors_before_repair = result.schedule.length();
+  if (timings) timings->coloring_ms = ms_since(stage_start);
 
   const auto oracle = oracle_for_mode(links, config);
   if (config.repair) {
+    stage_start = Clock::now();
     // Fixed-power modes use the incremental packer (same output contract,
     // orders of magnitude faster on large slots).
     auto repaired =
@@ -112,19 +123,24 @@ LinkScheduleResult schedule_links(const geom::LinkSet& links,
                   links, result.schedule, config.sinr, result.power);
     result.schedule = std::move(repaired.schedule);
     result.slots_split = repaired.slots_split;
+    if (timings) timings->repair_ms = ms_since(stage_start);
   }
+  stage_start = Clock::now();
   result.verification = schedule::verify_schedule(links, result.schedule,
                                                   oracle);
+  if (timings) timings->verify_ms = ms_since(stage_start);
   return result;
 }
 
 PlanResult plan_aggregation(const geom::Pointset& points,
-                            const PlannerConfig& config) {
+                            const PlannerConfig& config,
+                            StageTimings* timings) {
   config.validate();
   if (points.size() < 2) {
     throw std::invalid_argument("plan_aggregation: need >= 2 points");
   }
   PlanResult result;
+  const auto tree_start = Clock::now();
   switch (config.tree) {
     case TreeKind::kMst:
       result.tree = mst::mst_tree(points, config.sink);
@@ -133,9 +149,11 @@ PlanResult plan_aggregation(const geom::Pointset& points,
       result.tree = mst::pairing_tree(points, config.sink).tree;
       break;
   }
-  result.scheduling = schedule_links(result.tree.links, config);
+  if (timings) timings->tree_ms = ms_since(tree_start);
+  result.scheduling = schedule_links(result.tree.links, config, timings);
 
   if (config.power_mode == PowerMode::kGlobal) {
+    const auto power_start = Clock::now();
     // Materialize the per-slot global power vectors (the actual output of
     // the power-control algorithm) and stitch a per-link assignment from
     // each link's home slot for reporting.
@@ -156,6 +174,7 @@ PlanResult plan_aggregation(const geom::Pointset& points,
     }
     result.scheduling.power =
         sinr::PowerAssignment(std::move(stitched), "global(stitched)");
+    if (timings) timings->power_ms = ms_since(power_start);
   }
   return result;
 }

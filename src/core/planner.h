@@ -61,6 +61,24 @@ struct PlannerConfig {
   void validate() const;
 };
 
+/// Wall-clock breakdown of one planning run, in milliseconds. Filled by
+/// plan_aggregation / schedule_links when the caller passes a non-null
+/// pointer; stages a run does not execute (e.g. repair when disabled, power
+/// for fixed-power modes) stay 0.
+struct StageTimings {
+  double tree_ms = 0.0;      ///< spanning-structure construction
+  double conflict_ms = 0.0;  ///< conflict-graph build
+  double coloring_ms = 0.0;  ///< greedy coloring
+  double repair_ms = 0.0;    ///< exact-SINR slot repair
+  double verify_ms = 0.0;    ///< full-schedule verification
+  double power_ms = 0.0;     ///< per-slot global power materialization
+
+  [[nodiscard]] double total_ms() const noexcept {
+    return tree_ms + conflict_ms + coloring_ms + repair_ms + verify_ms +
+           power_ms;
+  }
+};
+
 /// Scheduling outcome for a bare link set (no tree semantics attached).
 struct LinkScheduleResult {
   conflict::ConflictSpec spec;
@@ -93,9 +111,11 @@ struct LinkScheduleResult {
                                                    const PlannerConfig& config);
 
 /// Colors the conflict graph, repairs, verifies: a complete TDMA schedule
-/// for an arbitrary link set under the configured power mode.
+/// for an arbitrary link set under the configured power mode. When `timings`
+/// is non-null the conflict/coloring/repair/verify stages are clocked into it.
 [[nodiscard]] LinkScheduleResult schedule_links(const geom::LinkSet& links,
-                                                const PlannerConfig& config);
+                                                const PlannerConfig& config,
+                                                StageTimings* timings = nullptr);
 
 /// Full aggregation plan for a pointset.
 struct PlanResult {
@@ -114,9 +134,11 @@ struct PlanResult {
 /// The paper's end-to-end protocol: build the tree (MST by default), choose
 /// powers for the mode, color the matching conflict graph, repair and verify.
 /// Throws std::invalid_argument on malformed inputs (duplicate points, < 2
-/// points, sink out of range).
+/// points, sink out of range). When `timings` is non-null every stage is
+/// clocked into it; the plan itself is unaffected.
 [[nodiscard]] PlanResult plan_aggregation(const geom::Pointset& points,
-                                          const PlannerConfig& config);
+                                          const PlannerConfig& config,
+                                          StageTimings* timings = nullptr);
 
 }  // namespace wagg::core
 

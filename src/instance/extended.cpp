@@ -115,4 +115,54 @@ geom::Pointset perturbed_grid(std::size_t rows, std::size_t cols,
   return points;
 }
 
+namespace {
+
+// Radius uniform by area between r0 and r1: r = sqrt(r0^2 + u * (r1^2 - r0^2)).
+geom::Point annulus_point(util::Rng& rng, double r0, double r1) {
+  const double radius =
+      std::sqrt(r0 * r0 + rng.uniform() * (r1 * r1 - r0 * r0));
+  const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return geom::Point{radius * std::cos(angle), radius * std::sin(angle)};
+}
+
+}  // namespace
+
+geom::Pointset annulus(std::size_t n, double inner_radius, double outer_radius,
+                       std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("annulus: need n >= 2");
+  if (!(inner_radius >= 0.0 && inner_radius < outer_radius)) {
+    throw std::invalid_argument(
+        "annulus: need 0 <= inner_radius < outer_radius");
+  }
+  util::Rng rng(seed);
+  geom::Pointset points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(annulus_point(rng, inner_radius, outer_radius));
+  }
+  return points;
+}
+
+geom::Pointset two_tier(std::size_t core_n, std::size_t fringe_n,
+                        double core_radius, double fringe_radius,
+                        std::uint64_t seed) {
+  if (core_n + fringe_n < 2) {
+    throw std::invalid_argument("two_tier: need >= 2 nodes in total");
+  }
+  if (!(core_radius > 0.0 && core_radius < fringe_radius)) {
+    throw std::invalid_argument(
+        "two_tier: need 0 < core_radius < fringe_radius");
+  }
+  util::Rng rng(seed);
+  geom::Pointset points;
+  points.reserve(core_n + fringe_n);
+  for (std::size_t i = 0; i < core_n; ++i) {
+    points.push_back(annulus_point(rng, 0.0, core_radius));
+  }
+  for (std::size_t i = 0; i < fringe_n; ++i) {
+    points.push_back(annulus_point(rng, core_radius, fringe_radius));
+  }
+  return points;
+}
+
 }  // namespace wagg::instance

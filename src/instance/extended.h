@@ -36,6 +36,24 @@ namespace wagg::instance {
                                             double spacing, double jitter,
                                             std::uint64_t seed);
 
+/// n nodes uniform by area in the annulus inner_radius <= r <= outer_radius
+/// (inverse-CDF sampling, no rejection). A ring deployment leaves the sink
+/// region empty, so every aggregation path must cross the hole — MST links
+/// near the inner rim are long relative to the ring's local density.
+/// Requires 0 <= inner_radius < outer_radius.
+[[nodiscard]] geom::Pointset annulus(std::size_t n, double inner_radius,
+                                     double outer_radius, std::uint64_t seed);
+
+/// Two-tier deployment: `core_n` nodes uniform in a dense disk of radius
+/// core_radius around the origin plus `fringe_n` nodes uniform by area in
+/// the sparse annulus (core_radius, fringe_radius]. Two well-separated
+/// length scales in one instance — the dense core stresses the conflict
+/// graph's degree bound while fringe links stress the repair pass.
+/// Requires 0 < core_radius < fringe_radius.
+[[nodiscard]] geom::Pointset two_tier(std::size_t core_n, std::size_t fringe_n,
+                                      double core_radius, double fringe_radius,
+                                      std::uint64_t seed);
+
 }  // namespace wagg::instance
 
 #endif  // WAGG_INSTANCE_EXTENDED_H

@@ -1,0 +1,187 @@
+#include "runtime/plan_service.h"
+
+#include <exception>
+#include <stdexcept>
+
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace wagg::runtime {
+
+using util::Clock;
+using util::ms_since;
+
+namespace {
+
+// SplitMix64-style mixing; order-sensitive because the accumulator feeds
+// back into every step.
+void digest_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+}
+
+std::uint64_t plan_digest(const core::PlanResult& plan) {
+  std::uint64_t h = 0x6a09e667f3bcc908ULL;
+  for (const auto parent : plan.tree.parent) {
+    digest_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(parent)));
+  }
+  for (const auto& slot : plan.scheduling.schedule.slots) {
+    digest_mix(h, 0xffffffffffffffffULL);  // slot boundary marker
+    for (const auto link : slot) digest_mix(h, link);
+  }
+  digest_mix(h, plan.scheduling.slots_split);
+  digest_mix(h, plan.scheduling.colors_before_repair);
+  digest_mix(h, plan.verified() ? 1 : 0);
+  return h;
+}
+
+StageSummary summarize_stage(const util::Samples& samples) {
+  StageSummary summary;
+  if (samples.empty()) return summary;
+  summary.p50 = samples.percentile(50.0);
+  summary.p95 = samples.percentile(95.0);
+  summary.mean = samples.mean();
+  summary.max = samples.max();
+  return summary;
+}
+
+}  // namespace
+
+PlanOutcome execute_request(const PlanRequest& request,
+                            std::size_t request_index, bool keep_plan) {
+  PlanOutcome outcome;
+  outcome.request_index = request_index;
+  outcome.seed = request.seed;
+  outcome.tags = request.tags;
+  outcome.num_points = request.points.size();
+
+  const auto start = Clock::now();
+  try {
+    core::StageTimings timings;
+    auto plan = core::plan_aggregation(request.points, request.config,
+                                       &timings);
+    outcome.ok = true;
+    outcome.num_links = plan.tree.links.size();
+    outcome.slots = plan.schedule().length();
+    outcome.colors_before_repair = plan.scheduling.colors_before_repair;
+    outcome.slots_split = plan.scheduling.slots_split;
+    outcome.rate = plan.rate();
+    outcome.verified = plan.verified();
+    outcome.digest = plan_digest(plan);
+    outcome.timings = timings;
+    if (keep_plan) {
+      outcome.plan =
+          std::make_shared<const core::PlanResult>(std::move(plan));
+    }
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.ok = false;
+    outcome.error = "unknown error";
+  }
+  outcome.total_ms = ms_since(start);
+  return outcome;
+}
+
+BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
+                     double wall_ms) {
+  BatchStats stats;
+  stats.total = outcomes.size();
+  stats.wall_ms = wall_ms;
+
+  util::Samples tree, conflict, coloring, repair, verify, power, total;
+  for (const auto& outcome : outcomes) {
+    if (outcome.ok) {
+      ++stats.succeeded;
+      tree.add(outcome.timings.tree_ms);
+      conflict.add(outcome.timings.conflict_ms);
+      coloring.add(outcome.timings.coloring_ms);
+      repair.add(outcome.timings.repair_ms);
+      verify.add(outcome.timings.verify_ms);
+      power.add(outcome.timings.power_ms);
+      total.add(outcome.total_ms);
+    } else {
+      ++stats.failed;
+    }
+  }
+  stats.tree = summarize_stage(tree);
+  stats.conflict = summarize_stage(conflict);
+  stats.coloring = summarize_stage(coloring);
+  stats.repair = summarize_stage(repair);
+  stats.verify = summarize_stage(verify);
+  stats.power = summarize_stage(power);
+  stats.total_latency = summarize_stage(total);
+  if (wall_ms > 0.0) {
+    stats.plans_per_sec = static_cast<double>(stats.total) * 1000.0 / wall_ms;
+  }
+  return stats;
+}
+
+PlanService::PlanService(ServiceOptions options) : options_(options) {
+  std::size_t n = options_.num_workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PlanService::~PlanService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+BatchResult PlanService::run(const std::vector<PlanRequest>& requests) {
+  BatchResult result;
+  result.outcomes.resize(requests.size());
+  const auto start = Clock::now();
+  if (!requests.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch_ = &requests;
+      outcomes_ = &result.outcomes;
+      next_index_ = 0;
+      remaining_ = requests.size();
+    }
+    work_ready_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [this] { return remaining_ == 0; });
+    batch_ = nullptr;
+    outcomes_ = nullptr;
+  }
+  result.stats = summarize(result.outcomes, ms_since(start));
+  return result;
+}
+
+void PlanService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] {
+      return shutting_down_ || (batch_ && next_index_ < batch_->size());
+    });
+    if (shutting_down_) return;
+
+    const std::size_t index = next_index_++;
+    const std::vector<PlanRequest>& batch = *batch_;
+    std::vector<PlanOutcome>& outcomes = *outcomes_;
+    lock.unlock();
+
+    // Planning runs unlocked; each worker writes only its own slot.
+    outcomes[index] =
+        execute_request(batch[index], index, options_.keep_plans);
+
+    lock.lock();
+    if (--remaining_ == 0) batch_done_.notify_all();
+  }
+}
+
+}  // namespace wagg::runtime

@@ -1,0 +1,151 @@
+#ifndef WAGG_RUNTIME_PLAN_SERVICE_H
+#define WAGG_RUNTIME_PLAN_SERVICE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/planner.h"
+#include "geom/point.h"
+
+namespace wagg::runtime {
+
+/// One unit of work for the PlanService: a pointset plus the full planner
+/// configuration. `seed` and `tags` are provenance only — the service never
+/// interprets them, it just copies them onto the outcome so batch consumers
+/// can group and join results (the workload engine fills them in).
+struct PlanRequest {
+  geom::Pointset points;
+  core::PlannerConfig config;
+  std::uint64_t seed = 0;
+  std::string tags;
+};
+
+/// The result of one request. Failures (malformed input, planner invariant
+/// violations) are captured here instead of thrown, so one bad request never
+/// poisons the rest of the batch.
+struct PlanOutcome {
+  std::size_t request_index = 0;
+  bool ok = false;
+  std::string error;  ///< non-empty iff !ok
+
+  // Plan summary (meaningful only when ok).
+  std::size_t num_points = 0;
+  std::size_t num_links = 0;
+  std::size_t slots = 0;
+  std::size_t colors_before_repair = 0;
+  std::size_t slots_split = 0;
+  double rate = 0.0;
+  bool verified = false;
+  /// Order-sensitive hash of the tree parents and schedule slots; two
+  /// outcomes with equal digests ran the identical plan. Used to assert
+  /// bit-identical results across worker counts.
+  std::uint64_t digest = 0;
+
+  core::StageTimings timings;
+  double total_ms = 0.0;  ///< wall clock for the whole request
+
+  // Provenance copied from the request.
+  std::uint64_t seed = 0;
+  std::string tags;
+
+  /// Full plan, retained only when ServiceOptions::keep_plans is set.
+  std::shared_ptr<const core::PlanResult> plan;
+};
+
+struct ServiceOptions {
+  /// Worker threads in the pool; 0 means std::thread::hardware_concurrency().
+  std::size_t num_workers = 0;
+  /// Retain the full PlanResult on each outcome (memory-heavy for big
+  /// batches; summaries and digests are always available).
+  bool keep_plans = false;
+};
+
+/// Latency summary for one pipeline stage across a batch (milliseconds).
+struct StageSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Aggregate statistics for one batch run.
+struct BatchStats {
+  std::size_t total = 0;
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  double wall_ms = 0.0;        ///< batch wall clock, queue to last completion
+  double plans_per_sec = 0.0;  ///< succeeded + failed, over wall_ms
+  StageSummary tree;
+  StageSummary conflict;
+  StageSummary coloring;
+  StageSummary repair;
+  StageSummary verify;
+  StageSummary power;
+  StageSummary total_latency;  ///< per-request end-to-end
+};
+
+struct BatchResult {
+  /// outcomes[i] answers requests[i] (index-aligned, all slots filled).
+  std::vector<PlanOutcome> outcomes;
+  BatchStats stats;
+};
+
+/// Executes one request synchronously on the calling thread. This is the
+/// exact function each worker runs, exposed so serial baselines and tests
+/// compare against the same code path.
+[[nodiscard]] PlanOutcome execute_request(const PlanRequest& request,
+                                          std::size_t request_index,
+                                          bool keep_plan = false);
+
+/// A fixed-size pool of worker threads executing batches of plan requests.
+/// Workers are started once in the constructor and joined in the destructor;
+/// run() may be called any number of times. Requests are independent, so a
+/// batch's outcomes are identical for every worker count — only the wall
+/// clock changes.
+///
+/// Thread-compatible, not thread-safe: call run() from one thread at a time.
+class PlanService {
+ public:
+  explicit PlanService(ServiceOptions options = {});
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+
+  /// Executes the whole batch, blocking until every request has an outcome.
+  [[nodiscard]] BatchResult run(const std::vector<PlanRequest>& requests);
+
+ private:
+  void worker_loop();
+
+  ServiceOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::vector<PlanRequest>* batch_ = nullptr;  ///< current batch, if any
+  std::vector<PlanOutcome>* outcomes_ = nullptr;
+  std::size_t next_index_ = 0;   ///< next request to claim
+  std::size_t remaining_ = 0;    ///< requests not yet completed
+  bool shutting_down_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Computes the batch statistics for a set of outcomes (exposed for tests
+/// and for callers that execute requests without a service).
+[[nodiscard]] BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
+                                   double wall_ms);
+
+}  // namespace wagg::runtime
+
+#endif  // WAGG_RUNTIME_PLAN_SERVICE_H

@@ -1,0 +1,19 @@
+#ifndef WAGG_UTIL_CLOCK_H
+#define WAGG_UTIL_CLOCK_H
+
+#include <chrono>
+
+namespace wagg::util {
+
+/// The monotonic clock used for all stage and batch timings.
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds elapsed since `start`.
+[[nodiscard]] inline double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace wagg::util
+
+#endif  // WAGG_UTIL_CLOCK_H

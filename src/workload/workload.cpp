@@ -1,0 +1,333 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "instance/basic.h"
+#include "instance/extended.h"
+#include "util/rng.h"
+
+namespace wagg::workload {
+
+namespace {
+
+std::size_t grid_side(std::size_t n) {
+  return static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+}
+
+}  // namespace
+
+FamilyRegistry FamilyRegistry::builtin() {
+  FamilyRegistry registry;
+  // The five bench_common.h families, parameterized exactly as before.
+  registry.add("uniform", [](std::size_t n, std::uint64_t seed) {
+    return instance::uniform_square(n, std::sqrt(static_cast<double>(n)),
+                                    seed);
+  });
+  registry.add("cluster", [](std::size_t n, std::uint64_t seed) {
+    return instance::clustered(std::max<std::size_t>(n / 16, 1), 16,
+                               std::sqrt(static_cast<double>(n)) * 4.0, 0.1,
+                               seed);
+  });
+  registry.add("grid", [](std::size_t n, std::uint64_t) {
+    const auto side = grid_side(n);
+    return instance::grid(side, side, 1.0);
+  });
+  registry.add("expchain", [](std::size_t n, std::uint64_t) {
+    return instance::exponential_chain(std::min<std::size_t>(n, 900), 2.0);
+  });
+  registry.add("unitchain", [](std::size_t n, std::uint64_t) {
+    return instance::unit_chain(n);
+  });
+  // Extended families. Radii scale with sqrt(n) so node density (and thus
+  // typical MST link length) stays roughly constant across sizes, matching
+  // the uniform family's convention.
+  registry.add("annulus", [](std::size_t n, std::uint64_t seed) {
+    const double outer = std::sqrt(static_cast<double>(n));
+    return instance::annulus(n, outer / 3.0, outer, seed);
+  });
+  registry.add("twotier", [](std::size_t n, std::uint64_t seed) {
+    const double fringe_radius = std::sqrt(static_cast<double>(n));
+    return instance::two_tier(n / 2, n - n / 2, fringe_radius / 8.0,
+                              fringe_radius, seed);
+  });
+  registry.add("noisygrid", [](std::size_t n, std::uint64_t seed) {
+    const auto side = grid_side(n);
+    return instance::perturbed_grid(side, side, 1.0, 0.25, seed);
+  });
+  return registry;
+}
+
+FamilyRegistry& FamilyRegistry::global() {
+  static FamilyRegistry registry = builtin();
+  return registry;
+}
+
+bool FamilyRegistry::has(const std::string& name) const {
+  return families_.count(name) > 0;
+}
+
+std::vector<std::string> FamilyRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(families_.size());
+  for (const auto& [name, generator] : families_) result.push_back(name);
+  return result;
+}
+
+geom::Pointset FamilyRegistry::make(const std::string& name, std::size_t n,
+                                    std::uint64_t seed) const {
+  const auto it = families_.find(name);
+  if (it == families_.end()) {
+    throw std::invalid_argument("unknown family: " + name);
+  }
+  return it->second(n, seed);
+}
+
+void FamilyRegistry::add(std::string name, FamilyGenerator generator) {
+  families_[std::move(name)] = std::move(generator);
+}
+
+core::PlannerConfig mode_config(core::PowerMode mode) {
+  core::PlannerConfig cfg;
+  cfg.power_mode = mode;
+  cfg.sinr.alpha = 3.0;
+  cfg.sinr.beta = 1.0;
+  return cfg;
+}
+
+core::PowerMode power_mode_from_string(const std::string& name) {
+  if (name == "uniform") return core::PowerMode::kUniform;
+  if (name == "linear") return core::PowerMode::kLinear;
+  if (name == "oblivious") return core::PowerMode::kOblivious;
+  if (name == "global") return core::PowerMode::kGlobal;
+  throw std::invalid_argument("unknown power mode: " + name);
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::size_t parse_size(const std::string& token, const std::string& key) {
+  // stoull accepts (and wraps) a leading minus; require plain digits.
+  bool digits_only = !token.empty();
+  for (const char c : token) digits_only = digits_only && c >= '0' && c <= '9';
+  std::size_t consumed = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (!digits_only || consumed != token.size()) {
+    throw std::invalid_argument("WorkloadSpec: " + key +
+                                " is not a non-negative integer: " + token);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+// One sizes= token: either a plain integer or a geometric sweep lo..hixF
+// (e.g. 64..512x2 -> 64, 128, 256, 512).
+void parse_sizes_token(const std::string& token,
+                       std::vector<std::size_t>& sizes) {
+  const auto dots = token.find("..");
+  if (dots == std::string::npos) {
+    sizes.push_back(parse_size(token, "sizes"));
+    return;
+  }
+  const auto x = token.find('x', dots + 2);
+  const std::size_t lo = parse_size(token.substr(0, dots), "sizes");
+  const std::size_t hi = parse_size(
+      token.substr(dots + 2,
+                   (x == std::string::npos ? token.size() : x) - dots - 2),
+      "sizes");
+  const std::size_t factor =
+      x == std::string::npos ? 2 : parse_size(token.substr(x + 1), "sizes");
+  if (lo == 0 || hi < lo || factor < 2) {
+    throw std::invalid_argument("WorkloadSpec: bad size sweep: " + token);
+  }
+  for (std::size_t n = lo;;) {
+    sizes.push_back(n);
+    if (n > hi / factor) break;  // next step would pass hi (or overflow)
+    n *= factor;
+  }
+}
+
+double parse_double(const std::string& token, const std::string& key) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != token.size() || token.empty()) {
+    throw std::invalid_argument("WorkloadSpec: " + key +
+                                " is not a number: " + token);
+  }
+  return value;
+}
+
+}  // namespace
+
+WorkloadSpec WorkloadSpec::parse(const std::string& text) {
+  WorkloadSpec spec;
+  spec.name.clear();  // so we can tell whether the spec set one
+
+  // Strip comments, then tokenize on whitespace.
+  std::string stripped;
+  bool in_comment = false;
+  for (const char c : text) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') in_comment = false;
+    stripped += in_comment ? ' ' : c;
+  }
+  std::istringstream tokens(stripped);
+  std::string token;
+  while (tokens >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("WorkloadSpec: expected key=value, got: " +
+                                  token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "families") {
+      for (const auto& family : split(value, ',')) {
+        if (!family.empty()) spec.families.push_back(family);
+      }
+    } else if (key == "sizes") {
+      for (const auto& part : split(value, ',')) {
+        if (!part.empty()) parse_sizes_token(part, spec.sizes);
+      }
+    } else if (key == "modes") {
+      for (const auto& mode : split(value, ',')) {
+        if (!mode.empty()) spec.modes.push_back(power_mode_from_string(mode));
+      }
+    } else if (key == "reps") {
+      spec.replications = parse_size(value, "reps");
+    } else if (key == "seed") {
+      spec.base_seed = parse_size(value, "seed");
+    } else if (key == "alpha") {
+      spec.alpha = parse_double(value, "alpha");
+    } else if (key == "beta") {
+      spec.beta = parse_double(value, "beta");
+    } else {
+      throw std::invalid_argument("WorkloadSpec: unknown key: " + key);
+    }
+  }
+  if (spec.name.empty()) spec.name = "workload";
+  return spec;
+}
+
+std::string WorkloadSpec::to_text() const {
+  std::ostringstream out;
+  // Full round-trip precision for alpha/beta: parse(to_text()) == *this.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "name=" << name << "\n";
+  out << "families=";
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    out << (i ? "," : "") << families[i];
+  }
+  out << "\nsizes=";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    out << (i ? "," : "") << sizes[i];
+  }
+  out << "\nmodes=";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    out << (i ? "," : "") << core::to_string(modes[i]);
+  }
+  out << "\nreps=" << replications << "\nseed=" << base_seed
+      << "\nalpha=" << alpha << "\nbeta=" << beta << "\n";
+  return out.str();
+}
+
+void WorkloadSpec::validate(const FamilyRegistry& registry) const {
+  if (families.empty()) {
+    throw std::invalid_argument("WorkloadSpec: no families");
+  }
+  if (sizes.empty()) throw std::invalid_argument("WorkloadSpec: no sizes");
+  if (modes.empty()) throw std::invalid_argument("WorkloadSpec: no modes");
+  if (replications == 0) {
+    throw std::invalid_argument("WorkloadSpec: reps must be positive");
+  }
+  for (const auto& family : families) {
+    if (!registry.has(family)) {
+      throw std::invalid_argument("WorkloadSpec: unknown family: " + family);
+    }
+  }
+  for (const auto n : sizes) {
+    if (n < 2) {
+      throw std::invalid_argument("WorkloadSpec: sizes must be >= 2");
+    }
+  }
+}
+
+std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& family,
+                        std::size_t n, core::PowerMode mode,
+                        std::size_t replication) {
+  // FNV-1a over the cell coordinates, then SplitMix64 finalization. Depends
+  // only on the cell, never on the rest of the spec.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ base_seed;
+  const auto mix_byte = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (const char c : family) mix_byte(static_cast<unsigned char>(c));
+  mix_byte(0);
+  for (int shift = 0; shift < 64; shift += 8) {
+    mix_byte(static_cast<unsigned char>((n >> shift) & 0xff));
+  }
+  mix_byte(static_cast<unsigned char>(mode));
+  for (int shift = 0; shift < 64; shift += 8) {
+    mix_byte(static_cast<unsigned char>((replication >> shift) & 0xff));
+  }
+  return util::SplitMix64(h).next();
+}
+
+std::vector<runtime::PlanRequest> WorkloadSpec::expand(
+    const FamilyRegistry& registry) const {
+  validate(registry);
+  std::vector<runtime::PlanRequest> requests;
+  requests.reserve(num_requests());
+  for (const auto& family : families) {
+    for (const auto n : sizes) {
+      for (const auto mode : modes) {
+        core::PlannerConfig config = mode_config(mode);
+        config.sinr.alpha = alpha;
+        config.sinr.beta = beta;
+        for (std::size_t rep = 0; rep < replications; ++rep) {
+          runtime::PlanRequest request;
+          request.seed = cell_seed(base_seed, family, n, mode, rep);
+          request.points = registry.make(family, n, request.seed);
+          request.config = config;
+          std::ostringstream tags;
+          tags << "family=" << family << " n=" << n << " mode="
+               << core::to_string(mode) << " rep=" << rep;
+          request.tags = tags.str();
+          requests.push_back(std::move(request));
+        }
+      }
+    }
+  }
+  return requests;
+}
+
+}  // namespace wagg::workload

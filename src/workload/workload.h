@@ -1,0 +1,113 @@
+#ifndef WAGG_WORKLOAD_WORKLOAD_H
+#define WAGG_WORKLOAD_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "geom/point.h"
+#include "runtime/plan_service.h"
+
+namespace wagg::workload {
+
+/// A named pointset generator: size + seed -> deterministic instance.
+using FamilyGenerator =
+    std::function<geom::Pointset(std::size_t n, std::uint64_t seed)>;
+
+/// Registry of instance families. The built-in set subsumes the old
+/// bench_common.h families (uniform, cluster, grid, expchain, unitchain —
+/// with identical parameterizations, so historical bench numbers stay
+/// comparable) and extends them with annulus, twotier, and noisygrid.
+class FamilyRegistry {
+ public:
+  /// The registry with all built-in families.
+  [[nodiscard]] static FamilyRegistry builtin();
+
+  /// Shared mutable instance used by benches and the workload engine.
+  [[nodiscard]] static FamilyRegistry& global();
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Sorted family names.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Generates an instance. Throws std::invalid_argument on unknown family.
+  [[nodiscard]] geom::Pointset make(const std::string& name, std::size_t n,
+                                    std::uint64_t seed) const;
+
+  /// Registers (or replaces) a family.
+  void add(std::string name, FamilyGenerator generator);
+
+ private:
+  std::map<std::string, FamilyGenerator> families_;
+};
+
+/// The experiment-harness default configuration for a power mode
+/// (alpha = 3, beta = 1) — previously bench_common.h::mode_config.
+[[nodiscard]] core::PlannerConfig mode_config(core::PowerMode mode);
+
+/// Parses "uniform" / "linear" / "oblivious" / "global" (the inverse of
+/// core::to_string). Throws std::invalid_argument otherwise.
+[[nodiscard]] core::PowerMode power_mode_from_string(const std::string& name);
+
+/// A declarative sweep: families x sizes x power modes x replications, each
+/// cell seeded deterministically. Parsed from a simple `key=value` text
+/// format (one pair per whitespace-separated token; '#' starts a comment
+/// running to end of line):
+///
+///   name=demo                 # optional label
+///   families=uniform,annulus  # registry names
+///   sizes=64,128,256          # explicit list, and/or lo..hixF
+///   sizes=64..512x2           # geometric sweep: 64, 128, 256, 512
+///   modes=global,oblivious    # power modes
+///   reps=3                    # replications per cell (default 1)
+///   seed=42                   # base seed (default 1)
+///   alpha=3.0 beta=1.0        # SINR parameters (defaults shown)
+///
+/// Expansion is deterministic: each request's seed depends only on the base
+/// seed and its (family, size, mode, replication) cell, never on the rest of
+/// the spec, so adding a family leaves every other request unchanged.
+struct WorkloadSpec {
+  std::string name = "workload";
+  std::vector<std::string> families;
+  std::vector<std::size_t> sizes;
+  std::vector<core::PowerMode> modes;
+  std::size_t replications = 1;
+  std::uint64_t base_seed = 1;
+  double alpha = 3.0;
+  double beta = 1.0;
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+
+  /// Parses the text format above. Throws std::invalid_argument on unknown
+  /// keys, malformed values, or (in validate) empty dimensions.
+  [[nodiscard]] static WorkloadSpec parse(const std::string& text);
+
+  /// Canonical text rendering; parse(to_text()) == *this.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Throws std::invalid_argument unless every dimension is non-empty and
+  /// every family is registered.
+  void validate(const FamilyRegistry& registry) const;
+
+  [[nodiscard]] std::size_t num_requests() const noexcept {
+    return families.size() * sizes.size() * modes.size() * replications;
+  }
+
+  /// Expands into the full request batch, generating every instance. Tags
+  /// are "family=<f> n=<n> mode=<m> rep=<r>". Throws on invalid specs.
+  [[nodiscard]] std::vector<runtime::PlanRequest> expand(
+      const FamilyRegistry& registry = FamilyRegistry::global()) const;
+};
+
+/// The seed expand() uses for one cell — exposed so tests can predict it.
+[[nodiscard]] std::uint64_t cell_seed(std::uint64_t base_seed,
+                                      const std::string& family,
+                                      std::size_t n, core::PowerMode mode,
+                                      std::size_t replication);
+
+}  // namespace wagg::workload
+
+#endif  // WAGG_WORKLOAD_WORKLOAD_H

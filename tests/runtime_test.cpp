@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "instance/basic.h"
+#include "runtime/plan_service.h"
+#include "workload/workload.h"
+
+namespace wagg::runtime {
+namespace {
+
+std::vector<PlanRequest> small_batch(std::size_t count) {
+  std::vector<PlanRequest> requests;
+  for (std::size_t i = 0; i < count; ++i) {
+    PlanRequest request;
+    request.seed = 100 + i;
+    request.points = instance::uniform_square(48, 7.0, request.seed);
+    request.config = workload::mode_config(
+        i % 2 == 0 ? core::PowerMode::kGlobal : core::PowerMode::kUniform);
+    request.tags = "req=" + std::to_string(i);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+TEST(PlanService, ParallelMatchesSerial) {
+  const auto requests = small_batch(12);
+
+  PlanService serial(ServiceOptions{.num_workers = 1});
+  PlanService pooled(ServiceOptions{.num_workers = 4});
+  const auto serial_result = serial.run(requests);
+  const auto pooled_result = pooled.run(requests);
+
+  ASSERT_EQ(serial_result.outcomes.size(), requests.size());
+  ASSERT_EQ(pooled_result.outcomes.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& s = serial_result.outcomes[i];
+    const auto& p = pooled_result.outcomes[i];
+    EXPECT_TRUE(s.ok) << s.error;
+    EXPECT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(s.request_index, i);
+    EXPECT_EQ(p.request_index, i);
+    EXPECT_EQ(s.digest, p.digest) << "request " << i;
+    EXPECT_EQ(s.slots, p.slots);
+    EXPECT_EQ(s.slots_split, p.slots_split);
+    EXPECT_DOUBLE_EQ(s.rate, p.rate);
+    EXPECT_EQ(s.tags, p.tags);
+  }
+}
+
+TEST(PlanService, MalformedRequestsFailWithoutPoisoningBatch) {
+  auto requests = small_batch(6);
+  // Duplicate points -> zero-length MST edge.
+  requests[1].points[3] = requests[1].points[7];
+  // Sink out of range.
+  requests[4].config.sink = 10000;
+
+  PlanService service(ServiceOptions{.num_workers = 3});
+  const auto result = service.run(requests);
+
+  ASSERT_EQ(result.outcomes.size(), requests.size());
+  EXPECT_FALSE(result.outcomes[1].ok);
+  EXPECT_FALSE(result.outcomes[1].error.empty());
+  EXPECT_FALSE(result.outcomes[4].ok);
+  EXPECT_FALSE(result.outcomes[4].error.empty());
+  for (const std::size_t i : {0u, 2u, 3u, 5u}) {
+    EXPECT_TRUE(result.outcomes[i].ok) << result.outcomes[i].error;
+    EXPECT_TRUE(result.outcomes[i].verified);
+  }
+  EXPECT_EQ(result.stats.total, 6u);
+  EXPECT_EQ(result.stats.succeeded, 4u);
+  EXPECT_EQ(result.stats.failed, 2u);
+}
+
+TEST(PlanService, TimingsAndStatsPopulated) {
+  const auto requests = small_batch(5);
+  PlanService service(ServiceOptions{.num_workers = 2});
+  const auto result = service.run(requests);
+
+  for (const auto& outcome : result.outcomes) {
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_GT(outcome.total_ms, 0.0);
+    // Stage clocks are non-negative and bounded by end-to-end wall clock.
+    EXPECT_GE(outcome.timings.tree_ms, 0.0);
+    EXPECT_LE(outcome.timings.total_ms(), outcome.total_ms * 1.5 + 1.0);
+    EXPECT_GT(outcome.slots, 0u);
+    EXPECT_GT(outcome.num_links, 0u);
+  }
+  EXPECT_GT(result.stats.wall_ms, 0.0);
+  EXPECT_GT(result.stats.plans_per_sec, 0.0);
+  EXPECT_GE(result.stats.total_latency.p95, result.stats.total_latency.p50);
+  EXPECT_GE(result.stats.total_latency.max, result.stats.total_latency.p95);
+}
+
+TEST(PlanService, KeepPlansRetainsFullResult) {
+  const auto requests = small_batch(2);
+  PlanService service(ServiceOptions{.num_workers = 2, .keep_plans = true});
+  const auto result = service.run(requests);
+  for (const auto& outcome : result.outcomes) {
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    ASSERT_NE(outcome.plan, nullptr);
+    EXPECT_EQ(outcome.plan->schedule().length(), outcome.slots);
+  }
+
+  PlanService summary_only(ServiceOptions{.num_workers = 2});
+  const auto lean = summary_only.run(requests);
+  for (const auto& outcome : lean.outcomes) {
+    EXPECT_EQ(outcome.plan, nullptr);
+  }
+}
+
+TEST(PlanService, EmptyBatchAndReuse) {
+  PlanService service(ServiceOptions{.num_workers = 2});
+  const auto empty = service.run({});
+  EXPECT_TRUE(empty.outcomes.empty());
+  EXPECT_EQ(empty.stats.total, 0u);
+
+  // The pool is reusable across batches.
+  const auto requests = small_batch(3);
+  const auto first = service.run(requests);
+  const auto second = service.run(requests);
+  ASSERT_EQ(first.outcomes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(first.outcomes[i].digest, second.outcomes[i].digest);
+  }
+}
+
+TEST(ExecuteRequest, MatchesServicePath) {
+  const auto requests = small_batch(3);
+  PlanService service(ServiceOptions{.num_workers = 2});
+  const auto batch = service.run(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto direct = execute_request(requests[i], i);
+    ASSERT_TRUE(direct.ok) << direct.error;
+    EXPECT_EQ(direct.digest, batch.outcomes[i].digest);
+  }
+}
+
+}  // namespace
+}  // namespace wagg::runtime

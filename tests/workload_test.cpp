@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "geom/point.h"
+#include "instance/extended.h"
+#include "workload/workload.h"
+
+namespace wagg::workload {
+namespace {
+
+TEST(FamilyRegistry, BuiltinNamesCoverLegacyAndNewFamilies) {
+  const auto names = FamilyRegistry::builtin().names();
+  for (const std::string expected :
+       {"uniform", "cluster", "grid", "expchain", "unitchain", "annulus",
+        "twotier", "noisygrid"}) {
+    EXPECT_TRUE(std::count(names.begin(), names.end(), expected))
+        << "missing family " << expected;
+  }
+}
+
+TEST(FamilyRegistry, UnknownFamilyThrows) {
+  EXPECT_THROW((void)FamilyRegistry::builtin().make("nope", 16, 1),
+               std::invalid_argument);
+}
+
+TEST(FamilyRegistry, GenerationIsDeterministic) {
+  const auto& registry = FamilyRegistry::global();
+  for (const auto& name : registry.names()) {
+    const auto a = registry.make(name, 64, 7);
+    const auto b = registry.make(name, 64, 7);
+    EXPECT_EQ(a, b) << "family " << name;
+  }
+}
+
+TEST(Instance, AnnulusRespectsRadii) {
+  const auto points = instance::annulus(200, 3.0, 9.0, 11);
+  ASSERT_EQ(points.size(), 200u);
+  for (const auto& p : points) {
+    const double r = std::hypot(p.x, p.y);
+    EXPECT_GE(r, 3.0 - 1e-12);
+    EXPECT_LE(r, 9.0 + 1e-12);
+  }
+  EXPECT_THROW((void)instance::annulus(10, 5.0, 5.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Instance, TwoTierSplitsScales) {
+  const auto points = instance::two_tier(50, 50, 2.0, 16.0, 3);
+  ASSERT_EQ(points.size(), 100u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_LE(std::hypot(points[i].x, points[i].y), 2.0 + 1e-12);
+  }
+  for (std::size_t i = 50; i < 100; ++i) {
+    const double r = std::hypot(points[i].x, points[i].y);
+    EXPECT_GE(r, 2.0 - 1e-12);
+    EXPECT_LE(r, 16.0 + 1e-12);
+  }
+}
+
+TEST(WorkloadSpec, ParsesFullGrammar) {
+  const auto spec = WorkloadSpec::parse(
+      "name=demo  # trailing comment\n"
+      "families=uniform,annulus\n"
+      "sizes=32,64..256x2\n"
+      "modes=global,oblivious\n"
+      "reps=3 seed=9 alpha=3.5 beta=2\n");
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.families, (std::vector<std::string>{"uniform", "annulus"}));
+  EXPECT_EQ(spec.sizes, (std::vector<std::size_t>{32, 64, 128, 256}));
+  ASSERT_EQ(spec.modes.size(), 2u);
+  EXPECT_EQ(spec.modes[0], core::PowerMode::kGlobal);
+  EXPECT_EQ(spec.modes[1], core::PowerMode::kOblivious);
+  EXPECT_EQ(spec.replications, 3u);
+  EXPECT_EQ(spec.base_seed, 9u);
+  EXPECT_DOUBLE_EQ(spec.alpha, 3.5);
+  EXPECT_DOUBLE_EQ(spec.beta, 2.0);
+  EXPECT_EQ(spec.num_requests(), 2u * 4u * 2u * 3u);
+}
+
+TEST(WorkloadSpec, RoundTripsThroughText) {
+  const auto spec = WorkloadSpec::parse(
+      "name=rt families=grid,twotier sizes=16..64x2 modes=uniform reps=2 "
+      "seed=5 alpha=2.7182818284590452");
+  const auto reparsed = WorkloadSpec::parse(spec.to_text());
+  EXPECT_EQ(spec, reparsed);
+}
+
+TEST(WorkloadSpec, RejectsMalformedInput) {
+  EXPECT_THROW((void)WorkloadSpec::parse("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("frobnicate=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("sizes=abc"), std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("modes=warp"), std::invalid_argument);
+  // stoull would silently wrap negative values; the parser must reject them.
+  EXPECT_THROW((void)WorkloadSpec::parse("sizes=-8"), std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("seed=-1"), std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("sizes=1..-1x2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("sizes=64..32x2 families=uniform "
+                                         "modes=global")
+                   .expand(),
+               std::invalid_argument);
+  // Unknown family is caught at expansion time.
+  EXPECT_THROW(
+      (void)WorkloadSpec::parse("families=nope sizes=16 modes=global")
+          .expand(),
+      std::invalid_argument);
+}
+
+TEST(WorkloadSpec, GeometricSweepNearOverflowTerminates) {
+  // The sweep loop must stop instead of wrapping n past 2^64.
+  const auto spec = WorkloadSpec::parse(
+      "sizes=3..18446744073709551615x3");  // hi = 2^64 - 1
+  EXPECT_FALSE(spec.sizes.empty());
+  EXPECT_EQ(spec.sizes.front(), 3u);
+  for (std::size_t i = 1; i < spec.sizes.size(); ++i) {
+    EXPECT_EQ(spec.sizes[i], spec.sizes[i - 1] * 3);
+  }
+}
+
+TEST(WorkloadSpec, ExpansionIsDeterministic) {
+  const std::string text =
+      "families=uniform,noisygrid sizes=32,64 modes=global,uniform reps=2 "
+      "seed=77";
+  const auto a = WorkloadSpec::parse(text).expand();
+  const auto b = WorkloadSpec::parse(text).expand();
+  ASSERT_EQ(a.size(), 2u * 2u * 2u * 2u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].tags, b[i].tags);
+    EXPECT_EQ(a[i].points, b[i].points);
+    EXPECT_EQ(a[i].config.power_mode, b[i].config.power_mode);
+  }
+}
+
+TEST(WorkloadSpec, CellSeedsIndependentOfSpecShape) {
+  // Adding a family must not change any other cell's seed (or points).
+  const auto narrow =
+      WorkloadSpec::parse("families=uniform sizes=32 modes=global reps=2");
+  const auto wide = WorkloadSpec::parse(
+      "families=annulus,uniform sizes=32 modes=global reps=2");
+  const auto narrow_requests = narrow.expand();
+  const auto wide_requests = wide.expand();
+  ASSERT_EQ(narrow_requests.size(), 2u);
+  ASSERT_EQ(wide_requests.size(), 4u);
+  // uniform cells sit after the annulus cells in the wide expansion.
+  for (std::size_t rep = 0; rep < 2; ++rep) {
+    EXPECT_EQ(narrow_requests[rep].seed, wide_requests[2 + rep].seed);
+    EXPECT_EQ(narrow_requests[rep].points, wide_requests[2 + rep].points);
+  }
+  // Replications within a cell get distinct seeds.
+  EXPECT_NE(narrow_requests[0].seed, narrow_requests[1].seed);
+}
+
+TEST(WorkloadSpec, ExpandSetsConfigAndTags) {
+  const auto requests = WorkloadSpec::parse(
+                            "families=grid sizes=16 modes=oblivious "
+                            "alpha=4 beta=1.5")
+                            .expand();
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].config.power_mode, core::PowerMode::kOblivious);
+  EXPECT_DOUBLE_EQ(requests[0].config.sinr.alpha, 4.0);
+  EXPECT_DOUBLE_EQ(requests[0].config.sinr.beta, 1.5);
+  EXPECT_EQ(requests[0].tags, "family=grid n=16 mode=oblivious rep=0");
+}
+
+// One smoke plan per new instance family: the full paper pipeline must
+// produce a verified schedule on each.
+TEST(WorkloadSmoke, NewFamiliesPlanAndVerify) {
+  for (const std::string family : {"annulus", "twotier", "noisygrid"}) {
+    const auto points = FamilyRegistry::global().make(family, 48, 5);
+    ASSERT_GE(points.size(), 2u) << family;
+    const auto plan = core::plan_aggregation(
+        points, mode_config(core::PowerMode::kGlobal));
+    EXPECT_TRUE(plan.verified()) << family;
+    EXPECT_GT(plan.rate(), 0.0) << family;
+  }
+}
+
+}  // namespace
+}  // namespace wagg::workload
