@@ -19,9 +19,9 @@ void print_table() {
   util::Table t({"n", "slots L", "period", "steady rate", "1/L", "buf @128",
                  "buf @256", "verdict"});
   for (std::size_t n : {64u, 256u, 1024u}) {
-    const auto pts = bench::make_family("uniform", n, 21);
+    const auto pts = workload::make_family("uniform", n, 21);
     const auto plan =
-        core::plan_aggregation(pts, bench::mode_config(core::PowerMode::kGlobal));
+        core::plan_aggregation(pts, workload::mode_config(core::PowerMode::kGlobal));
     const std::size_t slots = plan.schedule().length();
     for (const std::size_t period : {slots, slots > 1 ? slots - 1 : slots}) {
       // Both windows sit past the pipeline-fill transient (fill is about
@@ -56,10 +56,10 @@ void print_table() {
 }
 
 void BM_SimulateAtCapacity(benchmark::State& state) {
-  const auto pts = bench::make_family(
+  const auto pts = workload::make_family(
       "uniform", static_cast<std::size_t>(state.range(0)), 21);
   const auto plan =
-      core::plan_aggregation(pts, bench::mode_config(core::PowerMode::kGlobal));
+      core::plan_aggregation(pts, workload::mode_config(core::PowerMode::kGlobal));
   schedule::SimulationConfig cfg;
   cfg.generation_period = plan.schedule().length();
   cfg.num_frames = 64;

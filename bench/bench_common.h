@@ -6,9 +6,9 @@
 // README.md) and then runs its google-benchmark timings.
 //
 // Instance families and mode defaults live in the workload registry
-// (src/workload/workload.h); the wrappers below keep the historical bench
-// call sites unchanged while guaranteeing benches, tests, and the batch
-// runtime all draw instances from one definition.
+// (src/workload/workload.h); benches call workload::make_family and
+// workload::mode_config directly, so benches, tests, and the batch runtime
+// all draw instances from one definition.
 
 #include <benchmark/benchmark.h>
 
@@ -21,17 +21,6 @@
 #include "workload/workload.h"
 
 namespace wagg::bench {
-
-/// Named instance family generators used across experiments. Delegates to
-/// workload::FamilyRegistry; throws std::invalid_argument on unknown names.
-inline geom::Pointset make_family(const std::string& family, std::size_t n,
-                                  std::uint64_t seed) {
-  return workload::FamilyRegistry::global().make(family, n, seed);
-}
-
-inline core::PlannerConfig mode_config(core::PowerMode mode) {
-  return workload::mode_config(mode);
-}
 
 inline void print_header(const std::string& experiment,
                          const std::string& claim) {

@@ -23,7 +23,7 @@ void print_table() {
   cfg.spec = conflict::ConflictSpec::constant(2.0);
   for (const std::string family : {"uniform", "cluster", "expchain"}) {
     for (std::size_t n : {128u, 512u, 2048u}) {
-      const auto pts = bench::make_family(family, n, 9);
+      const auto pts = workload::make_family(family, n, 9);
       const auto tree = mst::mst_tree(pts, 0);
       cfg.seed = n;
       const auto result = distributed::distributed_schedule(tree.links, cfg);
@@ -47,7 +47,7 @@ void print_table() {
 }
 
 void BM_DistributedScheduling(benchmark::State& state) {
-  const auto pts = bench::make_family(
+  const auto pts = workload::make_family(
       "uniform", static_cast<std::size_t>(state.range(0)), 3);
   const auto tree = mst::mst_tree(pts, 0);
   distributed::DistributedConfig cfg;

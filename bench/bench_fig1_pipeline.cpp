@@ -86,7 +86,7 @@ void print_rate_vs_latency_table() {
     const auto pt = mst::pairing_tree(instance::unit_chain(n),
                                       static_cast<std::int32_t>(n - 1));
     const auto level = core::level_schedule(
-        pt, bench::mode_config(core::PowerMode::kGlobal));
+        pt, workload::mode_config(core::PowerMode::kGlobal));
     schedule::SimulationConfig pcfg;
     pcfg.num_frames = 64;
     pcfg.generation_period = level.schedule.length();

@@ -21,13 +21,13 @@ void print_kconnect_table() {
   util::Table t({"n", "k", "links", "lemma1 stat", "global slots",
                  "obliv slots", "verified"});
   for (std::size_t n : {128u, 512u}) {
-    const auto pts = bench::make_family("uniform", n, 13);
+    const auto pts = workload::make_family("uniform", n, 13);
     for (int k = 1; k <= 4; ++k) {
       const auto global =
           core::plan_k_connected(pts, k,
-                                 bench::mode_config(core::PowerMode::kGlobal));
+                                 workload::mode_config(core::PowerMode::kGlobal));
       const auto obliv = core::plan_k_connected(
-          pts, k, bench::mode_config(core::PowerMode::kOblivious));
+          pts, k, workload::mode_config(core::PowerMode::kOblivious));
       t.row()
           .cell(n)
           .cell(k)
@@ -49,11 +49,11 @@ void print_noise_table() {
       "the margin shrinks.");
   util::Table t({"noise N", "eps", "uniform slots", "obliv slots",
                  "global slots"});
-  const auto pts = bench::make_family("uniform", 512, 17);
+  const auto pts = workload::make_family("uniform", 512, 17);
   for (const double noise : {0.0, 1e-6, 1e-3, 1e-2, 0.1}) {
     for (const double eps : {0.5, 0.1}) {
       auto slots_for = [&](core::PowerMode mode) {
-        auto cfg = bench::mode_config(mode);
+        auto cfg = workload::mode_config(mode);
         cfg.sinr.noise = noise;
         cfg.sinr.epsilon = eps;
         return core::plan_aggregation(pts, cfg).schedule().length();
@@ -71,9 +71,9 @@ void print_noise_table() {
 }
 
 void BM_KConnectedPlanning(benchmark::State& state) {
-  const auto pts = bench::make_family("uniform", 256, 13);
+  const auto pts = workload::make_family("uniform", 256, 13);
   const auto k = static_cast<int>(state.range(0));
-  const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+  const auto cfg = workload::mode_config(core::PowerMode::kGlobal);
   for (auto _ : state) {
     const auto plan = core::plan_k_connected(pts, k, cfg);
     benchmark::DoNotOptimize(plan.scheduling.schedule.length());

@@ -13,7 +13,7 @@ namespace wagg {
 namespace {
 
 void BM_MstBuild(benchmark::State& state) {
-  const auto pts = bench::make_family(
+  const auto pts = workload::make_family(
       "uniform", static_cast<std::size_t>(state.range(0)), 1);
   for (auto _ : state) {
     const auto edges = mst::euclidean_mst(pts);
@@ -25,7 +25,7 @@ BENCHMARK(BM_MstBuild)->RangeMultiplier(4)->Range(256, 16384)
     ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNSquared);
 
 void BM_ConflictNaive(benchmark::State& state) {
-  const auto pts = bench::make_family(
+  const auto pts = workload::make_family(
       "uniform", static_cast<std::size_t>(state.range(0)), 1);
   const auto tree = mst::mst_tree(pts, 0);
   const auto spec = conflict::ConflictSpec::logarithmic(2.0, 3.0);
@@ -38,7 +38,7 @@ BENCHMARK(BM_ConflictNaive)->RangeMultiplier(4)->Range(256, 4096)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ConflictBucketed(benchmark::State& state) {
-  const auto pts = bench::make_family(
+  const auto pts = workload::make_family(
       "uniform", static_cast<std::size_t>(state.range(0)), 1);
   const auto tree = mst::mst_tree(pts, 0);
   const auto spec = conflict::ConflictSpec::logarithmic(2.0, 3.0);
@@ -51,7 +51,7 @@ BENCHMARK(BM_ConflictBucketed)->RangeMultiplier(4)->Range(256, 16384)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GreedyColoring(benchmark::State& state) {
-  const auto pts = bench::make_family(
+  const auto pts = workload::make_family(
       "uniform", static_cast<std::size_t>(state.range(0)), 1);
   const auto tree = mst::mst_tree(pts, 0);
   const auto g = conflict::build_conflict_graph_bucketed(
@@ -66,9 +66,9 @@ BENCHMARK(BM_GreedyColoring)->RangeMultiplier(4)->Range(256, 16384)
     ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndGlobal(benchmark::State& state) {
-  const auto pts = bench::make_family(
+  const auto pts = workload::make_family(
       "uniform", static_cast<std::size_t>(state.range(0)), 1);
-  const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+  const auto cfg = workload::mode_config(core::PowerMode::kGlobal);
   for (auto _ : state) {
     const auto plan = core::plan_aggregation(pts, cfg);
     benchmark::DoNotOptimize(plan.schedule().length());

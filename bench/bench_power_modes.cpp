@@ -30,14 +30,14 @@ void print_table() {
       {"unitchain", 256},
   };
   for (const auto& c : cases) {
-    const auto pts = bench::make_family(c.family, c.n, 5);
+    const auto pts = workload::make_family(c.family, c.n, 5);
     auto slots_for = [&](core::PowerMode mode) {
-      auto cfg = bench::mode_config(mode);
+      auto cfg = workload::mode_config(mode);
       return core::plan_aggregation(pts, cfg).schedule().length();
     };
     const auto pt = mst::pairing_tree(pts, 0);
     const auto level =
-        core::level_schedule(pt, bench::mode_config(core::PowerMode::kGlobal));
+        core::level_schedule(pt, workload::mode_config(core::PowerMode::kGlobal));
     // Conflict-graph-free baseline: first-fit-decreasing against the exact
     // power-control oracle on the MST links. Every trial re-solves the slot
     // spectral radius, so this is quadratic-ish in slot size — capped to the
@@ -49,7 +49,7 @@ void print_table() {
       const auto ffd = schedule::ffd_schedule(
           tree.links,
           schedule::power_control_oracle(
-              tree.links, bench::mode_config(core::PowerMode::kGlobal).sinr));
+              tree.links, workload::mode_config(core::PowerMode::kGlobal).sinr));
       ffd_slots = std::to_string(ffd.length());
     }
     t.row()
@@ -66,9 +66,9 @@ void print_table() {
 }
 
 void BM_ModeComparison(benchmark::State& state) {
-  const auto pts = bench::make_family("uniform", 512, 1);
+  const auto pts = workload::make_family("uniform", 512, 1);
   const auto mode = static_cast<core::PowerMode>(state.range(0));
-  const auto cfg = bench::mode_config(mode);
+  const auto cfg = workload::mode_config(mode);
   for (auto _ : state) {
     const auto plan = core::plan_aggregation(pts, cfg);
     benchmark::DoNotOptimize(plan.schedule().length());

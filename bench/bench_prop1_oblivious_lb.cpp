@@ -38,7 +38,7 @@ void print_table() {
     const auto pairs = analysis::count_cofeasible_pairs(tree.links, oracle);
     const auto bound = analysis::min_slots_lower_bound(tree.links, oracle);
 
-    auto cfg = bench::mode_config(core::PowerMode::kOblivious);
+    auto cfg = workload::mode_config(core::PowerMode::kOblivious);
     cfg.tau = tau;
     cfg.delta = std::max(0.9, std::max(tau, 1.0 - tau) + 0.05);
     const auto plan = core::plan_aggregation(chain.points, cfg);

@@ -45,7 +45,7 @@ void print_table() {
       util::RunningStats alt_min_s, alt_mean_s, alt_max_s;
       for (std::uint64_t seed = 1; seed <= 3; ++seed) {
         const auto pts = instance::uniform_line(n, 1000.0, seed);
-        const auto cfg = bench::mode_config(mode);
+        const auto cfg = workload::mode_config(mode);
         const auto plan = core::plan_aggregation(pts, cfg);
         mst_stats.add(static_cast<double>(plan.schedule().length()));
         util::RunningStats alts;
@@ -74,7 +74,7 @@ void print_table() {
 void BM_LinePlanning(benchmark::State& state) {
   const auto pts = instance::uniform_line(
       static_cast<std::size_t>(state.range(0)), 1000.0, 1);
-  const auto cfg = bench::mode_config(core::PowerMode::kUniform);
+  const auto cfg = workload::mode_config(core::PowerMode::kUniform);
   for (auto _ : state) {
     const auto plan = core::plan_aggregation(pts, cfg);
     benchmark::DoNotOptimize(plan.schedule().length());

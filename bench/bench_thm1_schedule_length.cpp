@@ -24,7 +24,7 @@ Row run_all_modes(const geom::Pointset& pts) {
   Row row{};
   auto run = [&](core::PowerMode mode, std::size_t& colors,
                  std::size_t& slots) {
-    auto cfg = bench::mode_config(mode);
+    auto cfg = workload::mode_config(mode);
     const auto plan = core::plan_aggregation(pts, cfg);
     colors = plan.scheduling.colors_before_repair;
     slots = plan.schedule().length();
@@ -44,7 +44,7 @@ void print_random_table() {
   util::Table t({"n", "log*D", "loglogD", "global col/slots", "obliv col/slots",
                  "uniform slots"});
   for (std::size_t n : {128u, 512u, 2048u, 8192u}) {
-    const auto pts = bench::make_family("uniform", n, 7);
+    const auto pts = workload::make_family("uniform", n, 7);
     const auto tree = mst::mst_tree(pts, 0);
     const double log_delta = tree.links.log2_delta();
     const auto row = run_all_modes(pts);
@@ -93,10 +93,10 @@ void print_ablation_table() {
   util::Table t({"n", "mode", "dec-len slots", "inc-len slots",
                  "no-repair colors", "repaired slots", "slots split"});
   for (std::size_t n : {512u, 2048u}) {
-    const auto pts = bench::make_family("uniform", n, 11);
+    const auto pts = workload::make_family("uniform", n, 11);
     for (const auto mode :
          {core::PowerMode::kGlobal, core::PowerMode::kOblivious}) {
-      auto cfg = bench::mode_config(mode);
+      auto cfg = workload::mode_config(mode);
       cfg.order = core::ColoringOrder::kDecreasingLength;
       const auto dec = core::plan_aggregation(pts, cfg);
       cfg.order = core::ColoringOrder::kIncreasingLength;
@@ -117,8 +117,8 @@ void print_ablation_table() {
 
 void BM_PlanGlobal(benchmark::State& state) {
   const auto pts =
-      bench::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
-  const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+      workload::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
+  const auto cfg = workload::mode_config(core::PowerMode::kGlobal);
   for (auto _ : state) {
     const auto plan = core::plan_aggregation(pts, cfg);
     benchmark::DoNotOptimize(plan.schedule().length());
@@ -130,8 +130,8 @@ BENCHMARK(BM_PlanGlobal)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 void BM_PlanOblivious(benchmark::State& state) {
   const auto pts =
-      bench::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
-  const auto cfg = bench::mode_config(core::PowerMode::kOblivious);
+      workload::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
+  const auto cfg = workload::mode_config(core::PowerMode::kOblivious);
   for (auto _ : state) {
     const auto plan = core::plan_aggregation(pts, cfg);
     benchmark::DoNotOptimize(plan.schedule().length());

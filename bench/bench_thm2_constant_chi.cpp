@@ -24,7 +24,7 @@ void print_table() {
   for (const std::string family : {"uniform", "cluster", "grid", "expchain"}) {
     int first_chi = -1, last_chi = -1;
     for (std::size_t n : {256u, 1024u, 4096u}) {
-      const auto pts = bench::make_family(family, n, 42);
+      const auto pts = workload::make_family(family, n, 42);
       const auto tree = mst::mst_tree(pts, 0);
       const double lemma1 = sinr::lemma1_statistic(tree.links, 3.0);
       const auto refinement = coloring::firstfit_refinement(tree.links, 3.0);
@@ -49,7 +49,7 @@ void print_table() {
 
 void BM_Refinement(benchmark::State& state) {
   const auto pts =
-      bench::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
+      workload::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
   const auto tree = mst::mst_tree(pts, 0);
   for (auto _ : state) {
     const auto r = coloring::firstfit_refinement(tree.links, 3.0);
@@ -60,7 +60,7 @@ BENCHMARK(BM_Refinement)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 void BM_G1Coloring(benchmark::State& state) {
   const auto pts =
-      bench::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
+      workload::make_family("uniform", static_cast<std::size_t>(state.range(0)), 1);
   const auto tree = mst::mst_tree(pts, 0);
   const auto g1 = conflict::build_conflict_graph_bucketed(
       tree.links, conflict::ConflictSpec::constant(1.0));

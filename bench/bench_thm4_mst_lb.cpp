@@ -29,7 +29,7 @@ void print_table() {
   prm.beta = 1.0;
   for (int level = 1; level <= 4; ++level) {
     const auto rt = instance::recursive_rt(level, 4.0, 12, 60000);
-    const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+    const auto cfg = workload::mode_config(core::PowerMode::kGlobal);
     const auto plan = core::plan_aggregation(rt.points, cfg);
     std::string exact = "-";
     if (rt.points.size() <= 14) {
@@ -90,7 +90,7 @@ void print_claim1_table() {
 void BM_RtPlanning(benchmark::State& state) {
   const auto rt =
       instance::recursive_rt(static_cast<int>(state.range(0)), 4.0, 12, 60000);
-  const auto cfg = bench::mode_config(core::PowerMode::kGlobal);
+  const auto cfg = workload::mode_config(core::PowerMode::kGlobal);
   for (auto _ : state) {
     const auto plan = core::plan_aggregation(rt.points, cfg);
     benchmark::DoNotOptimize(plan.schedule().length());

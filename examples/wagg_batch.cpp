@@ -67,6 +67,7 @@ void print_stage_table(const wagg::runtime::BatchStats& stats) {
   add("repair", stats.repair);
   add("verify", stats.verify);
   add("power", stats.power);
+  add("queue", stats.queue);
   add("total", stats.total_latency);
   table.print(std::cout);
 }

@@ -62,6 +62,91 @@ Coloring greedy_color_index_order(const conflict::Graph& graph) {
   return greedy_color(graph, order);
 }
 
+namespace {
+
+/// The shared seeded-first-fit core: assigns vertex v the smallest color
+/// unused by its neighbors (supplied by `neighbors_of`), updating the
+/// coloring in place. Both greedy_recolor flavors delegate here so the
+/// first-fit rule cannot diverge between them.
+template <typename NeighborsOf>
+void first_fit_vertex(Coloring& coloring, std::size_t v,
+                      NeighborsOf&& neighbors_of, std::vector<bool>& used) {
+  used.assign(static_cast<std::size_t>(coloring.num_colors) + 1, false);
+  for (const auto w : neighbors_of(v)) {
+    const int c = coloring.color_of[static_cast<std::size_t>(w)];
+    if (c >= 0 && c < coloring.num_colors) {
+      used[static_cast<std::size_t>(c)] = true;
+    }
+  }
+  int color = 0;
+  while (used[static_cast<std::size_t>(color)]) ++color;
+  coloring.color_of[v] = color;
+  coloring.num_colors = std::max(coloring.num_colors, color + 1);
+}
+
+Coloring seed_coloring(std::span<const int> seed) {
+  Coloring coloring;
+  coloring.color_of.assign(seed.begin(), seed.end());
+  for (const int c : seed) {
+    coloring.num_colors = std::max(coloring.num_colors, c + 1);
+  }
+  return coloring;
+}
+
+}  // namespace
+
+Coloring greedy_recolor(const conflict::Graph& graph,
+                        std::span<const std::size_t> order,
+                        std::span<const int> seed) {
+  const std::size_t n = graph.num_vertices();
+  check_permutation(n, order);
+  if (seed.size() != n) {
+    throw std::invalid_argument("greedy_recolor: seed size mismatch");
+  }
+  Coloring coloring = seed_coloring(seed);
+  for (std::size_t v = 0; v < n; ++v) {
+    const int c = coloring.color_of[v];
+    if (c < 0) continue;
+    for (const auto w : graph.neighbors(v)) {
+      if (coloring.color_of[static_cast<std::size_t>(w)] == c) {
+        throw std::invalid_argument(
+            "greedy_recolor: seed is not proper on the seeded subgraph");
+      }
+    }
+  }
+  std::vector<bool> used;  // scratch: colors used by neighbours
+  const auto neighbors_of = [&graph](std::size_t v) {
+    return graph.neighbors(v);
+  };
+  for (std::size_t v : order) {
+    if (coloring.color_of[v] >= 0) continue;  // seeded — keep
+    first_fit_vertex(coloring, v, neighbors_of, used);
+  }
+  return coloring;
+}
+
+Coloring greedy_recolor_rows(std::span<const std::size_t> targets,
+                             std::span<const std::vector<std::int32_t>> rows,
+                             std::span<const int> seed) {
+  if (targets.size() != rows.size()) {
+    throw std::invalid_argument(
+        "greedy_recolor_rows: targets/rows size mismatch");
+  }
+  Coloring coloring = seed_coloring(seed);
+  std::vector<bool> used;
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    const std::size_t v = targets[k];
+    if (v >= seed.size()) {
+      throw std::invalid_argument("greedy_recolor_rows: target out of range");
+    }
+    const auto neighbors_of = [&rows, k](std::size_t) -> const std::vector<std::int32_t>& {
+      return rows[k];
+    };
+    first_fit_vertex(coloring, v, neighbors_of, used);
+  }
+  return coloring;
+}
+
 Coloring dsatur(const conflict::Graph& graph) {
   const std::size_t n = graph.num_vertices();
   Coloring coloring;

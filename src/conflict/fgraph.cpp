@@ -239,4 +239,69 @@ Graph build_conflict_graph_bucketed(const geom::LinkSet& links,
   return graph;
 }
 
+std::vector<std::vector<std::int32_t>> conflict_neighbors_bucketed(
+    const geom::LinkSet& links, const ConflictSpec& spec,
+    std::span<const std::size_t> queries) {
+  validate(spec);
+  std::vector<std::vector<std::int32_t>> result(queries.size());
+  if (links.size() < 2) return result;
+  const double lmin = links.min_length();
+  const double origin_x = links.points().empty() ? 0.0 : links.points()[0].x;
+  const double origin_y = links.points().empty() ? 0.0 : links.points()[0].y;
+
+  auto class_of = [&](std::size_t i) {
+    return static_cast<int>(std::floor(std::log2(links.length(i) / lmin)));
+  };
+
+  // Index EVERY link (unlike the builder, a query must see both shorter and
+  // longer partners).
+  std::unordered_map<int, ClassGrid> grids;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const int ci = class_of(i);
+    auto [it, inserted] = grids.try_emplace(
+        ci, std::exp2(static_cast<double>(ci)) * lmin, origin_x, origin_y);
+    it->second.insert(links.sender_pos(i), static_cast<std::int32_t>(i));
+    it->second.insert(links.receiver_pos(i), static_cast<std::int32_t>(i));
+    it->second.note_insert();
+  }
+
+  std::vector<std::int32_t> candidates;
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    const std::size_t q = queries[k];
+    const double lq = links.length(q);
+    candidates.clear();
+    for (auto& [cs, grid] : grids) {
+      // Two-sided bound: for partner j in class cs (class_lo <= l_j <
+      // class_hi), conflict requires
+      //   d(q, j) <= lmin_pair * f(lmax_pair / lmin_pair)
+      // with lmin_pair <= min(lq, class_hi) and lmax_pair / lmin_pair <=
+      // max(lq / class_lo, class_hi / lq, 1); f is non-decreasing, so
+      // radius = min(lq, class_hi) * f(x_max) over-approximates every pair.
+      const double class_lo = std::exp2(static_cast<double>(cs)) * lmin;
+      const double class_hi = 2.0 * class_lo;
+      const double x_max =
+          std::max({1.0, lq / class_lo, class_hi / lq});
+      const double radius =
+          std::min(lq, class_hi) * spec.f(x_max) + 1e-12 * std::max(lq, class_hi);
+      if (grid.query_cost(radius) >
+          static_cast<double>(grid.size()) + 64.0) {
+        grid.all(candidates);
+      } else {
+        grid.query(links.sender_pos(q), radius, candidates);
+        grid.query(links.receiver_pos(q), radius, candidates);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    auto& row = result[k];
+    for (const std::int32_t j : candidates) {
+      if (spec.conflicting(links, q, static_cast<std::size_t>(j))) {
+        row.push_back(j);
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace wagg::conflict

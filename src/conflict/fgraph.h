@@ -51,6 +51,18 @@ struct ConflictSpec {
 [[nodiscard]] Graph build_conflict_graph_bucketed(const geom::LinkSet& links,
                                                   const ConflictSpec& spec);
 
+/// Conflict adjacency for a SUBSET of links only: result[k] holds the
+/// (sorted, deduplicated) links conflicting with queries[k], computed
+/// against the whole link set through the same per-class bucket grids as
+/// build_conflict_graph_bucketed — equal to the corresponding rows of the
+/// full graph (property-tested). Cost is one O(n) index build plus
+/// output-sensitive queries, so callers that only need a few rows (the
+/// incremental planner's dirty set) avoid the full O(n^2 worst) rebuild.
+[[nodiscard]] std::vector<std::vector<std::int32_t>>
+conflict_neighbors_bucketed(const geom::LinkSet& links,
+                            const ConflictSpec& spec,
+                            std::span<const std::size_t> queries);
+
 }  // namespace wagg::conflict
 
 #endif  // WAGG_CONFLICT_FGRAPH_H

@@ -89,8 +89,13 @@ schedule::FeasibilityOracle oracle_for_mode(const geom::LinkSet& links,
 
 LinkScheduleResult schedule_links(const geom::LinkSet& links,
                                   const PlannerConfig& config,
-                                  StageTimings* timings) {
+                                  StageTimings* timings,
+                                  const WarmStart* warm) {
   config.validate();
+  if (warm && warm->seed_colors.size() != links.size()) {
+    throw std::invalid_argument(
+        "schedule_links: warm-start seed size does not match link count");
+  }
   LinkScheduleResult result;
   result.spec = spec_for_mode(config);
   result.power = power_for_mode(links, config);
@@ -106,8 +111,16 @@ LinkScheduleResult schedule_links(const geom::LinkSet& links,
   const auto order = config.order == ColoringOrder::kDecreasingLength
                          ? links.by_decreasing_length()
                          : links.by_increasing_length();
-  const coloring::Coloring colors = coloring::greedy_color(graph, order);
+  const coloring::Coloring colors =
+      warm ? coloring::greedy_recolor(graph, order, warm->seed_colors)
+           : coloring::greedy_color(graph, order);
   result.schedule = schedule::from_coloring(colors);
+  if (warm) {
+    // A seeded coloring may leave gaps (color classes that lost every
+    // member); empty slots would inflate the schedule length.
+    std::erase_if(result.schedule.slots,
+                  [](const std::vector<std::size_t>& s) { return s.empty(); });
+  }
   result.colors_before_repair = result.schedule.length();
   if (timings) timings->coloring_ms = ms_since(stage_start);
 

@@ -110,12 +110,25 @@ struct LinkScheduleResult {
 [[nodiscard]] sinr::PowerAssignment power_for_mode(const geom::LinkSet& links,
                                                    const PlannerConfig& config);
 
+/// Warm-start seed for schedule_links. Links with seed_colors[i] >= 0 keep
+/// that color (the caller asserts the seed is proper on the seeded
+/// subgraph); links with -1 are colored greedily around them. The dynamic
+/// planner uses this for its full-replan fallback: coloring stays stable
+/// across the fallback while repair and verification run from scratch,
+/// re-anchoring the carried-over validity chain.
+struct WarmStart {
+  std::vector<int> seed_colors;
+};
+
 /// Colors the conflict graph, repairs, verifies: a complete TDMA schedule
 /// for an arbitrary link set under the configured power mode. When `timings`
-/// is non-null the conflict/coloring/repair/verify stages are clocked into it.
+/// is non-null the conflict/coloring/repair/verify stages are clocked into
+/// it. When `warm` is non-null (and sized to the links) the coloring is
+/// seeded from it instead of computed from scratch.
 [[nodiscard]] LinkScheduleResult schedule_links(const geom::LinkSet& links,
                                                 const PlannerConfig& config,
-                                                StageTimings* timings = nullptr);
+                                                StageTimings* timings = nullptr,
+                                                const WarmStart* warm = nullptr);
 
 /// Full aggregation plan for a pointset.
 struct PlanResult {

@@ -1,0 +1,354 @@
+#include "dynamic/dynamic_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "conflict/fgraph.h"
+#include "mst/tree.h"
+#include "schedule/repair.h"
+#include "schedule/verify.h"
+#include "util/clock.h"
+
+namespace wagg::dynamic {
+
+using util::Clock;
+using util::ms_since;
+
+void DynamicOptions::validate() const {
+  config.validate();
+  if (config.tree != core::TreeKind::kMst) {
+    throw std::invalid_argument(
+        "DynamicOptions: only TreeKind::kMst supports incremental updates");
+  }
+  if (!(full_replan_fraction > 0.0 && full_replan_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "DynamicOptions: full_replan_fraction must lie in (0, 1]");
+  }
+}
+
+DynamicPlanner::DynamicPlanner(const geom::Pointset& initial,
+                               DynamicOptions options)
+    : options_(std::move(options)), mst_(initial) {
+  options_.validate();
+  if (initial.size() < 2) {
+    throw std::invalid_argument("DynamicPlanner: need >= 2 initial points");
+  }
+  if (options_.config.sink < 0 ||
+      static_cast<std::size_t>(options_.config.sink) >= initial.size()) {
+    throw std::invalid_argument("DynamicPlanner: sink out of range");
+  }
+  sink_id_ = options_.config.sink;
+
+  EpochReport report;
+  report.epoch = 0;
+  replan({}, report);
+  if (options_.audit) run_audit(report);
+  report_ = report;
+}
+
+EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
+  EpochReport report;
+  report.epoch = report_.epoch + 1;
+  report.mutations_applied = mutations.size();
+
+  const auto mst_start = Clock::now();
+  // Past ~n/16 mutations one batch Prim beats per-mutation maintenance
+  // (per-update cost is ~n log n against a single n^2/2 rebuild), so bulk
+  // epochs defer tree updates and rebuild once.
+  const bool bulk =
+      mutations.size() >= std::max<std::size_t>(8, mst_.num_alive() / 16);
+  std::vector<NodeId> touched;
+  touched.reserve(mutations.size());
+  try {
+    for (const auto& mutation : mutations) {
+      switch (mutation.kind) {
+        case Mutation::Kind::kAdd:
+          touched.push_back(bulk ? mst_.add_point_deferred(mutation.position)
+                                 : mst_.add_point(mutation.position));
+          break;
+        case Mutation::Kind::kRemove:
+          if (mutation.node == sink_id_) {
+            throw std::invalid_argument(
+                "DynamicPlanner: the sink cannot be removed");
+          }
+          if (mst_.num_alive() <= 2) {
+            throw std::invalid_argument(
+                "DynamicPlanner: removal would drop below 2 nodes");
+          }
+          if (bulk) {
+            mst_.remove_point_deferred(mutation.node);
+          } else {
+            mst_.remove_point(mutation.node);
+          }
+          break;
+        case Mutation::Kind::kMove:
+          if (bulk) {
+            mst_.move_point_deferred(mutation.node, mutation.position);
+          } else {
+            mst_.move_point(mutation.node, mutation.position);
+          }
+          touched.push_back(mutation.node);
+          break;
+      }
+    }
+  } catch (...) {
+    // Applied prefix stays applied (documented); the tree must still be
+    // consistent for the next epoch, which deferred updates postponed.
+    if (bulk) mst_.rebuild();
+    // The prefix's touched nodes are lost with this frame, so carried slot
+    // certificates can no longer tell clean links from moved ones. Drop
+    // them: the next epoch replans (and re-verifies) from scratch.
+    slot_of_key_.clear();
+    throw;
+  }
+  if (bulk) mst_.rebuild();
+  report.timings.mst_ms = ms_since(mst_start);
+
+  replan(touched, report);
+  if (options_.audit) run_audit(report);
+  report_ = report;
+  return report;
+}
+
+std::vector<EpochReport> DynamicPlanner::apply_trace(const ChurnTrace& trace) {
+  std::vector<EpochReport> reports;
+  reports.reserve(trace.size());
+  for (const auto& epoch_mutations : trace) {
+    reports.push_back(apply(epoch_mutations));
+  }
+  return reports;
+}
+
+void DynamicPlanner::replan(const std::vector<NodeId>& touched,
+                            EpochReport& report) {
+  const auto& config = options_.config;
+
+  // ---- re-orient the maintained tree toward the sink ----
+  auto stage_start = Clock::now();
+  auto ids = mst_.alive_ids();
+  geom::Pointset points;
+  points.reserve(ids.size());
+  for (const auto id : ids) points.push_back(mst_.position(id));
+  const auto sink_it = std::lower_bound(ids.begin(), ids.end(), sink_id_);
+  const auto sink_idx = static_cast<std::int32_t>(sink_it - ids.begin());
+  auto tree =
+      mst::orient_toward_sink(points, mst_.compact_edges(), sink_idx);
+  const geom::LinkSet& links = tree.links;
+  const std::size_t n = links.size();
+
+  std::vector<LinkKey> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(link_key(ids[static_cast<std::size_t>(links.link(i).sender)],
+                            ids[static_cast<std::size_t>(
+                                links.link(i).receiver)]));
+  }
+  report.timings.mst_ms += ms_since(stage_start);
+
+  // ---- dirty detection (no conflict graph needed: the pairwise conflict
+  // relation of two geometrically unchanged links cannot change) ----
+  stage_start = Clock::now();
+  std::unordered_set<NodeId> touched_set(touched.begin(), touched.end());
+  // Fixed-power modes with ambient noise couple every power to the global
+  // max link length; any change then invalidates every link.
+  const bool noise_coupled = config.power_mode != core::PowerMode::kGlobal &&
+                             config.sinr.noise > 0.0;
+  std::vector<bool> dirty(n, false);
+  std::size_t dirty_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto sender_id = ids[static_cast<std::size_t>(links.link(i).sender)];
+    const auto receiver_id =
+        ids[static_cast<std::size_t>(links.link(i).receiver)];
+    dirty[i] = noise_coupled || !slot_of_key_.count(keys[i]) ||
+               touched_set.count(sender_id) || touched_set.count(receiver_id);
+    if (dirty[i]) ++dirty_count;
+  }
+  report.dirty_links = dirty_count;
+  report.num_nodes = points.size();
+  report.num_links = n;
+  // Dirty detection counts toward recolor on both paths.
+  report.timings.recolor_ms += ms_since(stage_start);
+
+  const bool full =
+      slot_of_key_.empty() ||
+      static_cast<double>(dirty_count) >
+          options_.full_replan_fraction * static_cast<double>(n);
+  report.full_replan = full;
+
+  schedule::Schedule final_schedule;
+  if (full) {
+    // ---- fallback: full replan, warm-started from the surviving slots so
+    // the coloring stays stable; repair + verification run from scratch and
+    // re-anchor the carried-over validity chain ----
+    stage_start = Clock::now();
+    core::StageTimings stage_timings;
+    core::WarmStart warm;
+    const core::WarmStart* warm_ptr = nullptr;
+    if (!slot_of_key_.empty()) {
+      warm.seed_colors.assign(n, -1);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!dirty[i]) warm.seed_colors[i] = slot_of_key_.at(keys[i]);
+      }
+      warm_ptr = &warm;
+    }
+    report.timings.recolor_ms += ms_since(stage_start);
+    auto scheduled =
+        core::schedule_links(links, config, &stage_timings, warm_ptr);
+    report.timings.conflict_ms += stage_timings.conflict_ms;
+    report.timings.recolor_ms += stage_timings.coloring_ms;
+    report.timings.repair_ms +=
+        stage_timings.repair_ms + stage_timings.verify_ms;
+    report.touched_slots = scheduled.schedule.length();
+    report.valid = scheduled.verification.ok();
+    final_schedule = std::move(scheduled.schedule);
+  } else {
+    // ---- localized path ----
+    // Conflict adjacency is needed only for the dirty links: the relation
+    // between two unchanged links cannot change, and clean links keep their
+    // colors. The bucket-grid subset query makes this O(n) index work plus
+    // output-sensitive rows instead of a full graph rebuild.
+    stage_start = Clock::now();
+    std::vector<std::size_t> dirty_indices;
+    dirty_indices.reserve(dirty_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dirty[i]) dirty_indices.push_back(i);
+    }
+    if (config.order == core::ColoringOrder::kDecreasingLength) {
+      dirty_indices = schedule::pack_order(links, dirty_indices);
+    } else {
+      std::sort(dirty_indices.begin(), dirty_indices.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (links.length(a) != links.length(b)) {
+                    return links.length(a) < links.length(b);
+                  }
+                  return a < b;
+                });
+    }
+    const auto spec = core::spec_for_mode(config);
+    const auto neighbor_rows =
+        conflict::conflict_neighbors_bucketed(links, spec, dirty_indices);
+    report.timings.conflict_ms += ms_since(stage_start);
+
+    // Seeded recolor: surviving links keep their final slot (final slots
+    // are independent sets, so the seed is proper); only dirty links are
+    // first-fit colored against their conflict rows.
+    stage_start = Clock::now();
+    std::vector<int> seed(n, -1);
+    std::vector<std::size_t> prev_size;  // keys per previous slot index
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!dirty[i]) seed[i] = slot_of_key_.at(keys[i]);
+    }
+    for (const auto& [key, slot] : slot_of_key_) {
+      const auto s = static_cast<std::size_t>(slot);
+      if (s >= prev_size.size()) prev_size.resize(s + 1, 0);
+      ++prev_size[s];
+    }
+    const auto recolored =
+        coloring::greedy_recolor_rows(dirty_indices, neighbor_rows, seed);
+    report.timings.recolor_ms += ms_since(stage_start);
+
+    // Slot carry-over + patch repair. Soundness does NOT assume oracle
+    // monotonicity under member departure (the power-control oracle's
+    // iterative bound is conservative and need not be monotone): a slot's
+    // verdict is carried over only when its membership is UNCHANGED (the
+    // oracle is deterministic, so the old certificate applies verbatim);
+    // any class that shrank is re-checked — and repacked if the oracle now
+    // rejects it — before serving as a kept sub-slot or a final slot.
+    stage_start = Clock::now();
+    const auto oracle = core::oracle_for_mode(links, config);
+    std::vector<std::vector<std::size_t>> classes(
+        static_cast<std::size_t>(recolored.num_colors));
+    for (std::size_t i = 0; i < n; ++i) {
+      classes[static_cast<std::size_t>(recolored.color_of[i])].push_back(i);
+    }
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      auto& members = classes[c];
+      if (members.empty()) continue;
+      std::vector<std::size_t> kept;
+      std::vector<std::size_t> loose;
+      for (const auto i : members) {
+        (dirty[i] ? loose : kept).push_back(i);
+      }
+      // Unchanged membership <=> every previous member survived clean; the
+      // old certificate then applies verbatim (oracles are deterministic).
+      // A shrunk class is handled by patch_slot's uncertified-kept path:
+      // one fresh check, or a repack if the conservative oracle now
+      // rejects it.
+      const bool kept_certified =
+          kept.empty() || (c < prev_size.size() && kept.size() == prev_size[c]);
+      if (loose.empty() && kept_certified) {
+        ++report.reused_slots;
+        final_schedule.slots.push_back(std::move(kept));
+        continue;
+      }
+      auto patch = schedule::patch_slot(links, {std::move(kept)}, loose,
+                                        oracle, kept_certified);
+      report.oracle_calls += patch.oracle_calls;
+      report.touched_slots += patch.sub_slots.size();
+      for (auto& sub : patch.sub_slots) {
+        final_schedule.slots.push_back(std::move(sub));
+      }
+    }
+    report.valid = schedule::is_partition(final_schedule, n);
+    report.timings.repair_ms += ms_since(stage_start);
+  }
+
+  report.slots = final_schedule.length();
+  report.rate = final_schedule.empty() ? 0.0 : final_schedule.coloring_rate();
+
+  // ---- persist state for the next epoch ----
+  slot_of_key_.clear();
+  slot_of_key_.reserve(n * 2);
+  for (std::size_t s = 0; s < final_schedule.slots.size(); ++s) {
+    for (const auto i : final_schedule.slots[s]) {
+      slot_of_key_[keys[i]] = static_cast<int>(s);
+    }
+  }
+  // `links` (a reference into `tree`) and `ids` are dead past this point,
+  // so the snapshot can steal them instead of copying O(n) state.
+  current_.points = std::move(points);
+  current_.ids = std::move(ids);
+  current_.sink = sink_idx;
+  current_.links = std::move(tree.links);
+  current_.schedule = std::move(final_schedule);
+  current_.rate = report.rate;
+}
+
+void DynamicPlanner::run_audit(EpochReport& report) {
+  const auto audit_start = Clock::now();
+  auto config = options_.config;
+  config.sink = current_.sink;  // compact index of the stable sink id
+
+  const auto full_start = Clock::now();
+  const auto full = core::plan_aggregation(current_.points, config);
+  report.audit_full_ms = ms_since(full_start);
+  report.audit_full_slots = full.schedule().length();
+  report.audit_full_rate = full.rate();
+
+  // From-scratch feasibility check of the incremental schedule.
+  const auto oracle = core::oracle_for_mode(current_.links, config);
+  const auto verification =
+      schedule::verify_schedule(current_.links, current_.schedule, oracle);
+  report.audit_valid = verification.ok();
+
+  // The incremental MST must weigh exactly as much as a from-scratch MST.
+  double incremental_weight = 0.0;
+  for (std::size_t i = 0; i < current_.links.size(); ++i) {
+    incremental_weight += current_.links.length(i);
+  }
+  double full_weight = 0.0;
+  for (std::size_t i = 0; i < full.tree.links.size(); ++i) {
+    full_weight += full.tree.links.length(i);
+  }
+  report.audit_tree_match =
+      std::abs(incremental_weight - full_weight) <=
+      1e-9 * std::max(1.0, std::abs(full_weight));
+
+  report.audited = true;
+  report.timings.audit_ms = ms_since(audit_start);
+}
+
+}  // namespace wagg::dynamic

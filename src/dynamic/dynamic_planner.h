@@ -1,0 +1,182 @@
+#ifndef WAGG_DYNAMIC_DYNAMIC_PLANNER_H
+#define WAGG_DYNAMIC_DYNAMIC_PLANNER_H
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/planner.h"
+#include "dynamic/mutation.h"
+#include "geom/linkset.h"
+#include "geom/point.h"
+#include "mst/incremental.h"
+#include "schedule/schedule.h"
+
+namespace wagg::dynamic {
+
+struct DynamicOptions {
+  core::PlannerConfig config{};
+  /// Dirty-link fraction above which an epoch abandons the localized patch
+  /// path and falls back to a full (warm-started) replan.
+  double full_replan_fraction = 0.35;
+  /// Re-plan every epoch from scratch as well, cross-checking the
+  /// incremental plan's validity and recording rate/length deltas.
+  bool audit = false;
+
+  void validate() const;
+};
+
+/// Wall-clock breakdown of one epoch, milliseconds. audit_ms covers only the
+/// from-scratch replan of audit mode, so incremental_ms() is the honest cost
+/// of the incremental engine.
+struct EpochTimings {
+  double mst_ms = 0.0;      ///< incremental MST updates + reorientation
+  double conflict_ms = 0.0; ///< conflict-graph rebuild
+  double recolor_ms = 0.0;  ///< dirty detection + seeded recoloring
+  double repair_ms = 0.0;   ///< slot carry-over + patch repair
+  double audit_ms = 0.0;    ///< audit-mode full replan + full verification
+
+  [[nodiscard]] double incremental_ms() const noexcept {
+    return mst_ms + conflict_ms + recolor_ms + repair_ms;
+  }
+};
+
+/// What one epoch did and produced.
+struct EpochReport {
+  std::size_t epoch = 0;              ///< 0 is the initial full plan
+  std::size_t mutations_applied = 0;
+  std::size_t num_nodes = 0;
+  std::size_t num_links = 0;
+
+  /// Links whose geometry or existence changed (the recolor set).
+  std::size_t dirty_links = 0;
+  /// True when the epoch ran the full-replan fallback instead of patching.
+  bool full_replan = false;
+
+  std::size_t slots = 0;
+  /// Final slots carried over untouched from the previous epoch (zero
+  /// oracle calls spent on them).
+  std::size_t reused_slots = 0;
+  /// Final slots produced by patch repair of changed color classes.
+  std::size_t touched_slots = 0;
+  /// Feasibility-oracle invocations this epoch (the cost driver).
+  std::size_t oracle_calls = 0;
+
+  double rate = 0.0;
+  /// Structural validity (schedule partitions the links). Feasibility of
+  /// every slot is certified by an oracle call on exactly its membership —
+  /// either this epoch or, for slots whose membership did not change, a
+  /// previous one; audit mode re-checks everything from scratch.
+  bool valid = false;
+
+  EpochTimings timings;
+
+  // ---- audit mode only ----
+  bool audited = false;
+  /// Every slot of the incremental schedule passed a fresh oracle check.
+  bool audit_valid = false;
+  /// Incremental MST weight matches the from-scratch MST weight.
+  bool audit_tree_match = false;
+  std::size_t audit_full_slots = 0;  ///< schedule length of the full replan
+  double audit_full_rate = 0.0;
+  double audit_full_ms = 0.0;        ///< wall clock of the full replan
+};
+
+/// Incremental planning session: wraps the paper's pipeline behind a
+/// mutation-stream API and maintains a valid aggregation plan across epochs
+/// at a cost proportional to the change, not the instance.
+///
+/// Epoch pipeline:
+///   1. mutations -> IncrementalMst (localized tree updates, exact);
+///   2. re-orient toward the sink, diff links by stable (sender, receiver)
+///      id pairs;
+///   3. query conflict rows for ONLY the dirty links (bucket-grid subset
+///      queries) and first-fit recolor them, seeding every surviving link
+///      with its previous final slot (final slots are independent sets, so
+///      the seed is proper by construction);
+///   4. carry over slots whose membership is unchanged verbatim (their old
+///      oracle certificate applies — no monotonicity assumption), re-check
+///      slots that shrank with one oracle call each, and patch-repair
+///      classes that gained members (schedule::patch_slot); oracle calls
+///      stay proportional to the dirty set.
+/// When the dirty fraction exceeds DynamicOptions::full_replan_fraction the
+/// epoch falls back to core::schedule_links with a warm-start seed — full
+/// repair and verification re-anchor the carried-over validity chain.
+///
+/// Not thread-safe; one session per thread (runtime::PlanService sessions
+/// wrap instances for service use).
+class DynamicPlanner {
+ public:
+  /// Plans the initial epoch (a full replan). The pointset's indices become
+  /// stable node ids 0..n-1; options.config.sink names the sink node.
+  DynamicPlanner(const geom::Pointset& initial, DynamicOptions options);
+
+  /// Applies one epoch: all mutations, then one incremental replan.
+  /// Mutations referencing dead nodes, removing the sink, or shrinking the
+  /// instance below 2 nodes throw std::invalid_argument. The plan is left
+  /// on the previous epoch; the mutations preceding the bad one stay
+  /// applied, and since their dirty tracking is lost with the failed call,
+  /// the next successful epoch replans (and re-verifies) from scratch.
+  EpochReport apply(std::span<const Mutation> mutations);
+  EpochReport apply(const Mutation& mutation) {
+    return apply(std::span<const Mutation>(&mutation, 1));
+  }
+
+  /// Applies a whole churn trace, one epoch per entry.
+  std::vector<EpochReport> apply_trace(const ChurnTrace& trace);
+
+  [[nodiscard]] const EpochReport& last_report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] std::size_t epoch() const noexcept { return report_.epoch; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return mst_.num_alive();
+  }
+  [[nodiscard]] NodeId sink() const noexcept { return sink_id_; }
+  [[nodiscard]] bool alive(NodeId id) const noexcept { return mst_.alive(id); }
+  [[nodiscard]] const DynamicOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// The current plan, materialized with compact indices (ids[i] is the
+  /// stable id of compact node i). Links and slots index into `links`.
+  struct Snapshot {
+    geom::Pointset points;
+    std::vector<NodeId> ids;
+    std::int32_t sink = 0;
+    geom::LinkSet links;
+    schedule::Schedule schedule;
+    double rate = 0.0;
+  };
+  [[nodiscard]] const Snapshot& snapshot() const noexcept { return current_; }
+
+ private:
+  using LinkKey = std::uint64_t;
+  static LinkKey link_key(NodeId sender, NodeId receiver) noexcept {
+    return (static_cast<LinkKey>(static_cast<std::uint32_t>(sender)) << 32) |
+           static_cast<LinkKey>(static_cast<std::uint32_t>(receiver));
+  }
+
+  /// Replans after the MST is up to date. `touched` holds the node ids
+  /// added or moved this epoch; geometry-dirty links are those incident to
+  /// them.
+  void replan(const std::vector<NodeId>& touched, EpochReport& report);
+  void run_audit(EpochReport& report);
+
+  DynamicOptions options_;
+  NodeId sink_id_ = 0;
+  mst::IncrementalMst mst_;
+
+  /// Previous epoch's final slot of every link, keyed by stable link key.
+  /// Every final slot is conflict-independent and oracle-feasible, so this
+  /// doubles as a proper coloring seed for the next epoch.
+  std::unordered_map<LinkKey, int> slot_of_key_;
+
+  Snapshot current_;
+  EpochReport report_;
+};
+
+}  // namespace wagg::dynamic
+
+#endif  // WAGG_DYNAMIC_DYNAMIC_PLANNER_H

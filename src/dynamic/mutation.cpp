@@ -1,0 +1,146 @@
+#include "dynamic/mutation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace wagg::dynamic {
+
+std::string to_string(Mutation::Kind kind) {
+  switch (kind) {
+    case Mutation::Kind::kAdd:
+      return "add";
+    case Mutation::Kind::kRemove:
+      return "remove";
+    case Mutation::Kind::kMove:
+      return "move";
+  }
+  return "?";
+}
+
+void ChurnParams::validate() const {
+  if (epochs == 0) {
+    throw std::invalid_argument("ChurnParams: epochs must be positive");
+  }
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("ChurnParams: rate must be positive");
+  }
+  if (add_weight < 0.0 || remove_weight < 0.0 || move_weight < 0.0 ||
+      add_weight + remove_weight + move_weight <= 0.0) {
+    throw std::invalid_argument(
+        "ChurnParams: kind weights must be non-negative with positive sum");
+  }
+  if (drift_sigma < 0.0) {
+    throw std::invalid_argument(
+        "ChurnParams: drift_sigma must be >= 0 (0 selects the auto default)");
+  }
+  if (min_nodes < 2) {
+    throw std::invalid_argument("ChurnParams: min_nodes must be >= 2");
+  }
+}
+
+ChurnTrace make_churn_trace(const geom::Pointset& initial,
+                            const ChurnParams& params, std::uint64_t seed,
+                            NodeId sink) {
+  params.validate();
+  if (initial.size() < 2) {
+    throw std::invalid_argument("make_churn_trace: need >= 2 initial points");
+  }
+  if (sink < 0 || static_cast<std::size_t>(sink) >= initial.size()) {
+    throw std::invalid_argument("make_churn_trace: sink out of range");
+  }
+
+  // Initial bounding box: adds land inside it, keeping the density regime of
+  // the instance family roughly intact.
+  double min_x = initial[0].x, max_x = initial[0].x;
+  double min_y = initial[0].y, max_y = initial[0].y;
+  for (const auto& p : initial) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double diag =
+      std::hypot(max_x - min_x, max_y - min_y);
+  const double sigma =
+      params.drift_sigma > 0.0 ? params.drift_sigma
+                               : std::max(diag, 1e-9) * 0.02;
+
+  // Mirror of the planner's id allocation and liveness.
+  std::vector<geom::Point> position(initial.begin(), initial.end());
+  std::vector<NodeId> alive(initial.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    alive[i] = static_cast<NodeId>(i);
+  }
+
+  util::Rng rng(seed ^ 0x85ebca6b0f00dULL);
+  const double total_weight =
+      params.add_weight + params.remove_weight + params.move_weight;
+
+  ChurnTrace trace;
+  trace.reserve(params.epochs);
+  for (std::size_t epoch = 0; epoch < params.epochs; ++epoch) {
+    const auto count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(params.rate * static_cast<double>(alive.size()))));
+    std::vector<Mutation> mutations;
+    mutations.reserve(count);
+    for (std::size_t m = 0; m < count; ++m) {
+      double pick = rng.uniform(0.0, total_weight);
+      Mutation::Kind kind;
+      if (pick < params.add_weight) {
+        kind = Mutation::Kind::kAdd;
+      } else if (pick < params.add_weight + params.remove_weight) {
+        kind = Mutation::Kind::kRemove;
+      } else {
+        kind = Mutation::Kind::kMove;
+      }
+      if (kind == Mutation::Kind::kRemove && alive.size() <= params.min_nodes) {
+        kind = Mutation::Kind::kAdd;  // keep the instance plannable
+      }
+
+      Mutation mutation;
+      mutation.kind = kind;
+      switch (kind) {
+        case Mutation::Kind::kAdd: {
+          mutation.position = {rng.uniform(min_x, max_x),
+                               min_y == max_y ? min_y
+                                              : rng.uniform(min_y, max_y)};
+          mutation.node = static_cast<NodeId>(position.size());
+          position.push_back(mutation.position);
+          alive.push_back(mutation.node);
+          break;
+        }
+        case Mutation::Kind::kRemove: {
+          // Uniform victim among alive non-sink nodes.
+          std::size_t slot;
+          do {
+            slot = static_cast<std::size_t>(rng.below(alive.size()));
+          } while (alive[slot] == sink);
+          mutation.node = alive[slot];
+          alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(slot));
+          break;
+        }
+        case Mutation::Kind::kMove: {
+          const auto slot = static_cast<std::size_t>(rng.below(alive.size()));
+          mutation.node = alive[slot];
+          const auto& from = position[static_cast<std::size_t>(mutation.node)];
+          mutation.position = {from.x + rng.normal() * sigma,
+                               min_y == max_y
+                                   ? from.y
+                                   : from.y + rng.normal() * sigma};
+          position[static_cast<std::size_t>(mutation.node)] =
+              mutation.position;
+          break;
+        }
+      }
+      mutations.push_back(mutation);
+    }
+    trace.push_back(std::move(mutations));
+  }
+  return trace;
+}
+
+}  // namespace wagg::dynamic

@@ -1,0 +1,73 @@
+#ifndef WAGG_DYNAMIC_MUTATION_H
+#define WAGG_DYNAMIC_MUTATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "mst/incremental.h"
+
+namespace wagg::dynamic {
+
+using NodeId = mst::NodeId;
+
+/// One topology change. Node ids are the stable ids of the owning
+/// DynamicPlanner / IncrementalMst (the initial pointset occupies 0..n-1;
+/// every add allocates the next id — a trace generator can therefore predict
+/// ids without running the planner).
+struct Mutation {
+  enum class Kind { kAdd, kRemove, kMove };
+
+  Kind kind = Kind::kAdd;
+  /// Target of kRemove / kMove; ignored for kAdd.
+  NodeId node = -1;
+  /// New position for kAdd / kMove; ignored for kRemove.
+  geom::Point position{};
+
+  friend bool operator==(const Mutation&, const Mutation&) = default;
+};
+
+[[nodiscard]] std::string to_string(Mutation::Kind kind);
+
+/// A seeded churn workload: epochs[e] holds the mutations applied before the
+/// e-th replan.
+using ChurnTrace = std::vector<std::vector<Mutation>>;
+
+/// Parameters of the deterministic churn generator.
+struct ChurnParams {
+  /// Number of epochs (replans); each applies >= 1 mutation.
+  std::size_t epochs = 0;
+  /// Expected mutations per alive node per epoch; each epoch applies
+  /// max(1, round(rate * alive)) mutations.
+  double rate = 0.02;
+  /// Relative weights of the mutation kind mix (need not sum to 1).
+  double add_weight = 1.0;
+  double remove_weight = 1.0;
+  double move_weight = 1.0;
+  /// Standard deviation of a kMove displacement; 0 means 2% of the initial
+  /// bounding-box diagonal.
+  double drift_sigma = 0.0;
+  /// Removes are converted to adds when alive count would drop below this.
+  std::size_t min_nodes = 3;
+
+  /// Throws std::invalid_argument on non-positive epochs/rate or an all-zero
+  /// kind mix.
+  void validate() const;
+
+  friend bool operator==(const ChurnParams&, const ChurnParams&) = default;
+};
+
+/// Expands a seeded, fully deterministic mutation trace against the initial
+/// pointset: adds are uniform in the initial bounding box, moves are
+/// Gaussian drifts, removes pick a uniform alive victim. The generator
+/// tracks id allocation and liveness exactly as DynamicPlanner will, and
+/// never removes `sink`. Same (initial, params, seed, sink) -> same trace.
+[[nodiscard]] ChurnTrace make_churn_trace(const geom::Pointset& initial,
+                                          const ChurnParams& params,
+                                          std::uint64_t seed,
+                                          NodeId sink = 0);
+
+}  // namespace wagg::dynamic
+
+#endif  // WAGG_DYNAMIC_MUTATION_H

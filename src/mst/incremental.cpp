@@ -1,0 +1,267 @@
+#include "mst/incremental.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace wagg::mst {
+
+namespace {
+
+struct Candidate {
+  double w;
+  NodeId a;  ///< canonical a < b
+  NodeId b;
+
+  [[nodiscard]] bool operator<(const Candidate& other) const {
+    if (w != other.w) return w < other.w;
+    if (a != other.a) return a < other.a;
+    return b < other.b;
+  }
+};
+
+Candidate make_candidate(double w, NodeId x, NodeId y) {
+  return x < y ? Candidate{w, x, y} : Candidate{w, y, x};
+}
+
+void sort_edges(std::vector<IdEdge>& edges) {
+  std::sort(edges.begin(), edges.end(), [](const IdEdge& x, const IdEdge& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+}
+
+}  // namespace
+
+IncrementalMst::IncrementalMst(const geom::Pointset& initial)
+    : points_(initial), alive_(initial.size(), true),
+      num_alive_(initial.size()) {
+  if (initial.size() >= 2) {
+    // Seed from the batch algorithm; Prim is O(n^2) once, and every later
+    // update is localized.
+    const auto seed_edges = euclidean_mst(initial);
+    edges_.reserve(seed_edges.size());
+    for (const auto& e : seed_edges) {
+      edges_.push_back(e.u < e.v ? IdEdge{e.u, e.v} : IdEdge{e.v, e.u});
+    }
+    sort_edges(edges_);
+  }
+}
+
+const geom::Point& IncrementalMst::position(NodeId id) const {
+  if (!alive(id)) {
+    throw std::invalid_argument("IncrementalMst: dead or unknown node id");
+  }
+  return points_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> IncrementalMst::alive_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(num_alive_);
+  for (std::size_t id = 0; id < alive_.size(); ++id) {
+    if (alive_[id]) ids.push_back(static_cast<NodeId>(id));
+  }
+  return ids;
+}
+
+double IncrementalMst::edge_weight(NodeId a, NodeId b) const {
+  return geom::distance(points_[static_cast<std::size_t>(a)],
+                        points_[static_cast<std::size_t>(b)]);
+}
+
+double IncrementalMst::weight() const {
+  double sum = 0.0;
+  for (const auto& e : edges_) sum += edge_weight(e.a, e.b);
+  return sum;
+}
+
+std::vector<Edge> IncrementalMst::compact_edges() const {
+  std::unordered_map<NodeId, std::int32_t> index;
+  index.reserve(num_alive_ * 2);
+  std::int32_t next = 0;
+  for (std::size_t id = 0; id < alive_.size(); ++id) {
+    if (alive_[id]) index[static_cast<NodeId>(id)] = next++;
+  }
+  std::vector<Edge> result;
+  result.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    result.push_back(Edge{index.at(e.a), index.at(e.b)});
+  }
+  return result;
+}
+
+NodeId IncrementalMst::add_point(const geom::Point& position) {
+  const auto id = static_cast<NodeId>(points_.size());
+  points_.push_back(position);
+  alive_.push_back(true);
+  ++num_alive_;
+  attach(id);
+  return id;
+}
+
+void IncrementalMst::remove_point(NodeId id) {
+  if (!alive(id)) {
+    throw std::invalid_argument("IncrementalMst: dead or unknown node id");
+  }
+  detach(id);
+}
+
+void IncrementalMst::move_point(NodeId id, const geom::Point& position) {
+  if (!alive(id)) {
+    throw std::invalid_argument("IncrementalMst: dead or unknown node id");
+  }
+  // A genuine two-step update. Merely re-attaching the moved node to the
+  // otherwise-unchanged tree would be wrong: a node moving into the middle
+  // of a long tree edge obsoletes that edge even though the edge is not
+  // incident to the node. Detaching first restores the MST of the other
+  // points; attaching is then the standard insertion update.
+  detach(id);
+  points_[static_cast<std::size_t>(id)] = position;
+  alive_[static_cast<std::size_t>(id)] = true;
+  ++num_alive_;
+  attach(id);
+}
+
+NodeId IncrementalMst::add_point_deferred(const geom::Point& position) {
+  const auto id = static_cast<NodeId>(points_.size());
+  points_.push_back(position);
+  alive_.push_back(true);
+  ++num_alive_;
+  return id;
+}
+
+void IncrementalMst::remove_point_deferred(NodeId id) {
+  if (!alive(id)) {
+    throw std::invalid_argument("IncrementalMst: dead or unknown node id");
+  }
+  alive_[static_cast<std::size_t>(id)] = false;
+  --num_alive_;
+}
+
+void IncrementalMst::move_point_deferred(NodeId id,
+                                         const geom::Point& position) {
+  if (!alive(id)) {
+    throw std::invalid_argument("IncrementalMst: dead or unknown node id");
+  }
+  points_[static_cast<std::size_t>(id)] = position;
+}
+
+void IncrementalMst::rebuild() {
+  edges_.clear();
+  if (num_alive_ < 2) return;
+  const auto ids = alive_ids();
+  geom::Pointset compact;
+  compact.reserve(ids.size());
+  for (const auto id : ids) {
+    compact.push_back(points_[static_cast<std::size_t>(id)]);
+  }
+  const auto compact_tree = euclidean_mst(compact);
+  edges_.reserve(compact_tree.size());
+  for (const auto& e : compact_tree) {
+    const NodeId a = ids[static_cast<std::size_t>(e.u)];
+    const NodeId b = ids[static_cast<std::size_t>(e.v)];
+    edges_.push_back(a < b ? IdEdge{a, b} : IdEdge{b, a});
+  }
+  sort_edges(edges_);
+}
+
+void IncrementalMst::attach(NodeId id) {
+  if (num_alive_ < 2) return;
+
+  // Cycle property: every old non-tree edge stays non-tree after inserting a
+  // point, so the new MST lies inside (old tree edges) + (the point's star).
+  std::vector<Candidate> candidates;
+  candidates.reserve(edges_.size() + num_alive_ - 1);
+  for (const auto& e : edges_) {
+    candidates.push_back({edge_weight(e.a, e.b), e.a, e.b});
+  }
+  for (std::size_t other = 0; other < alive_.size(); ++other) {
+    if (!alive_[other] || static_cast<NodeId>(other) == id) continue;
+    candidates.push_back(
+        make_candidate(edge_weight(static_cast<NodeId>(other), id),
+                       static_cast<NodeId>(other), id));
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  std::unordered_map<NodeId, std::size_t> slot;
+  slot.reserve(num_alive_ * 2);
+  for (const auto alive_id : alive_ids()) {
+    const std::size_t next = slot.size();
+    slot[alive_id] = next;
+  }
+  UnionFind uf(num_alive_);
+  std::vector<IdEdge> next_edges;
+  next_edges.reserve(num_alive_ - 1);
+  for (const auto& c : candidates) {
+    if (uf.unite(slot.at(c.a), slot.at(c.b))) {
+      next_edges.push_back(IdEdge{c.a, c.b});
+      if (next_edges.size() + 1 == num_alive_) break;
+    }
+  }
+  edges_ = std::move(next_edges);
+  sort_edges(edges_);
+}
+
+void IncrementalMst::detach(NodeId id) {
+  alive_[static_cast<std::size_t>(id)] = false;
+  --num_alive_;
+  std::erase_if(edges_,
+                [id](const IdEdge& e) { return e.a == id || e.b == id; });
+  if (num_alive_ < 2) return;
+
+  // Component labelling over the surviving forest (compact slots).
+  const auto ids = alive_ids();
+  std::unordered_map<NodeId, std::size_t> slot;
+  slot.reserve(ids.size() * 2);
+  for (std::size_t i = 0; i < ids.size(); ++i) slot[ids[i]] = i;
+
+  UnionFind uf(ids.size());
+  for (const auto& e : edges_) uf.unite(slot.at(e.a), slot.at(e.b));
+  if (uf.num_components() == 1) return;
+
+  // Member lists per component, keyed by union-find root.
+  std::unordered_map<std::size_t, std::vector<NodeId>> groups;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    groups[uf.find(i)].push_back(ids[i]);
+  }
+  std::vector<std::vector<NodeId>> comps;
+  comps.reserve(groups.size());
+  for (auto& [root, members] : groups) comps.push_back(std::move(members));
+  // Deterministic component order (members are already id-sorted because
+  // alive_ids() is increasing).
+  std::sort(comps.begin(), comps.end(),
+            [](const std::vector<NodeId>& x, const std::vector<NodeId>& y) {
+              return x.front() < y.front();
+            });
+
+  // Cut property: the new MST is the old forest plus the MST of the
+  // contracted component graph, whose only useful edges are the minimum
+  // cross edge of each component pair. An Euclidean MST has max degree 6,
+  // so at most 6 components exist and — churn being local — all but one are
+  // typically small.
+  std::vector<Candidate> candidates;
+  candidates.reserve(comps.size() * (comps.size() - 1) / 2);
+  for (std::size_t x = 0; x < comps.size(); ++x) {
+    for (std::size_t y = x + 1; y < comps.size(); ++y) {
+      Candidate best{std::numeric_limits<double>::infinity(), -1, -1};
+      for (const NodeId p : comps[x]) {
+        for (const NodeId q : comps[y]) {
+          const auto c = make_candidate(edge_weight(p, q), p, q);
+          if (c < best) best = c;
+        }
+      }
+      candidates.push_back(best);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& c : candidates) {
+    if (uf.unite(slot.at(c.a), slot.at(c.b))) {
+      edges_.push_back(IdEdge{c.a, c.b});
+      if (uf.num_components() == 1) break;
+    }
+  }
+  sort_edges(edges_);
+}
+
+}  // namespace wagg::mst

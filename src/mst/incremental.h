@@ -1,0 +1,112 @@
+#ifndef WAGG_MST_INCREMENTAL_H
+#define WAGG_MST_INCREMENTAL_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "mst/mst.h"
+
+namespace wagg::mst {
+
+/// Stable node identifier inside an IncrementalMst. Ids are assigned
+/// consecutively (the initial pointset gets 0..n-1, each add_point the next
+/// integer) and are never reused, so they survive arbitrary churn — the
+/// dynamic planner keys every cross-epoch structure on them.
+using NodeId = std::int32_t;
+
+/// An undirected MST edge between two stable node ids, stored canonically
+/// with a < b.
+struct IdEdge {
+  NodeId a = -1;
+  NodeId b = -1;
+
+  friend bool operator==(const IdEdge&, const IdEdge&) = default;
+};
+
+/// Exact Euclidean MST maintained under point insertion, deletion, and
+/// motion, at a cost proportional to the disturbed neighborhood instead of
+/// the instance:
+///
+///   add_point    new MST is a subset of (old edges + the new point's star);
+///                one Kruskal pass over those 2n-1 edges, O(n log n).
+///   remove_point the old edges minus the removed point's incident ones stay
+///                in the new MST (cycle property: deleting a vertex only
+///                removes cycles); the <= 6 resulting components (Euclidean
+///                MSTs have max degree 6) are reconnected by the minimum
+///                cross edge per component pair, found by scanning member
+///                lists — O(n * size of the smaller components) in practice.
+///   move_point   remove + re-add under the same id.
+///
+/// All updates are deterministic: candidate edges are compared by
+/// (weight, a, b). With distinct pairwise distances the maintained tree is
+/// THE Euclidean MST; under ties it is an MST of equal weight (tests compare
+/// weights against a from-scratch Prim run).
+class IncrementalMst {
+ public:
+  /// Ids 0..initial.size()-1 map to the initial points. A single point (or
+  /// even an empty set) is allowed; the tree is empty until 2 nodes exist.
+  explicit IncrementalMst(const geom::Pointset& initial);
+
+  /// Inserts a point, returning its new stable id.
+  NodeId add_point(const geom::Point& position);
+
+  /// Deletes a point. Throws std::invalid_argument for dead/unknown ids.
+  void remove_point(NodeId id);
+
+  /// Moves a point to a new position (same id before and after).
+  void move_point(NodeId id, const geom::Point& position);
+
+  /// Deferred variants: apply the point change WITHOUT updating the tree.
+  /// The maintained edges are stale until rebuild() runs; interleaving
+  /// deferred and immediate updates without a rebuild in between is a bug.
+  /// Worth it for bulk epochs — once a batch mutates more than ~n/log n
+  /// points, one O(n^2) Prim beats per-mutation maintenance.
+  NodeId add_point_deferred(const geom::Point& position);
+  void remove_point_deferred(NodeId id);
+  void move_point_deferred(NodeId id, const geom::Point& position);
+
+  /// From-scratch, id-preserving recompute of the maintained tree.
+  void rebuild();
+
+  [[nodiscard]] bool alive(NodeId id) const noexcept {
+    return id >= 0 && static_cast<std::size_t>(id) < alive_.size() &&
+           alive_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::size_t num_alive() const noexcept { return num_alive_; }
+  [[nodiscard]] const geom::Point& position(NodeId id) const;
+
+  /// Alive ids in increasing order (the canonical compaction order).
+  [[nodiscard]] std::vector<NodeId> alive_ids() const;
+
+  /// Current MST edges over the alive points (stable ids, canonical a < b,
+  /// sorted by (a, b) so equal trees compare equal).
+  [[nodiscard]] const std::vector<IdEdge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Total Euclidean weight of the maintained tree.
+  [[nodiscard]] double weight() const;
+
+  /// The maintained edges re-indexed into compact [0, num_alive) space
+  /// following alive_ids() order — ready for orient_toward_sink.
+  [[nodiscard]] std::vector<Edge> compact_edges() const;
+
+ private:
+  [[nodiscard]] double edge_weight(NodeId a, NodeId b) const;
+  /// Insertion update: Kruskal over (current forest + id's star).
+  void attach(NodeId id);
+  /// Deletion update: drops id and its incident edges, then reconnects the
+  /// leftover components via their minimum cross edges.
+  void detach(NodeId id);
+
+  std::vector<geom::Point> points_;  ///< indexed by id (dead slots stale)
+  std::vector<bool> alive_;
+  std::size_t num_alive_ = 0;
+  std::vector<IdEdge> edges_;
+};
+
+}  // namespace wagg::mst
+
+#endif  // WAGG_MST_INCREMENTAL_H

@@ -36,6 +36,67 @@ std::uint64_t plan_digest(const core::PlanResult& plan) {
   return h;
 }
 
+std::uint64_t session_digest(const dynamic::DynamicPlanner& planner,
+                             std::span<const dynamic::EpochReport> reports) {
+  std::uint64_t h = 0xbb67ae8584caa73bULL;
+  for (const auto& report : reports) {
+    digest_mix(h, report.epoch);
+    digest_mix(h, report.slots);
+    digest_mix(h, report.dirty_links);
+    digest_mix(h, report.full_replan ? 1 : 0);
+    digest_mix(h, report.valid ? 1 : 0);
+  }
+  const auto& snapshot = planner.snapshot();
+  for (const auto& slot : snapshot.schedule.slots) {
+    digest_mix(h, 0xffffffffffffffffULL);
+    for (const auto link : slot) digest_mix(h, link);
+  }
+  return h;
+}
+
+/// Runs a churn-session request to completion on the calling thread.
+void execute_session_request(const PlanRequest& request,
+                             PlanOutcome& outcome) {
+  dynamic::DynamicOptions options;
+  options.config = request.config;
+  options.audit = request.audit;
+  dynamic::DynamicPlanner planner(request.points, options);
+
+  std::vector<dynamic::EpochReport> reports;
+  reports.reserve(request.trace.size() + 1);
+  reports.push_back(planner.last_report());
+  for (const auto& epoch_mutations : request.trace) {
+    reports.push_back(planner.apply(epoch_mutations));
+  }
+
+  outcome.ok = true;
+  outcome.epochs = reports.size();
+  bool all_valid = true;
+  for (const auto& report : reports) {
+    const bool epoch_valid =
+        report.valid &&
+        (!report.audited || (report.audit_valid && report.audit_tree_match));
+    if (epoch_valid) ++outcome.epochs_valid;
+    all_valid = all_valid && epoch_valid;
+    if (report.epoch > 0 && report.full_replan) ++outcome.full_replans;
+    // Fold epoch timings into the batch stage summaries: the incremental
+    // stages map onto their closest static counterparts, audit onto verify.
+    outcome.timings.tree_ms += report.timings.mst_ms;
+    outcome.timings.conflict_ms += report.timings.conflict_ms;
+    outcome.timings.coloring_ms += report.timings.recolor_ms;
+    outcome.timings.repair_ms += report.timings.repair_ms;
+    outcome.timings.verify_ms += report.timings.audit_ms;
+  }
+  const auto& final_report = reports.back();
+  const auto& snapshot = planner.snapshot();
+  outcome.num_points = snapshot.points.size();
+  outcome.num_links = snapshot.links.size();
+  outcome.slots = final_report.slots;
+  outcome.rate = final_report.rate;
+  outcome.verified = all_valid;
+  outcome.digest = session_digest(planner, reports);
+}
+
 StageSummary summarize_stage(const util::Samples& samples) {
   StageSummary summary;
   if (samples.empty()) return summary;
@@ -58,6 +119,11 @@ PlanOutcome execute_request(const PlanRequest& request,
 
   const auto start = Clock::now();
   try {
+    if (!request.trace.empty()) {
+      execute_session_request(request, outcome);
+      outcome.total_ms = ms_since(start);
+      return outcome;
+    }
     core::StageTimings timings;
     auto plan = core::plan_aggregation(request.points, request.config,
                                        &timings);
@@ -91,8 +157,11 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
   stats.total = outcomes.size();
   stats.wall_ms = wall_ms;
 
-  util::Samples tree, conflict, coloring, repair, verify, power, total;
+  util::Samples tree, conflict, coloring, repair, verify, power, queue, total;
   for (const auto& outcome : outcomes) {
+    // Queue wait is a service property, not a planning property: failed
+    // requests waited too, so they count.
+    queue.add(outcome.queue_ms);
     if (outcome.ok) {
       ++stats.succeeded;
       tree.add(outcome.timings.tree_ms);
@@ -112,6 +181,7 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
   stats.repair = summarize_stage(repair);
   stats.verify = summarize_stage(verify);
   stats.power = summarize_stage(power);
+  stats.queue = summarize_stage(queue);
   stats.total_latency = summarize_stage(total);
   if (wall_ms > 0.0) {
     stats.plans_per_sec = static_cast<double>(stats.total) * 1000.0 / wall_ms;
@@ -149,6 +219,7 @@ BatchResult PlanService::run(const std::vector<PlanRequest>& requests) {
       std::lock_guard<std::mutex> lock(mutex_);
       batch_ = &requests;
       outcomes_ = &result.outcomes;
+      batch_start_ = start;
       next_index_ = 0;
       remaining_ = requests.size();
     }
@@ -173,15 +244,60 @@ void PlanService::worker_loop() {
     const std::size_t index = next_index_++;
     const std::vector<PlanRequest>& batch = *batch_;
     std::vector<PlanOutcome>& outcomes = *outcomes_;
+    const double queue_ms = ms_since(batch_start_);
     lock.unlock();
 
     // Planning runs unlocked; each worker writes only its own slot.
     outcomes[index] =
         execute_request(batch[index], index, options_.keep_plans);
+    outcomes[index].queue_ms = queue_ms;
 
     lock.lock();
     if (--remaining_ == 0) batch_done_.notify_all();
   }
+}
+
+PlanService::SessionId PlanService::open_session(
+    const geom::Pointset& initial, const dynamic::DynamicOptions& options) {
+  // Plan the initial epoch outside the lock; registration is cheap.
+  auto planner = std::make_shared<dynamic::DynamicPlanner>(initial, options);
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const SessionId id = next_session_id_++;
+  sessions_.emplace(id, std::move(planner));
+  return id;
+}
+
+std::shared_ptr<dynamic::DynamicPlanner> PlanService::find_session(
+    SessionId id) const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("PlanService: unknown session id " +
+                                std::to_string(id));
+  }
+  return it->second;
+}
+
+dynamic::EpochReport PlanService::advance_session(
+    SessionId id, std::span<const dynamic::Mutation> mutations) {
+  // The shared_ptr keeps the planner alive even if the session is closed
+  // concurrently; the planner itself is advanced outside any lock.
+  return find_session(id)->apply(mutations);
+}
+
+std::shared_ptr<const dynamic::DynamicPlanner> PlanService::session(
+    SessionId id) const {
+  return find_session(id);
+}
+
+void PlanService::close_session(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  sessions_.erase(id);
+}
+
+std::size_t PlanService::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
 }
 
 }  // namespace wagg::runtime

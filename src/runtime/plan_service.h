@@ -3,14 +3,19 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/planner.h"
+#include "dynamic/dynamic_planner.h"
+#include "dynamic/mutation.h"
 #include "geom/point.h"
+#include "util/clock.h"
 
 namespace wagg::runtime {
 
@@ -18,9 +23,20 @@ namespace wagg::runtime {
 /// configuration. `seed` and `tags` are provenance only — the service never
 /// interprets them, it just copies them onto the outcome so batch consumers
 /// can group and join results (the workload engine fills them in).
+///
+/// When `trace` is non-empty the request is a churn session: the pointset is
+/// planned once, then each trace entry is applied as one incremental epoch
+/// (dynamic::DynamicPlanner), and the outcome summarizes the whole session.
+/// Session outcomes never carry a PlanResult — ServiceOptions::keep_plans
+/// does not apply to them (open a PlanService session instead to inspect a
+/// live planner's Snapshot).
 struct PlanRequest {
   geom::Pointset points;
   core::PlannerConfig config;
+  dynamic::ChurnTrace trace;
+  /// Audit every session epoch against a from-scratch replan (churn
+  /// requests only; expensive).
+  bool audit = false;
   std::uint64_t seed = 0;
   std::string tags;
 };
@@ -46,8 +62,16 @@ struct PlanOutcome {
   /// bit-identical results across worker counts.
   std::uint64_t digest = 0;
 
+  // Churn-session summary (non-zero only for requests with a trace).
+  std::size_t epochs = 0;        ///< epochs planned, incl. the initial plan
+  std::size_t epochs_valid = 0;  ///< epochs whose plan was valid
+  std::size_t full_replans = 0;  ///< mutation epochs that hit the fallback
+
   core::StageTimings timings;
   double total_ms = 0.0;  ///< wall clock for the whole request
+  /// Enqueue-to-start latency: how long the request waited in the service
+  /// queue before a worker picked it up (0 for direct execute_request).
+  double queue_ms = 0.0;
 
   // Provenance copied from the request.
   std::uint64_t seed = 0;
@@ -86,6 +110,7 @@ struct BatchStats {
   StageSummary repair;
   StageSummary verify;
   StageSummary power;
+  StageSummary queue;          ///< enqueue-to-start wait per request
   StageSummary total_latency;  ///< per-request end-to-end
 };
 
@@ -124,8 +149,41 @@ class PlanService {
   /// Executes the whole batch, blocking until every request has an outcome.
   [[nodiscard]] BatchResult run(const std::vector<PlanRequest>& requests);
 
+  // ---- session mode ----
+  //
+  // A session wraps a dynamic::DynamicPlanner whose per-instance state
+  // (incremental MST, slot assignment, validity chain) is retained by the
+  // service and reused across any number of advance calls — the serving
+  // analogue of a deployment that keeps mutating. Sessions are independent:
+  // distinct sessions may be advanced from different threads concurrently,
+  // but calls for ONE session must be serialized by the caller (mutation
+  // epochs are inherently ordered).
+
+  using SessionId = std::uint64_t;
+
+  /// Opens a session and plans its initial epoch on the calling thread.
+  /// Throws std::invalid_argument for malformed inputs (mirrors
+  /// DynamicPlanner's constructor).
+  [[nodiscard]] SessionId open_session(const geom::Pointset& initial,
+                                       const dynamic::DynamicOptions& options);
+
+  /// Applies one epoch of mutations to the session.
+  dynamic::EpochReport advance_session(
+      SessionId id, std::span<const dynamic::Mutation> mutations);
+
+  /// Read access to a session's planner (last report, snapshot, ...). The
+  /// returned shared_ptr keeps the planner alive even if the session is
+  /// closed concurrently.
+  [[nodiscard]] std::shared_ptr<const dynamic::DynamicPlanner> session(
+      SessionId id) const;
+
+  void close_session(SessionId id);
+  [[nodiscard]] std::size_t num_sessions() const;
+
  private:
   void worker_loop();
+  [[nodiscard]] std::shared_ptr<dynamic::DynamicPlanner> find_session(
+      SessionId id) const;
 
   ServiceOptions options_;
 
@@ -134,11 +192,16 @@ class PlanService {
   std::condition_variable batch_done_;
   const std::vector<PlanRequest>* batch_ = nullptr;  ///< current batch, if any
   std::vector<PlanOutcome>* outcomes_ = nullptr;
+  util::Clock::time_point batch_start_{};  ///< enqueue time of current batch
   std::size_t next_index_ = 0;   ///< next request to claim
   std::size_t remaining_ = 0;    ///< requests not yet completed
   bool shutting_down_ = false;
 
   std::vector<std::thread> workers_;
+
+  mutable std::mutex sessions_mutex_;
+  SessionId next_session_id_ = 1;
+  std::map<SessionId, std::shared_ptr<dynamic::DynamicPlanner>> sessions_;
 };
 
 /// Computes the batch statistics for a set of outcomes (exposed for tests

@@ -8,6 +8,19 @@
 
 namespace wagg::schedule {
 
+std::vector<std::size_t> pack_order(const geom::LinkSet& links,
+                                    std::span<const std::size_t> members) {
+  std::vector<std::size_t> ordered(members.begin(), members.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (links.length(a) != links.length(b)) {
+                       return links.length(a) > links.length(b);
+                     }
+                     return a < b;
+                   });
+  return ordered;
+}
+
 RepairResult repair_schedule(const geom::LinkSet& links,
                              const Schedule& schedule,
                              const FeasibilityOracle& oracle) {
@@ -21,14 +34,7 @@ RepairResult repair_schedule(const geom::LinkSet& links,
     ++result.slots_split;
     // Re-pack first-fit in non-increasing length order (longest links are
     // the hardest to place; packing them first keeps sub-slot counts low).
-    std::vector<std::size_t> ordered(slot.begin(), slot.end());
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       if (links.length(a) != links.length(b)) {
-                         return links.length(a) > links.length(b);
-                       }
-                       return a < b;
-                     });
+    const auto ordered = pack_order(links, slot);
     std::vector<std::vector<std::size_t>> sub_slots;
     std::vector<std::size_t> trial;
     for (std::size_t link : ordered) {
@@ -57,6 +63,85 @@ RepairResult repair_schedule(const geom::LinkSet& links,
     }
   }
   result.length_after = result.schedule.length();
+  return result;
+}
+
+PatchResult patch_slot(const geom::LinkSet& links,
+                       std::vector<std::vector<std::size_t>> kept,
+                       std::span<const std::size_t> loose,
+                       const FeasibilityOracle& oracle,
+                       bool kept_certified) {
+  PatchResult result;
+  result.sub_slots = std::move(kept);
+  // Drop sub-slots emptied by deletions.
+  std::erase_if(result.sub_slots,
+                [](const std::vector<std::size_t>& sub) { return sub.empty(); });
+  if (!kept_certified && result.sub_slots.size() > 1) {
+    throw std::invalid_argument(
+        "patch_slot: uncertified kept must be a single sub-slot");
+  }
+
+  // Longest-first, matching repair_schedule's packing order.
+  std::vector<std::size_t> ordered = pack_order(links, loose);
+
+  std::vector<std::size_t> trial;
+  // Optimistic fast path: at low churn the whole class usually still fits
+  // in one slot, so one oracle call on (kept + loose) replaces |loose|
+  // incremental checks — and certifies the merged membership outright,
+  // uncertified kept included. Costs a single extra call when it misses.
+  if (result.sub_slots.size() <= 1 &&
+      (ordered.size() > 1 || (!kept_certified && !ordered.empty()))) {
+    trial = result.sub_slots.empty() ? std::vector<std::size_t>{}
+                                     : result.sub_slots.front();
+    trial.insert(trial.end(), ordered.begin(), ordered.end());
+    ++result.oracle_calls;
+    if (oracle(trial)) {
+      if (result.sub_slots.empty()) {
+        ++result.slots_opened;
+        result.sub_slots.push_back(std::move(trial));
+      } else {
+        result.sub_slots.front() = std::move(trial);
+      }
+      return result;
+    }
+  }
+
+  // Before any insertion trusts an uncertified kept sub-slot, re-check it
+  // once; a rejected kept (the oracle's bound is conservative, not
+  // monotone) is demoted into the loose set and repacked.
+  if (!kept_certified && !result.sub_slots.empty()) {
+    ++result.oracle_calls;
+    if (!oracle(result.sub_slots.front())) {
+      ordered.insert(ordered.end(), result.sub_slots.front().begin(),
+                     result.sub_slots.front().end());
+      result.sub_slots.clear();
+      ordered = pack_order(links, ordered);
+    }
+  }
+  for (const std::size_t link : ordered) {
+    bool placed = false;
+    for (auto& sub : result.sub_slots) {
+      trial = sub;
+      trial.push_back(link);
+      ++result.oracle_calls;
+      if (oracle(trial)) {
+        sub.push_back(link);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      trial = {link};
+      ++result.oracle_calls;
+      if (!oracle(trial)) {
+        throw std::runtime_error(
+            "patch_slot: singleton slot infeasible; instance is not "
+            "interference-limited under this oracle");
+      }
+      result.sub_slots.push_back(std::move(trial));
+      ++result.slots_opened;
+    }
+  }
   return result;
 }
 
@@ -170,14 +255,7 @@ RepairResult repair_schedule_fixed_power(const geom::LinkSet& links,
       continue;
     }
     ++result.slots_split;
-    std::vector<std::size_t> ordered(slot.begin(), slot.end());
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       if (links.length(a) != links.length(b)) {
-                         return links.length(a) > links.length(b);
-                       }
-                       return a < b;
-                     });
+    const auto ordered = pack_order(links, slot);
     for (auto& sub : packer.pack(ordered)) {
       result.schedule.slots.push_back(std::move(sub));
     }

@@ -35,6 +35,50 @@ struct RepairResult {
                                            const Schedule& schedule,
                                            const FeasibilityOracle& oracle);
 
+/// The canonical repair packing order: members sorted longest link first,
+/// ties by link index. Shared by repair_schedule, patch_slot, and the
+/// dynamic planner so the packing order cannot drift between them.
+[[nodiscard]] std::vector<std::size_t> pack_order(
+    const geom::LinkSet& links, std::span<const std::size_t> members);
+
+/// Outcome of a patch-level (single color class) repair.
+struct PatchResult {
+  /// Feasible sub-slots covering kept + loose exactly once each.
+  std::vector<std::vector<std::size_t>> sub_slots;
+  /// Oracle invocations performed (the cost driver of repair).
+  std::size_t oracle_calls = 0;
+  /// Sub-slots that were opened fresh (not reused from `kept`).
+  std::size_t slots_opened = 0;
+};
+
+/// Patch-level repair: the incremental counterpart of repair_schedule for
+/// ONE slot whose membership changed. `kept` is a partition of the slot's
+/// surviving links into sub-slots the caller can certify feasible under
+/// THIS oracle — in practice, sub-slots whose exact membership the oracle
+/// accepted before (oracles are deterministic, so the certificate carries;
+/// do NOT rely on feasibility being monotone under member departure — the
+/// power-control oracle's iterative bound is conservative and need not be).
+/// `loose` are the changed/new links; each is first-fit inserted into the
+/// first sub-slot the oracle accepts it into, else opens a new sub-slot.
+/// Only insertions are oracle-checked, so the cost is proportional to
+/// |loose|, not the slot.
+///
+/// When the caller cannot certify `kept` (e.g. members departed since the
+/// oracle last accepted it), pass kept_certified = false: the fast path
+/// still tries the whole class first (success certifies everything), and
+/// otherwise kept is re-checked once — demoted into the loose set if the
+/// oracle rejects it — before any insertion trusts it. Requires kept to
+/// hold at most one sub-slot in that case.
+///
+/// Preconditions: kept/loose are disjoint and duplicate-free; every
+/// singleton must satisfy the oracle (std::runtime_error otherwise, as in
+/// repair_schedule). Certified kept sub-slots are NOT re-verified.
+[[nodiscard]] PatchResult patch_slot(const geom::LinkSet& links,
+                                     std::vector<std::vector<std::size_t>> kept,
+                                     std::span<const std::size_t> loose,
+                                     const FeasibilityOracle& oracle,
+                                     bool kept_certified = true);
+
 /// Same contract as repair_schedule, specialized for a fixed power
 /// assignment: sub-slot feasibility is maintained incrementally (running
 /// per-link interference loads), making each placement attempt O(|sub-slot|)

@@ -98,6 +98,11 @@ core::PlannerConfig mode_config(core::PowerMode mode) {
   return cfg;
 }
 
+geom::Pointset make_family(const std::string& family, std::size_t n,
+                           std::uint64_t seed) {
+  return FamilyRegistry::global().make(family, n, seed);
+}
+
 core::PowerMode power_mode_from_string(const std::string& name) {
   if (name == "uniform") return core::PowerMode::kUniform;
   if (name == "linear") return core::PowerMode::kLinear;
@@ -183,6 +188,41 @@ double parse_double(const std::string& token, const std::string& key) {
   return value;
 }
 
+// The churn= value: comma-separated key:value pairs.
+void parse_churn(const std::string& value, WorkloadSpec& spec) {
+  for (const auto& part : split(value, ',')) {
+    if (part.empty()) continue;
+    const auto colon = part.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::invalid_argument(
+          "WorkloadSpec: churn expects key:value pairs, got: " + part);
+    }
+    const std::string key = part.substr(0, colon);
+    const std::string sub = part.substr(colon + 1);
+    if (key == "epochs") {
+      spec.churn.epochs = parse_size(sub, "churn epochs");
+    } else if (key == "rate") {
+      spec.churn.rate = parse_double(sub, "churn rate");
+    } else if (key == "add") {
+      spec.churn.add_weight = parse_double(sub, "churn add");
+    } else if (key == "remove") {
+      spec.churn.remove_weight = parse_double(sub, "churn remove");
+    } else if (key == "move") {
+      spec.churn.move_weight = parse_double(sub, "churn move");
+    } else if (key == "sigma") {
+      spec.churn.drift_sigma = parse_double(sub, "churn sigma");
+    } else if (key == "audit") {
+      spec.churn_audit = parse_size(sub, "churn audit") != 0;
+    } else {
+      throw std::invalid_argument("WorkloadSpec: unknown churn key: " + key);
+    }
+  }
+  if (spec.churn.epochs == 0) {
+    throw std::invalid_argument(
+        "WorkloadSpec: churn requires epochs:<n> with n > 0");
+  }
+}
+
 }  // namespace
 
 WorkloadSpec WorkloadSpec::parse(const std::string& text) {
@@ -229,6 +269,8 @@ WorkloadSpec WorkloadSpec::parse(const std::string& text) {
       spec.alpha = parse_double(value, "alpha");
     } else if (key == "beta") {
       spec.beta = parse_double(value, "beta");
+    } else if (key == "churn") {
+      parse_churn(value, spec);
     } else {
       throw std::invalid_argument("WorkloadSpec: unknown key: " + key);
     }
@@ -256,6 +298,14 @@ std::string WorkloadSpec::to_text() const {
   }
   out << "\nreps=" << replications << "\nseed=" << base_seed
       << "\nalpha=" << alpha << "\nbeta=" << beta << "\n";
+  if (churn.epochs > 0) {
+    out << "churn=epochs:" << churn.epochs << ",rate:" << churn.rate
+        << ",add:" << churn.add_weight << ",remove:" << churn.remove_weight
+        << ",move:" << churn.move_weight;
+    if (churn.drift_sigma > 0.0) out << ",sigma:" << churn.drift_sigma;
+    if (churn_audit) out << ",audit:1";
+    out << "\n";
+  }
   return out.str();
 }
 
@@ -278,6 +328,7 @@ void WorkloadSpec::validate(const FamilyRegistry& registry) const {
       throw std::invalid_argument("WorkloadSpec: sizes must be >= 2");
     }
   }
+  if (churn.epochs > 0) churn.validate();
 }
 
 std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& family,
@@ -318,9 +369,17 @@ std::vector<runtime::PlanRequest> WorkloadSpec::expand(
           request.seed = cell_seed(base_seed, family, n, mode, rep);
           request.points = registry.make(family, n, request.seed);
           request.config = config;
+          if (churn.epochs > 0) {
+            // The trace seed is the cell seed, so churn inherits the same
+            // cell-local determinism as the instance itself.
+            request.trace = dynamic::make_churn_trace(
+                request.points, churn, request.seed, config.sink);
+            request.audit = churn_audit;
+          }
           std::ostringstream tags;
           tags << "family=" << family << " n=" << n << " mode="
                << core::to_string(mode) << " rep=" << rep;
+          if (churn.epochs > 0) tags << " epochs=" << churn.epochs;
           request.tags = tags.str();
           requests.push_back(std::move(request));
         }

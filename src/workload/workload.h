@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/planner.h"
+#include "dynamic/mutation.h"
 #include "geom/point.h"
 #include "runtime/plan_service.h"
 
@@ -48,6 +49,12 @@ class FamilyRegistry {
 /// (alpha = 3, beta = 1) — previously bench_common.h::mode_config.
 [[nodiscard]] core::PlannerConfig mode_config(core::PowerMode mode);
 
+/// Generates an instance from the global registry — THE entry point for
+/// benches, tests, and examples (previously bench_common.h::make_family).
+/// Throws std::invalid_argument on unknown family names.
+[[nodiscard]] geom::Pointset make_family(const std::string& family,
+                                         std::size_t n, std::uint64_t seed);
+
 /// Parses "uniform" / "linear" / "oblivious" / "global" (the inverse of
 /// core::to_string). Throws std::invalid_argument otherwise.
 [[nodiscard]] core::PowerMode power_mode_from_string(const std::string& name);
@@ -65,10 +72,19 @@ class FamilyRegistry {
 ///   reps=3                    # replications per cell (default 1)
 ///   seed=42                   # base seed (default 1)
 ///   alpha=3.0 beta=1.0        # SINR parameters (defaults shown)
+///   churn=epochs:40,rate:0.05,add:2,remove:1,move:2,audit:1
+///
+/// The churn key turns every request into a dynamic session: the instance
+/// is planned once, then `epochs` seeded mutation epochs are applied
+/// incrementally. Its value is comma-separated `key:value` pairs —
+/// epochs (required, > 0), rate (mutations per node per epoch),
+/// add/remove/move (kind-mix weights), sigma (move drift; 0 = auto),
+/// audit (0/1: cross-check every epoch against a full replan).
 ///
 /// Expansion is deterministic: each request's seed depends only on the base
 /// seed and its (family, size, mode, replication) cell, never on the rest of
-/// the spec, so adding a family leaves every other request unchanged.
+/// the spec, so adding a family leaves every other request unchanged; churn
+/// traces derive from the request seed the same way.
 struct WorkloadSpec {
   std::string name = "workload";
   std::vector<std::string> families;
@@ -78,6 +94,9 @@ struct WorkloadSpec {
   std::uint64_t base_seed = 1;
   double alpha = 3.0;
   double beta = 1.0;
+  /// Churn dimension; epochs == 0 means a static (single-plan) workload.
+  dynamic::ChurnParams churn{};
+  bool churn_audit = false;
 
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 

@@ -71,6 +71,52 @@ TEST(Greedy, EmptyGraph) {
   EXPECT_TRUE(is_proper(g, c));
 }
 
+TEST(Recolor, KeepsSeedAndStaysProper) {
+  // 6-cycle: seed alternating colors on half the vertices, recolor the rest.
+  conflict::Graph cycle(6);
+  for (std::size_t v = 0; v < 6; ++v) cycle.add_edge(v, (v + 1) % 6);
+  cycle.finalize();
+  std::vector<int> seed = {0, -1, 0, -1, 0, -1};
+  std::vector<std::size_t> order = {0, 1, 2, 3, 4, 5};
+  const auto coloring = greedy_recolor(cycle, order, seed);
+  for (std::size_t v = 0; v < 6; v += 2) {
+    EXPECT_EQ(coloring.color_of[v], 0) << "seed not kept at " << v;
+  }
+  for (std::size_t v = 0; v < 6; ++v) {
+    for (const auto w : cycle.neighbors(v)) {
+      EXPECT_NE(coloring.color_of[v],
+                coloring.color_of[static_cast<std::size_t>(w)]);
+    }
+  }
+}
+
+TEST(Recolor, RejectsImproperSeedAndBadSizes) {
+  conflict::Graph edge(2);
+  edge.add_edge(0, 1);
+  edge.finalize();
+  std::vector<std::size_t> order = {0, 1};
+  std::vector<int> clash = {2, 2};
+  EXPECT_THROW((void)greedy_recolor(edge, order, clash),
+               std::invalid_argument);
+  std::vector<int> short_seed = {0};
+  EXPECT_THROW((void)greedy_recolor(edge, order, short_seed),
+               std::invalid_argument);
+}
+
+TEST(Recolor, EmptySeedEqualsGreedy) {
+  conflict::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.finalize();
+  std::vector<std::size_t> order = {4, 3, 2, 1, 0};
+  const std::vector<int> blank(5, -1);
+  const auto recolored = greedy_recolor(g, order, blank);
+  const auto fresh = greedy_color(g, order);
+  EXPECT_EQ(recolored.color_of, fresh.color_of);
+  EXPECT_EQ(recolored.num_colors, fresh.num_colors);
+}
+
 TEST(Coloring, ClassesPartitionVertices) {
   const auto g = cycle(7);
   const auto c = greedy_color(g, identity_order(7));

@@ -167,6 +167,42 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0, 1, 2, 3),
                        ::testing::Values(1ULL, 7ULL, 13ULL)));
 
+TEST(SubsetQuery, RowsMatchFullGraphAcrossSpecs) {
+  // conflict_neighbors_bucketed must return exactly the full graph's rows
+  // for any query subset — it is the incremental planner's replacement for
+  // a full rebuild.
+  const auto pts = instance::uniform_square(90, 7.0, 5);
+  const auto tree = mst::mst_tree(pts, 0);
+  std::vector<std::size_t> queries;
+  for (std::size_t i = 0; i < tree.links.size(); i += 3) queries.push_back(i);
+  for (const auto& spec :
+       {ConflictSpec::constant(2.0), ConflictSpec::power_law(1.0, 0.6),
+        ConflictSpec::logarithmic(2.0, 3.0)}) {
+    const auto full = build_conflict_graph(tree.links, spec);
+    const auto rows = conflict_neighbors_bucketed(tree.links, spec, queries);
+    ASSERT_EQ(rows.size(), queries.size());
+    for (std::size_t k = 0; k < queries.size(); ++k) {
+      const auto expected = full.neighbors(queries[k]);
+      ASSERT_EQ(rows[k].size(), expected.size())
+          << spec.name() << " row " << queries[k];
+      for (std::size_t a = 0; a < expected.size(); ++a) {
+        EXPECT_EQ(rows[k][a], expected[a])
+            << spec.name() << " row " << queries[k];
+      }
+    }
+  }
+}
+
+TEST(SubsetQuery, EmptyAndDegenerate) {
+  const auto pts = instance::uniform_square(10, 3.0, 2);
+  const auto tree = mst::mst_tree(pts, 0);
+  const auto spec = ConflictSpec::constant(1.0);
+  EXPECT_TRUE(conflict_neighbors_bucketed(tree.links, spec, {}).empty());
+  const geom::LinkSet empty;
+  const std::vector<std::size_t> none;
+  EXPECT_TRUE(conflict_neighbors_bucketed(empty, spec, none).empty());
+}
+
 TEST(Builder, ExtremeScalesDoNotOverflow) {
   // Doubly-exponential chain: lengths spanning hundreds of orders of
   // magnitude must not break the predicate or the builders.

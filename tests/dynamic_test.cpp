@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "dynamic/dynamic_planner.h"
+#include "dynamic/mutation.h"
+#include "mst/incremental.h"
+#include "mst/mst.h"
+#include "runtime/plan_service.h"
+#include "schedule/verify.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace wagg::dynamic {
+namespace {
+
+/// From-scratch MST weight of the alive points, for exactness checks.
+double recomputed_weight(const mst::IncrementalMst& inc) {
+  geom::Pointset points;
+  for (const auto id : inc.alive_ids()) points.push_back(inc.position(id));
+  if (points.size() < 2) return 0.0;
+  const auto edges = mst::euclidean_mst(points);
+  return mst::total_weight(points, edges);
+}
+
+void expect_mst_exact(const mst::IncrementalMst& inc, const char* where) {
+  ASSERT_TRUE(mst::is_spanning_tree(inc.num_alive(), inc.compact_edges()))
+      << where;
+  EXPECT_NEAR(inc.weight(), recomputed_weight(inc),
+              1e-9 * std::max(1.0, recomputed_weight(inc)))
+      << where;
+}
+
+TEST(IncrementalMst, AddMatchesFromScratch) {
+  auto points = workload::make_family("uniform", 48, 11);
+  mst::IncrementalMst inc(points);
+  expect_mst_exact(inc, "initial");
+  util::Rng rng(99);
+  for (int step = 0; step < 25; ++step) {
+    inc.add_point({rng.uniform(0.0, 7.0), rng.uniform(0.0, 7.0)});
+    expect_mst_exact(inc, "after add");
+  }
+}
+
+TEST(IncrementalMst, RemoveAndMoveMatchFromScratch) {
+  auto points = workload::make_family("uniform", 64, 5);
+  mst::IncrementalMst inc(points);
+  util::Rng rng(7);
+  for (int step = 0; step < 40; ++step) {
+    const auto ids = inc.alive_ids();
+    const auto victim = ids[rng.below(ids.size())];
+    if (step % 2 == 0 && inc.num_alive() > 8) {
+      inc.remove_point(victim);
+    } else {
+      const auto& from = inc.position(victim);
+      inc.move_point(victim, {from.x + rng.normal() * 0.5,
+                              from.y + rng.normal() * 0.5});
+    }
+    expect_mst_exact(inc, "after remove/move");
+  }
+}
+
+TEST(IncrementalMst, MoveIntoLongEdgeReplacesIt) {
+  // Moving a far-away node between the endpoints of a long edge must drop
+  // that edge — the regression a lazy "reattach only the moved node" update
+  // would miss.
+  geom::Pointset points = {{0, 0}, {10, 0}, {100, 100}};
+  mst::IncrementalMst inc(points);
+  inc.move_point(2, {5.0, 0.1});
+  expect_mst_exact(inc, "after move into edge");
+  // The direct 0 <-> 1 edge (length 10) is no longer in the tree.
+  for (const auto& e : inc.edges()) {
+    EXPECT_FALSE(e.a == 0 && e.b == 1);
+  }
+}
+
+TEST(IncrementalMst, DeferredBulkRebuildMatchesFromScratch) {
+  auto points = workload::make_family("uniform", 50, 8);
+  mst::IncrementalMst inc(points);
+  util::Rng rng(31);
+  for (int step = 0; step < 12; ++step) {
+    inc.add_point_deferred({rng.uniform(0.0, 7.0), rng.uniform(0.0, 7.0)});
+  }
+  const auto ids = inc.alive_ids();
+  inc.remove_point_deferred(ids[5]);
+  inc.move_point_deferred(ids[10], {3.0, 3.0});
+  inc.rebuild();
+  expect_mst_exact(inc, "after bulk rebuild");
+  // Immediate updates keep working after a rebuild.
+  inc.add_point({1.5, 1.5});
+  expect_mst_exact(inc, "immediate after rebuild");
+}
+
+TEST(DynamicPlanner, HighChurnBulkEpochsStayValid) {
+  // rate 0.3 on n=64 -> ~19 mutations per epoch, well past the bulk-rebuild
+  // threshold, and dirty fractions that exercise the fallback path.
+  const auto points = workload::make_family("uniform", 64, 17);
+  ChurnParams params;
+  params.epochs = 6;
+  params.rate = 0.3;
+  const auto trace = make_churn_trace(points, params, 23);
+
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.audit = true;
+  DynamicPlanner planner(points, options);
+  for (const auto& epoch : trace) {
+    const auto report = planner.apply(epoch);
+    EXPECT_TRUE(report.valid) << "epoch " << report.epoch;
+    EXPECT_TRUE(report.audit_valid) << "epoch " << report.epoch;
+    EXPECT_TRUE(report.audit_tree_match) << "epoch " << report.epoch;
+  }
+}
+
+TEST(IncrementalMst, RejectsDeadIds) {
+  mst::IncrementalMst inc(workload::make_family("uniform", 8, 1));
+  inc.remove_point(3);
+  EXPECT_THROW(inc.remove_point(3), std::invalid_argument);
+  EXPECT_THROW(inc.move_point(3, {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)inc.position(3), std::invalid_argument);
+  EXPECT_THROW(inc.remove_point(99), std::invalid_argument);
+}
+
+TEST(ChurnTrace, DeterministicAndStructured) {
+  const auto points = workload::make_family("uniform", 40, 3);
+  ChurnParams params;
+  params.epochs = 12;
+  params.rate = 0.1;
+  const auto a = make_churn_trace(points, params, 42);
+  const auto b = make_churn_trace(points, params, 42);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 12u);
+  for (const auto& epoch : a) {
+    EXPECT_GE(epoch.size(), 1u);
+    for (const auto& mutation : epoch) {
+      if (mutation.kind == Mutation::Kind::kRemove) {
+        EXPECT_NE(mutation.node, 0);  // sink protected
+      }
+    }
+  }
+  const auto c = make_churn_trace(points, params, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(ChurnParams, Validation) {
+  ChurnParams params;
+  EXPECT_THROW(params.validate(), std::invalid_argument);  // epochs == 0
+  params.epochs = 5;
+  EXPECT_NO_THROW(params.validate());
+  params.rate = 0.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.rate = 0.1;
+  params.add_weight = params.remove_weight = params.move_weight = 0.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+/// The acceptance check of the incremental engine: for several instance
+/// families under seeded churn, every epoch's incremental plan must pass a
+/// from-scratch verification and its tree must weigh the same as a
+/// from-scratch MST (audit mode computes both).
+TEST(DynamicPlanner, AuditedChurnStaysValidAcrossFamilies) {
+  // expchain matters: its doubly-exponential length spread makes the
+  // power-control oracle's iterative bound conservative and non-monotone
+  // under member departure — the regression that forced membership-exact
+  // slot certification.
+  for (const std::string family :
+       {"uniform", "cluster", "noisygrid", "expchain"}) {
+    const auto points = workload::make_family(family, 72, 9);
+    ChurnParams params;
+    params.epochs = 10;
+    params.rate = 0.06;
+    const auto trace = make_churn_trace(points, params, 1234);
+
+    DynamicOptions options;
+    options.config = workload::mode_config(core::PowerMode::kGlobal);
+    options.audit = true;
+    DynamicPlanner planner(points, options);
+    EXPECT_TRUE(planner.last_report().valid) << family;
+    EXPECT_TRUE(planner.last_report().audit_valid) << family;
+
+    for (const auto& epoch : trace) {
+      const auto report = planner.apply(epoch);
+      EXPECT_TRUE(report.valid) << family << " epoch " << report.epoch;
+      EXPECT_TRUE(report.audit_valid)
+          << family << " epoch " << report.epoch;
+      EXPECT_TRUE(report.audit_tree_match)
+          << family << " epoch " << report.epoch;
+      EXPECT_GT(report.rate, 0.0);
+      EXPECT_EQ(report.num_links + 1, report.num_nodes);
+    }
+  }
+}
+
+TEST(DynamicPlanner, FixedPowerModeStaysValid) {
+  const auto points = workload::make_family("uniform", 60, 4);
+  ChurnParams params;
+  params.epochs = 8;
+  params.rate = 0.08;
+  const auto trace = make_churn_trace(points, params, 77);
+
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kUniform);
+  options.audit = true;
+  DynamicPlanner planner(points, options);
+  for (const auto& epoch : trace) {
+    const auto report = planner.apply(epoch);
+    EXPECT_TRUE(report.audit_valid) << "epoch " << report.epoch;
+  }
+}
+
+TEST(DynamicPlanner, IndependentVerifyOfSnapshot) {
+  const auto points = workload::make_family("twotier", 64, 21);
+  ChurnParams params;
+  params.epochs = 6;
+  params.rate = 0.1;
+  const auto trace = make_churn_trace(points, params, 5);
+
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  DynamicPlanner planner(points, options);
+  planner.apply_trace(trace);
+
+  // Verify the final snapshot with a fresh oracle, independent of any state
+  // the planner carries.
+  const auto& snapshot = planner.snapshot();
+  const auto oracle =
+      core::oracle_for_mode(snapshot.links, options.config);
+  const auto verification =
+      schedule::verify_schedule(snapshot.links, snapshot.schedule, oracle);
+  EXPECT_TRUE(verification.ok());
+  EXPECT_TRUE(schedule::is_partition(snapshot.schedule,
+                                     snapshot.links.size()));
+}
+
+TEST(DynamicPlanner, LowChurnMostlyReusesAndPatchesLocally) {
+  const auto points = workload::make_family("uniform", 200, 2);
+  ChurnParams params;
+  params.epochs = 6;
+  params.rate = 0.01;
+  const auto trace = make_churn_trace(points, params, 3);
+
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  DynamicPlanner planner(points, options);
+  for (const auto& epoch : trace) {
+    const auto report = planner.apply(epoch);
+    EXPECT_FALSE(report.full_replan) << "epoch " << report.epoch;
+    EXPECT_LT(report.dirty_links, report.num_links / 2)
+        << "epoch " << report.epoch;
+  }
+}
+
+TEST(DynamicPlanner, TinyThresholdForcesFullReplanAndStaysValid) {
+  const auto points = workload::make_family("uniform", 64, 13);
+  ChurnParams params;
+  params.epochs = 5;
+  params.rate = 0.1;
+  const auto trace = make_churn_trace(points, params, 8);
+
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.full_replan_fraction = 1e-9;  // everything falls back
+  options.audit = true;
+  DynamicPlanner planner(points, options);
+  for (const auto& epoch : trace) {
+    const auto report = planner.apply(epoch);
+    EXPECT_TRUE(report.full_replan) << "epoch " << report.epoch;
+    EXPECT_TRUE(report.valid) << "epoch " << report.epoch;
+    EXPECT_TRUE(report.audit_valid) << "epoch " << report.epoch;
+  }
+}
+
+TEST(DynamicPlanner, RejectsIllegalMutations) {
+  const auto points = workload::make_family("uniform", 8, 1);
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kUniform);
+  DynamicPlanner planner(points, options);
+
+  Mutation remove_sink{Mutation::Kind::kRemove, 0, {}};
+  EXPECT_THROW(planner.apply(remove_sink), std::invalid_argument);
+  Mutation remove_dead{Mutation::Kind::kRemove, 3, {}};
+  (void)planner.apply(remove_dead);
+  EXPECT_THROW(planner.apply(remove_dead), std::invalid_argument);
+}
+
+TEST(DynamicPlanner, RejectsBadOptions) {
+  const auto points = workload::make_family("uniform", 8, 1);
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.config.tree = core::TreeKind::kPairing;
+  EXPECT_THROW(DynamicPlanner(points, options), std::invalid_argument);
+  options.config.tree = core::TreeKind::kMst;
+  options.full_replan_fraction = 0.0;
+  EXPECT_THROW(DynamicPlanner(points, options), std::invalid_argument);
+}
+
+TEST(PlanServiceSessions, StatePersistsAcrossAdvances) {
+  runtime::PlanService service(runtime::ServiceOptions{.num_workers = 2});
+  const auto points = workload::make_family("uniform", 48, 6);
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+
+  const auto id = service.open_session(points, options);
+  EXPECT_EQ(service.num_sessions(), 1u);
+  EXPECT_EQ(service.session(id)->epoch(), 0u);
+
+  ChurnParams params;
+  params.epochs = 3;
+  params.rate = 0.05;
+  const auto trace = make_churn_trace(points, params, 10);
+  for (std::size_t e = 0; e < trace.size(); ++e) {
+    const auto report = service.advance_session(id, trace[e]);
+    EXPECT_EQ(report.epoch, e + 1);
+    EXPECT_TRUE(report.valid);
+  }
+  EXPECT_EQ(service.session(id)->epoch(), trace.size());
+
+  service.close_session(id);
+  EXPECT_EQ(service.num_sessions(), 0u);
+  EXPECT_THROW((void)service.advance_session(id, {}),
+               std::invalid_argument);
+}
+
+TEST(PlanServiceSessions, ChurnRequestsRunThroughBatches) {
+  const auto spec = workload::WorkloadSpec::parse(
+      "families=uniform,cluster sizes=40 modes=global reps=2 seed=5 "
+      "churn=epochs:4,rate:0.08,audit:1");
+  const auto requests = spec.expand();
+  ASSERT_EQ(requests.size(), 4u);
+  for (const auto& request : requests) {
+    ASSERT_EQ(request.trace.size(), 4u);
+    EXPECT_TRUE(request.audit);
+  }
+
+  runtime::PlanService service(runtime::ServiceOptions{.num_workers = 2});
+  const auto result = service.run(requests);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_EQ(outcome.epochs, 5u);  // initial plan + 4 mutation epochs
+    EXPECT_EQ(outcome.epochs_valid, 5u) << outcome.tags;
+    EXPECT_TRUE(outcome.verified);
+    EXPECT_GT(outcome.rate, 0.0);
+  }
+
+  // Same digests at any worker count (sessions are deterministic).
+  runtime::PlanService serial(runtime::ServiceOptions{.num_workers = 1});
+  const auto again = serial.run(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(result.outcomes[i].digest, again.outcomes[i].digest);
+  }
+}
+
+}  // namespace
+}  // namespace wagg::dynamic

@@ -126,6 +126,27 @@ TEST(PlanService, EmptyBatchAndReuse) {
   }
 }
 
+TEST(PlanService, ReportsQueueWaitLatency) {
+  const auto requests = small_batch(8);
+  // One worker: later requests must wait for earlier ones, so queue waits
+  // are non-decreasing in completion order and the summary is populated.
+  PlanService service(ServiceOptions{.num_workers = 1});
+  const auto result = service.run(requests);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_GE(outcome.queue_ms, 0.0);
+    EXPECT_LE(outcome.queue_ms, result.stats.wall_ms + 1.0);
+  }
+  // With one worker the last-picked request waited at least as long as the
+  // first; the max must be strictly positive once 8 plans ran serially.
+  EXPECT_GT(result.stats.queue.max, 0.0);
+  EXPECT_GE(result.stats.queue.p95, result.stats.queue.p50);
+  EXPECT_GE(result.stats.queue.max, result.stats.queue.p95);
+
+  // Direct execution never queues.
+  const auto direct = execute_request(requests[0], 0);
+  EXPECT_DOUBLE_EQ(direct.queue_ms, 0.0);
+}
+
 TEST(ExecuteRequest, MatchesServicePath) {
   const auto requests = small_batch(3);
   PlanService service(ServiceOptions{.num_workers = 2});

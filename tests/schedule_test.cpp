@@ -165,6 +165,155 @@ TEST(FiveCycle, MulticolorBeatsColoring) {
   EXPECT_GT(min_link_rate(multicolor, 5), min_link_rate(coloring, 5));
 }
 
+TEST(Repair, EmptySlotSurvivesUnchanged) {
+  // An empty slot is vacuously feasible; repair must neither crash nor
+  // split it.
+  const auto links = chain_links(4);
+  const auto prm = params(3.0, 2.0);
+  const auto oracle =
+      fixed_power_oracle(links, prm, sinr::uniform_power(links, prm));
+  Schedule with_empty;
+  with_empty.slots = {{0}, {}, {1}, {2}};
+  const auto repaired = repair_schedule(links, with_empty, oracle);
+  EXPECT_EQ(repaired.slots_split, 0u);
+  EXPECT_EQ(repaired.schedule.slots, with_empty.slots);
+
+  const auto fixed = repair_schedule_fixed_power(
+      links, with_empty, prm, sinr::uniform_power(links, prm));
+  EXPECT_EQ(fixed.slots_split, 0u);
+  EXPECT_EQ(fixed.schedule.slots, with_empty.slots);
+}
+
+TEST(Repair, SingleLinkSlotsAreFixedPoints) {
+  // Singletons are feasible on interference-limited instances, so a
+  // schedule of singletons round-trips exactly through both repair paths.
+  const auto links = chain_links(5);
+  const auto prm = params(3.0, 2.0);
+  const auto power = sinr::uniform_power(links, prm);
+  const auto oracle = fixed_power_oracle(links, prm, power);
+  Schedule singletons;
+  for (std::size_t i = 0; i < links.size(); ++i) singletons.slots.push_back({i});
+  const auto repaired = repair_schedule(links, singletons, oracle);
+  EXPECT_EQ(repaired.slots_split, 0u);
+  EXPECT_EQ(repaired.length_after, links.size());
+  EXPECT_EQ(repaired.schedule.slots, singletons.slots);
+  const auto fixed =
+      repair_schedule_fixed_power(links, singletons, prm, power);
+  EXPECT_EQ(fixed.schedule.slots, singletons.slots);
+}
+
+TEST(Repair, AllPairwiseInfeasibleSlotExplodesIntoSingletons) {
+  // Three parallel unit links stacked 0.01 apart: any concurrent pair has
+  // SINR ~= 1 < beta = 2, so the slot has no feasible pair and repair must
+  // end at one link per sub-slot.
+  geom::Pointset pts{{0, 0},    {1, 0},    {0, 0.01},
+                     {1, 0.01}, {0, 0.02}, {1, 0.02}};
+  const geom::LinkSet links(
+      pts, {geom::Link{0, 1}, geom::Link{2, 3}, geom::Link{4, 5}});
+  const auto prm = params(3.0, 2.0);
+  const auto power = sinr::uniform_power(links, prm);
+  const auto oracle = fixed_power_oracle(links, prm, power);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      ASSERT_FALSE(oracle(std::vector<std::size_t>{i, j}))
+          << "pair " << i << "," << j;
+    }
+  }
+  Schedule hopeless;
+  hopeless.slots = {{0, 1, 2}};
+  const auto repaired = repair_schedule(links, hopeless, oracle);
+  EXPECT_EQ(repaired.slots_split, 1u);
+  EXPECT_EQ(repaired.length_after, 3u);
+  for (const auto& slot : repaired.schedule.slots) {
+    EXPECT_EQ(slot.size(), 1u);
+  }
+  EXPECT_TRUE(verify_schedule(links, repaired.schedule, oracle).ok());
+
+  // The fixed-power fast path agrees.
+  const auto fixed = repair_schedule_fixed_power(links, hopeless, prm, power);
+  EXPECT_EQ(fixed.length_after, 3u);
+}
+
+TEST(PatchSlot, InsertsLooseIntoKeptWhenFeasible) {
+  const auto links = chain_links(8);  // 7 unit links
+  const auto prm = params(3.0, 1.0);
+  const auto oracle =
+      fixed_power_oracle(links, prm, sinr::uniform_power(links, prm));
+  // Far-apart links 0 and 6 coexist; insert 3 (feasible with neither-near
+  // set? checked via oracle) as loose.
+  std::vector<std::vector<std::size_t>> kept = {{0, 6}};
+  ASSERT_TRUE(oracle(kept[0]));
+  const std::vector<std::size_t> loose = {3};
+  const auto patch = patch_slot(links, kept, loose, oracle);
+  std::size_t members = 0;
+  for (const auto& sub : patch.sub_slots) members += sub.size();
+  EXPECT_EQ(members, 3u);
+  EXPECT_GE(patch.oracle_calls, 1u);
+  for (const auto& sub : patch.sub_slots) {
+    EXPECT_TRUE(oracle(sub));
+  }
+}
+
+TEST(PatchSlot, MixesInsertionAndNewSubSlots) {
+  const auto inst = instance::five_cycle_instance();
+  const auto prm = params(3.0, 1.0);
+  const auto oracle = fixed_power_oracle(
+      inst.links, prm, sinr::uniform_power(inst.links, prm));
+  // Five-cycle: adjacent pairs are infeasible, non-adjacent pairs feasible.
+  // Kept slot {0}; loose 1 (adjacent to 0 -> new sub-slot) and 2
+  // (non-adjacent to 0 -> joins the kept slot).
+  ASSERT_TRUE(oracle(std::vector<std::size_t>{0, 2}));
+  std::vector<std::vector<std::size_t>> kept = {{0}};
+  const std::vector<std::size_t> loose = {1, 2};
+  const auto patch = patch_slot(inst.links, kept, loose, oracle);
+  ASSERT_EQ(patch.sub_slots.size(), 2u);
+  EXPECT_EQ(patch.slots_opened, 1u);
+  EXPECT_EQ(patch.sub_slots[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(patch.sub_slots[1], (std::vector<std::size_t>{1}));
+  for (const auto& sub : patch.sub_slots) {
+    EXPECT_TRUE(oracle(sub));
+  }
+}
+
+TEST(PatchSlot, UncertifiedKeptIsRecheckedOrRepacked) {
+  const auto inst = instance::five_cycle_instance();
+  const auto prm = params(3.0, 1.0);
+  const auto oracle = fixed_power_oracle(
+      inst.links, prm, sinr::uniform_power(inst.links, prm));
+  // Feasible shrunk kept: one oracle call re-certifies it.
+  {
+    const auto patch = patch_slot(inst.links, {{0, 2}}, {}, oracle, false);
+    ASSERT_EQ(patch.sub_slots.size(), 1u);
+    EXPECT_EQ(patch.sub_slots[0], (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(patch.oracle_calls, 1u);
+  }
+  // Infeasible kept (adjacent pair): demoted and repacked into singletons.
+  {
+    const auto patch = patch_slot(inst.links, {{0, 1}}, {}, oracle, false);
+    ASSERT_EQ(patch.sub_slots.size(), 2u);
+    for (const auto& sub : patch.sub_slots) {
+      EXPECT_EQ(sub.size(), 1u);
+      EXPECT_TRUE(oracle(sub));
+    }
+  }
+  // Uncertified kept must be a single sub-slot.
+  EXPECT_THROW(
+      (void)patch_slot(inst.links, {{0}, {2}}, {}, oracle, false),
+      std::invalid_argument);
+}
+
+TEST(PatchSlot, DropsEmptiedKeptSubSlots) {
+  const auto links = chain_links(4);
+  const auto prm = params(3.0, 2.0);
+  const auto oracle =
+      fixed_power_oracle(links, prm, sinr::uniform_power(links, prm));
+  std::vector<std::vector<std::size_t>> kept = {{}, {0}, {}};
+  const auto patch = patch_slot(links, kept, {}, oracle);
+  ASSERT_EQ(patch.sub_slots.size(), 1u);
+  EXPECT_EQ(patch.sub_slots[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(patch.oracle_calls, 0u);  // no loose links, no checks
+}
+
 TEST(FiveCycle, AdjacentPairsAreInfeasible) {
   const auto inst = instance::five_cycle_instance();
   const auto prm = params(3.0, 1.0);

@@ -112,6 +112,74 @@ TEST(WorkloadSpec, RejectsMalformedInput) {
       std::invalid_argument);
 }
 
+TEST(WorkloadSpec, ParsesChurnGrammar) {
+  const auto spec = WorkloadSpec::parse(
+      "families=uniform sizes=32 modes=global "
+      "churn=epochs:25,rate:0.07,add:2,remove:1,move:3,sigma:0.5,audit:1");
+  EXPECT_EQ(spec.churn.epochs, 25u);
+  EXPECT_DOUBLE_EQ(spec.churn.rate, 0.07);
+  EXPECT_DOUBLE_EQ(spec.churn.add_weight, 2.0);
+  EXPECT_DOUBLE_EQ(spec.churn.remove_weight, 1.0);
+  EXPECT_DOUBLE_EQ(spec.churn.move_weight, 3.0);
+  EXPECT_DOUBLE_EQ(spec.churn.drift_sigma, 0.5);
+  EXPECT_TRUE(spec.churn_audit);
+
+  // Defaults: no churn key -> static workload.
+  const auto plain =
+      WorkloadSpec::parse("families=uniform sizes=32 modes=global");
+  EXPECT_EQ(plain.churn.epochs, 0u);
+  EXPECT_FALSE(plain.churn_audit);
+}
+
+TEST(WorkloadSpec, ChurnRoundTripsThroughText) {
+  const auto spec = WorkloadSpec::parse(
+      "families=uniform sizes=24 modes=uniform "
+      "churn=epochs:7,rate:0.03,add:1,remove:2,move:1");
+  const auto reparsed = WorkloadSpec::parse(spec.to_text());
+  EXPECT_EQ(spec, reparsed);
+}
+
+TEST(WorkloadSpec, RejectsMalformedChurn) {
+  EXPECT_THROW((void)WorkloadSpec::parse("churn=epochs"),
+               std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("churn=bogus:1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("churn=rate:x"),
+               std::invalid_argument);
+  // epochs is required: a churn key without it must not silently produce a
+  // static workload.
+  EXPECT_THROW((void)WorkloadSpec::parse("churn=rate:0.1,audit:1"),
+               std::invalid_argument);
+  // Negative sigma must not be silently reinterpreted as the auto default.
+  EXPECT_THROW((void)WorkloadSpec::parse("families=uniform sizes=16 "
+                                         "modes=global "
+                                         "churn=epochs:3,sigma:-5")
+                   .expand(),
+               std::invalid_argument);
+  // Zero-rate churn is caught by validation at expansion time.
+  EXPECT_THROW((void)WorkloadSpec::parse("families=uniform sizes=16 "
+                                         "modes=global churn=epochs:3,rate:0")
+                   .expand(),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSpec, ChurnExpandsIntoDeterministicTraces) {
+  const std::string text =
+      "families=uniform sizes=32 modes=global reps=2 seed=3 "
+      "churn=epochs:5,rate:0.1";
+  const auto a = WorkloadSpec::parse(text).expand();
+  const auto b = WorkloadSpec::parse(text).expand();
+  ASSERT_EQ(a.size(), 2u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].trace.size(), 5u);
+    EXPECT_EQ(a[i].trace, b[i].trace);
+    EXPECT_FALSE(a[i].audit);
+    EXPECT_NE(a[i].tags.find("epochs=5"), std::string::npos);
+  }
+  // Different reps get different traces (cell-seeded).
+  EXPECT_NE(a[0].trace, a[1].trace);
+}
+
 TEST(WorkloadSpec, GeometricSweepNearOverflowTerminates) {
   // The sweep loop must stop instead of wrapping n past 2^64.
   const auto spec = WorkloadSpec::parse(
