@@ -41,7 +41,9 @@ SessionCost run_session(const std::string& family, std::size_t n, double rate,
     cost.incremental_ms += report.timings.incremental_ms();
     cost.full_ms += report.audit_full_ms;
     cost.all_valid = cost.all_valid && report.valid &&
-                     (!report.audited || report.audit_valid);
+                     (!report.audited ||
+                      (report.audit_valid && report.audit_tree_match &&
+                       report.audit_store_match));
     if (report.full_replan) ++cost.full_replans;
     ++cost.epochs;
   }
@@ -105,6 +107,7 @@ void BM_IncrementalEpoch(benchmark::State& state) {
 BENCHMARK(BM_IncrementalEpoch)
     ->Args({512, 2})
     ->Args({512, 10})
+    ->Args({2048, 1})  // the stable-id LinkStore acceptance configuration
     ->Args({2048, 2})
     ->Unit(benchmark::kMillisecond);
 
@@ -120,11 +123,63 @@ void BM_FullReplanEpoch(benchmark::State& state) {
 BENCHMARK(BM_FullReplanEpoch)->Arg(512)->Arg(2048)->Unit(
     benchmark::kMillisecond);
 
+/// CI gate (--smoke): one audited low-churn session must stay valid, avoid
+/// the full-replan fallback, and beat the from-scratch baseline by a solid
+/// margin. A regression that drags epoch cost back toward O(n) fails the
+/// job instead of landing silently; the threshold sits well below the
+/// current ~3x so scheduler noise on shared runners cannot flake it.
+int run_smoke() {
+  constexpr double kMinSpeedup = 1.4;
+  const auto cost = run_session("uniform", 512, 0.01, 8, /*audit=*/true);
+  const double incr = cost.incremental_ms / static_cast<double>(cost.epochs);
+  const double full = cost.full_ms / static_cast<double>(cost.epochs);
+  const double speedup = incr > 0.0 ? full / incr : 0.0;
+  std::cout << "smoke: uniform n=512 rate=0.01 epochs=" << cost.epochs
+            << " incr=" << incr << " ms/epoch full=" << full
+            << " ms/epoch speedup=" << speedup
+            << "x fallbacks=" << cost.full_replans
+            << " valid=" << (cost.all_valid ? "yes" : "NO") << "\n";
+  if (!cost.all_valid) {
+    std::cout << "smoke FAILED: an epoch lost validity or audit "
+                 "equivalence\n";
+    return 1;
+  }
+  if (cost.full_replans != 0) {
+    std::cout << "smoke FAILED: low-churn epochs hit the full-replan "
+                 "fallback\n";
+    return 1;
+  }
+  if (speedup < kMinSpeedup) {
+    std::cout << "smoke FAILED: incremental speedup " << speedup << "x < "
+              << kMinSpeedup << "x floor\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace wagg
 
 int main(int argc, char** argv) {
-  wagg::print_table();
+  // --smoke: skip the (slow) study table, run the CI gate, then whatever
+  // benchmarks the remaining flags select (CI passes a tiny
+  // --benchmark_min_time so regressions surface without burning minutes).
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  int gate = 0;
+  if (smoke) {
+    gate = wagg::run_smoke();
+    if (gate != 0) return gate;
+  } else {
+    wagg::print_table();
+  }
   std::cout << "\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

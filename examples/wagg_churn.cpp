@@ -5,6 +5,7 @@
 //   ./wagg_churn                                    # defaults below
 //   ./wagg_churn --family=cluster --n=512 --epochs=30 --rate=0.05
 //   ./wagg_churn --mode=uniform --audit             # cross-check each epoch
+//   ./wagg_churn --powers                           # materialize slot powers
 //   ./wagg_churn --full-frac=0.1 --seed=7 --csv
 //
 // Per epoch the driver prints the mutation count, the dirty-link set, how
@@ -34,6 +35,12 @@ int main(int argc, char** argv) {
     dynamic::ChurnParams params;
     params.epochs = epochs;
     params.rate = rate;
+    params.hotspot_fraction = args.get_double("hotspot", 0.0);
+    params.hotspot_radius = args.get_double("hradius", 0.0);
+    params.waypoint_speed = args.get_double("speed", 0.0);
+    if (args.get("drift", "gauss") == "waypoint") {
+      params.drift = dynamic::DriftKind::kWaypoint;
+    }
     const auto points = workload::make_family(family, n, seed);
     const auto trace = dynamic::make_churn_trace(points, params, seed);
 
@@ -74,25 +81,48 @@ int main(int argc, char** argv) {
           .cell(report.timings.incremental_ms(), 2);
       if (options.audit) {
         row.cell(report.audit_full_ms, 2)
-            .cell(report.audit_valid && report.audit_tree_match ? "yes"
-                                                                : "NO");
+            .cell(report.audit_valid && report.audit_tree_match &&
+                          report.audit_store_match
+                      ? "yes"
+                      : "NO");
       }
     };
+
+    // --powers: ship per-slot Perron vectors every epoch, the way a serving
+    // deployment would. Carried-over slots hit the membership-keyed cache.
+    const bool powers =
+        args.has("powers") &&
+        options.config.power_mode == core::PowerMode::kGlobal;
+    if (args.has("powers") && !powers) {
+      std::cout << "note: --powers ignored — per-slot Perron vectors exist "
+                   "only under --mode=global (fixed-power modes use a "
+                   "closed-form assignment)\n";
+    }
+    if (powers) (void)planner.slot_powers();
 
     add_row(planner.last_report());
     double incremental_ms = 0.0;
     double full_ms = 0.0;
+    double power_ms = 0.0;
+    std::size_t power_cached = 0;
+    std::size_t power_computed = 0;
     std::size_t fallbacks = 0;
     bool all_valid = true;
     for (const auto& epoch_mutations : trace) {
-      const auto report = planner.apply(epoch_mutations);
+      (void)planner.apply(epoch_mutations);
+      if (powers) (void)planner.slot_powers();
+      const auto report = planner.last_report();
       add_row(report);
       incremental_ms += report.timings.incremental_ms();
       full_ms += report.audit_full_ms;
+      power_ms += report.timings.power_ms;
+      power_cached += report.power_slots_cached;
+      power_computed += report.power_slots_computed;
       if (report.full_replan) ++fallbacks;
       all_valid = all_valid && report.valid &&
                   (!report.audited || (report.audit_valid &&
-                                       report.audit_tree_match));
+                                       report.audit_tree_match &&
+                                       report.audit_store_match));
     }
     if (args.has("csv")) {
       table.print_csv(std::cout);
@@ -111,6 +141,13 @@ int main(int argc, char** argv) {
                 << " ms/epoch full replan ("
                 << util::format_double(full_ms / incremental_ms, 1)
                 << "x speedup)";
+    }
+    if (powers) {
+      std::cout << ", powers "
+                << util::format_double(
+                       power_ms / static_cast<double>(epochs), 2)
+                << " ms/epoch (" << power_cached << " cached / "
+                << power_computed << " computed)";
     }
     std::cout << ", " << fallbacks << " fallbacks, "
               << (all_valid ? "all epochs valid" : "INVALID EPOCHS") << "\n";

@@ -7,7 +7,7 @@
 namespace wagg::analysis {
 
 conflict::Graph pairwise_infeasibility_graph(
-    const geom::LinkSet& links, const schedule::FeasibilityOracle& oracle) {
+    const geom::LinkView& links, const schedule::FeasibilityOracle& oracle) {
   conflict::Graph graph(links.size());
   std::vector<std::size_t> pair(2);
   for (std::size_t i = 0; i < links.size(); ++i) {
@@ -21,7 +21,7 @@ conflict::Graph pairwise_infeasibility_graph(
   return graph;
 }
 
-std::size_t count_cofeasible_pairs(const geom::LinkSet& links,
+std::size_t count_cofeasible_pairs(const geom::LinkView& links,
                                    const schedule::FeasibilityOracle& oracle) {
   std::size_t count = 0;
   std::vector<std::size_t> pair(2);
@@ -36,7 +36,7 @@ std::size_t count_cofeasible_pairs(const geom::LinkSet& links,
 }
 
 std::vector<std::size_t> greedy_feasible_packing(
-    const geom::LinkSet& links, std::span<const std::size_t> candidates,
+    const geom::LinkView& links, std::span<const std::size_t> candidates,
     const schedule::FeasibilityOracle& oracle,
     std::optional<std::size_t> anchor) {
   (void)links;  // kept for API symmetry with the other audit entry points
@@ -59,7 +59,7 @@ std::vector<std::size_t> greedy_feasible_packing(
 }
 
 std::size_t max_feasible_set_with_anchor(
-    const geom::LinkSet& links, std::span<const std::size_t> candidates,
+    const geom::LinkView& links, std::span<const std::size_t> candidates,
     std::size_t anchor, const schedule::FeasibilityOracle& oracle) {
   if (candidates.size() > 20) {
     throw std::invalid_argument(
@@ -88,7 +88,7 @@ std::size_t max_feasible_set_with_anchor(
 }
 
 std::optional<int> min_slots_lower_bound(
-    const geom::LinkSet& links, const schedule::FeasibilityOracle& oracle,
+    const geom::LinkView& links, const schedule::FeasibilityOracle& oracle,
     long node_budget) {
   const auto graph = pairwise_infeasibility_graph(links, oracle);
   return coloring::exact_chromatic_number(graph, node_budget);

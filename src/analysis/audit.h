@@ -20,16 +20,16 @@ namespace wagg::analysis {
 /// lower bound on the length of ANY coloring schedule, and n/alpha(H) on any
 /// rate. The paper's Prop 1 instance makes H complete: chi(H) = n.
 [[nodiscard]] conflict::Graph pairwise_infeasibility_graph(
-    const geom::LinkSet& links, const schedule::FeasibilityOracle& oracle);
+    const geom::LinkView& links, const schedule::FeasibilityOracle& oracle);
 
 /// Count of cofeasible pairs (non-edges of H, excluding i == j).
 [[nodiscard]] std::size_t count_cofeasible_pairs(
-    const geom::LinkSet& links, const schedule::FeasibilityOracle& oracle);
+    const geom::LinkView& links, const schedule::FeasibilityOracle& oracle);
 
 /// Greedily packs a maximal feasible set from `candidates` (processed in the
 /// given order), always keeping the anchor if provided. Returns the set.
 [[nodiscard]] std::vector<std::size_t> greedy_feasible_packing(
-    const geom::LinkSet& links, std::span<const std::size_t> candidates,
+    const geom::LinkView& links, std::span<const std::size_t> candidates,
     const schedule::FeasibilityOracle& oracle,
     std::optional<std::size_t> anchor = std::nullopt);
 
@@ -37,14 +37,14 @@ namespace wagg::analysis {
 /// `candidates` (exponential: requires candidates.size() <= 20). Used to
 /// certify Claim-1-style bounds on small R_t instances.
 [[nodiscard]] std::size_t max_feasible_set_with_anchor(
-    const geom::LinkSet& links, std::span<const std::size_t> candidates,
+    const geom::LinkView& links, std::span<const std::size_t> candidates,
     std::size_t anchor, const schedule::FeasibilityOracle& oracle);
 
 /// Exact minimum coloring-schedule length lower bound: chi of the pairwise
 /// infeasibility graph (exact for small graphs, std::nullopt when the
 /// branch-and-bound budget is exhausted).
 [[nodiscard]] std::optional<int> min_slots_lower_bound(
-    const geom::LinkSet& links, const schedule::FeasibilityOracle& oracle,
+    const geom::LinkView& links, const schedule::FeasibilityOracle& oracle,
     long node_budget = 2'000'000);
 
 }  // namespace wagg::analysis

@@ -19,7 +19,7 @@ std::vector<std::vector<std::size_t>> RefinementResult::classes() const {
   return result;
 }
 
-RefinementResult firstfit_refinement(const geom::LinkSet& links, double alpha,
+RefinementResult firstfit_refinement(const geom::LinkView& links, double alpha,
                                      double threshold) {
   if (!(alpha > 0.0)) {
     throw std::invalid_argument("firstfit_refinement: alpha must be positive");

@@ -25,7 +25,7 @@ struct RefinementResult {
   [[nodiscard]] std::vector<std::vector<std::size_t>> classes() const;
 };
 
-[[nodiscard]] RefinementResult firstfit_refinement(const geom::LinkSet& links,
+[[nodiscard]] RefinementResult firstfit_refinement(const geom::LinkView& links,
                                                    double alpha,
                                                    double threshold = 1.0);
 

@@ -41,7 +41,7 @@ double ConflictSpec::f(double x) const {
   throw std::logic_error("ConflictSpec::f: unknown kind");
 }
 
-bool ConflictSpec::conflicting(const geom::LinkSet& links, std::size_t i,
+bool ConflictSpec::conflicting(const geom::LinkView& links, std::size_t i,
                                std::size_t j) const {
   if (i == j) return false;
   const double li = links.length(i);
@@ -92,7 +92,7 @@ ConflictSpec ConflictSpec::logarithmic(double gamma, double alpha) {
   return spec;
 }
 
-Graph build_conflict_graph(const geom::LinkSet& links,
+Graph build_conflict_graph(const geom::LinkView& links,
                            const ConflictSpec& spec) {
   validate(spec);
   Graph graph(links.size());
@@ -173,7 +173,7 @@ class ClassGrid {
 
 }  // namespace
 
-Graph build_conflict_graph_bucketed(const geom::LinkSet& links,
+Graph build_conflict_graph_bucketed(const geom::LinkView& links,
                                     const ConflictSpec& spec) {
   validate(spec);
   Graph graph(links.size());
@@ -240,7 +240,7 @@ Graph build_conflict_graph_bucketed(const geom::LinkSet& links,
 }
 
 std::vector<std::vector<std::int32_t>> conflict_neighbors_bucketed(
-    const geom::LinkSet& links, const ConflictSpec& spec,
+    const geom::LinkView& links, const ConflictSpec& spec,
     std::span<const std::size_t> queries) {
   validate(spec);
   std::vector<std::vector<std::int32_t>> result(queries.size());

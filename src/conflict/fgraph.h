@@ -28,7 +28,7 @@ struct ConflictSpec {
   [[nodiscard]] double f(double x) const;
 
   /// True iff links i and j of `links` conflict under this spec.
-  [[nodiscard]] bool conflicting(const geom::LinkSet& links, std::size_t i,
+  [[nodiscard]] bool conflicting(const geom::LinkView& links, std::size_t i,
                                  std::size_t j) const;
 
   [[nodiscard]] std::string name() const;
@@ -39,7 +39,7 @@ struct ConflictSpec {
 };
 
 /// Builds G_f(L) by checking all O(n^2) pairs.
-[[nodiscard]] Graph build_conflict_graph(const geom::LinkSet& links,
+[[nodiscard]] Graph build_conflict_graph(const geom::LinkView& links,
                                          const ConflictSpec& spec);
 
 /// Builds the same graph using per-length-class bucket grids: links are
@@ -48,7 +48,7 @@ struct ConflictSpec {
 /// that could contain a conflicting partner. Equal output to
 /// build_conflict_graph (property-tested); much faster on large low-diversity
 /// instances, and automatically no worse than naive on tiny ones.
-[[nodiscard]] Graph build_conflict_graph_bucketed(const geom::LinkSet& links,
+[[nodiscard]] Graph build_conflict_graph_bucketed(const geom::LinkView& links,
                                                   const ConflictSpec& spec);
 
 /// Conflict adjacency for a SUBSET of links only: result[k] holds the
@@ -59,7 +59,7 @@ struct ConflictSpec {
 /// output-sensitive queries, so callers that only need a few rows (the
 /// incremental planner's dirty set) avoid the full O(n^2 worst) rebuild.
 [[nodiscard]] std::vector<std::vector<std::int32_t>>
-conflict_neighbors_bucketed(const geom::LinkSet& links,
+conflict_neighbors_bucketed(const geom::LinkView& links,
                             const ConflictSpec& spec,
                             std::span<const std::size_t> queries);
 

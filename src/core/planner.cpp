@@ -61,7 +61,7 @@ conflict::ConflictSpec spec_for_mode(const PlannerConfig& config) {
   throw std::logic_error("spec_for_mode: unknown power mode");
 }
 
-sinr::PowerAssignment power_for_mode(const geom::LinkSet& links,
+sinr::PowerAssignment power_for_mode(const geom::LinkView& links,
                                      const PlannerConfig& config) {
   switch (config.power_mode) {
     case PowerMode::kUniform:
@@ -78,7 +78,7 @@ sinr::PowerAssignment power_for_mode(const geom::LinkSet& links,
   throw std::logic_error("power_for_mode: unknown power mode");
 }
 
-schedule::FeasibilityOracle oracle_for_mode(const geom::LinkSet& links,
+schedule::FeasibilityOracle oracle_for_mode(const geom::LinkView& links,
                                             const PlannerConfig& config) {
   if (config.power_mode == PowerMode::kGlobal) {
     return schedule::power_control_oracle(links, config.sinr);
@@ -87,7 +87,7 @@ schedule::FeasibilityOracle oracle_for_mode(const geom::LinkSet& links,
                                       power_for_mode(links, config));
 }
 
-LinkScheduleResult schedule_links(const geom::LinkSet& links,
+LinkScheduleResult schedule_links(const geom::LinkView& links,
                                   const PlannerConfig& config,
                                   StageTimings* timings,
                                   const WarmStart* warm) {

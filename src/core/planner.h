@@ -103,11 +103,11 @@ struct LinkScheduleResult {
 
 /// The feasibility oracle matching the configured power mode.
 [[nodiscard]] schedule::FeasibilityOracle oracle_for_mode(
-    const geom::LinkSet& links, const PlannerConfig& config);
+    const geom::LinkView& links, const PlannerConfig& config);
 
 /// The fixed power assignment for the configured mode (identity powers for
 /// kGlobal, whose per-slot powers are computed later).
-[[nodiscard]] sinr::PowerAssignment power_for_mode(const geom::LinkSet& links,
+[[nodiscard]] sinr::PowerAssignment power_for_mode(const geom::LinkView& links,
                                                    const PlannerConfig& config);
 
 /// Warm-start seed for schedule_links. Links with seed_colors[i] >= 0 keep
@@ -125,7 +125,7 @@ struct WarmStart {
 /// is non-null the conflict/coloring/repair/verify stages are clocked into
 /// it. When `warm` is non-null (and sized to the links) the coloring is
 /// seeded from it instead of computed from scratch.
-[[nodiscard]] LinkScheduleResult schedule_links(const geom::LinkSet& links,
+[[nodiscard]] LinkScheduleResult schedule_links(const geom::LinkView& links,
                                                 const PlannerConfig& config,
                                                 StageTimings* timings = nullptr,
                                                 const WarmStart* warm = nullptr);

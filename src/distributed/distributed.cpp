@@ -9,7 +9,7 @@
 
 namespace wagg::distributed {
 
-DistributedResult distributed_schedule(const geom::LinkSet& links,
+DistributedResult distributed_schedule(const geom::LinkView& links,
                                        const DistributedConfig& config) {
   config.sinr.validate();
   if (links.empty()) {

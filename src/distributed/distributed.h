@@ -61,7 +61,7 @@ struct DistributedResult {
 /// Deterministic given the seed. Throws std::invalid_argument on empty input
 /// or a phase failing to stabilize within max_rounds_per_phase.
 [[nodiscard]] DistributedResult distributed_schedule(
-    const geom::LinkSet& links, const DistributedConfig& config);
+    const geom::LinkView& links, const DistributedConfig& config);
 
 }  // namespace wagg::distributed
 

@@ -3,19 +3,37 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
 #include <utility>
 
 #include "conflict/fgraph.h"
 #include "mst/tree.h"
 #include "schedule/repair.h"
 #include "schedule/verify.h"
+#include "sinr/feasibility.h"
 #include "util/clock.h"
 
 namespace wagg::dynamic {
 
 using util::Clock;
 using util::ms_since;
+
+namespace {
+
+/// FNV-1a over a sorted id list — the slot-membership key of the power
+/// cache (collisions are disambiguated by comparing the stored members).
+std::uint64_t membership_key(std::span<const geom::LinkId> ids) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto id : ids) {
+    auto v = static_cast<std::uint64_t>(id);
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (v >> shift) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace
 
 void DynamicOptions::validate() const {
   config.validate();
@@ -99,15 +117,21 @@ EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
     // consistent for the next epoch, which deferred updates postponed.
     if (bulk) mst_.rebuild();
     // The prefix's touched nodes are lost with this frame, so carried slot
-    // certificates can no longer tell clean links from moved ones. Drop
-    // them: the next epoch replans (and re-verifies) from scratch.
-    slot_of_key_.clear();
+    // certificates can no longer tell clean links from moved ones, and the
+    // store's lengths may be stale. Drop everything: the next epoch
+    // reconciles the store and replans (and re-verifies) from scratch.
+    invalidate_carried_state();
     throw;
   }
   if (bulk) mst_.rebuild();
   report.timings.mst_ms = ms_since(mst_start);
 
-  replan(touched, report);
+  try {
+    replan(touched, report);
+  } catch (...) {
+    invalidate_carried_state();
+    throw;
+  }
   if (options_.audit) run_audit(report);
   report_ = report;
   return report;
@@ -122,48 +146,286 @@ std::vector<EpochReport> DynamicPlanner::apply_trace(const ChurnTrace& trace) {
   return reports;
 }
 
+void DynamicPlanner::invalidate_carried_state() {
+  std::fill(slot_of_.begin(), slot_of_.end(), -1);
+  prev_slot_count_.clear();
+  power_cache_.clear();
+  slot_powers_.clear();
+  slot_powers_current_ = false;
+  force_reconcile_ = true;
+}
+
+void DynamicPlanner::ensure_node(NodeId id) {
+  const auto needed = static_cast<std::size_t>(id) + 1;
+  if (parent_.size() < needed) {
+    parent_.resize(needed, kNoParent);
+    uplink_.resize(needed, geom::kNoLink);
+    tree_adj_.resize(needed);
+  }
+}
+
+bool DynamicPlanner::reaches_sink(NodeId node) const {
+  NodeId cur = node;
+  for (std::size_t steps = 0; steps <= parent_.size(); ++steps) {
+    if (cur == sink_id_) return true;
+    const NodeId up = parent_[static_cast<std::size_t>(cur)];
+    if (up < 0) return false;  // broken root (or inconsistent state)
+    cur = up;
+  }
+  throw std::logic_error("DynamicPlanner: parent-chain cycle detected");
+}
+
+void DynamicPlanner::rehang(NodeId child, NodeId parent) {
+  // Attach the detached component at `child` and re-root it there: walk the
+  // old parent chain up to the broken root, reversing one pointer — and
+  // flipping one store link in place — per hop. Cost is the path length,
+  // not the component (let alone the instance).
+  geom::LinkId new_link = store_.add(
+      child, parent,
+      geom::distance(mst_.position(child), mst_.position(parent)));
+  NodeId cur = child;
+  NodeId new_parent = parent;
+  for (std::size_t steps = 0; steps <= parent_.size(); ++steps) {
+    const NodeId old_parent = parent_[static_cast<std::size_t>(cur)];
+    const geom::LinkId old_link = uplink_[static_cast<std::size_t>(cur)];
+    parent_[static_cast<std::size_t>(cur)] = new_parent;
+    uplink_[static_cast<std::size_t>(cur)] = new_link;
+    if (old_parent == kNoParent) return;  // reached the broken root
+    if (old_parent < 0) {
+      throw std::logic_error(
+          "DynamicPlanner::rehang: chain ran into the sink — the attached "
+          "component already contained it");
+    }
+    store_.flip(old_link);  // was cur -> old_parent, now old_parent -> cur
+    new_parent = cur;
+    new_link = old_link;
+    cur = old_parent;
+  }
+  throw std::logic_error("DynamicPlanner::rehang: parent-chain cycle");
+}
+
+void DynamicPlanner::apply_structural_diff(const mst::MstDelta& delta) {
+  const auto& final_edges = mst_.edges();  // sorted by (a, b), a < b
+  const auto in_tree = [&](NodeId a, NodeId b) {
+    const mst::IdEdge probe = a < b ? mst::IdEdge{a, b} : mst::IdEdge{b, a};
+    return std::binary_search(
+        final_edges.begin(), final_edges.end(), probe,
+        [](const mst::IdEdge& x, const mst::IdEdge& y) {
+          if (x.a != y.a) return x.a < y.a;
+          return x.b < y.b;
+        });
+  };
+
+  // The journal over-approximates: an edge removed and re-added within the
+  // epoch nets out. Filter to the exact diff against the store (which still
+  // mirrors the pre-epoch tree), deduplicating repeats.
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  std::vector<std::uint64_t> seen;
+  for (const auto& e : delta.removed) {
+    if (store_.find_pair(e.a, e.b) == geom::kNoLink) continue;
+    if (in_tree(e.a, e.b)) continue;
+    const auto key = geom::LinkStore::pair_key(e.a, e.b);
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(key);
+    removed.emplace_back(e.a, e.b);
+  }
+  std::vector<std::pair<NodeId, NodeId>> pending;
+  seen.clear();
+  for (const auto& e : delta.added) {
+    if (!in_tree(e.a, e.b)) continue;
+    if (store_.find_pair(e.a, e.b) != geom::kNoLink) continue;
+    const auto key = geom::LinkStore::pair_key(e.a, e.b);
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+    seen.push_back(key);
+    pending.emplace_back(e.a, e.b);
+  }
+
+  // Removals first: break the child side's parent pointer. The store drops
+  // the link; the component below keeps its orientation toward the (now
+  // broken) root.
+  for (const auto& [a, b] : removed) {
+    auto& adj_a = tree_adj_[static_cast<std::size_t>(a)];
+    auto& adj_b = tree_adj_[static_cast<std::size_t>(b)];
+    const auto it_a = std::find(adj_a.begin(), adj_a.end(), b);
+    const auto it_b = std::find(adj_b.begin(), adj_b.end(), a);
+    if (it_a == adj_a.end() || it_b == adj_b.end()) {
+      throw std::logic_error(
+          "DynamicPlanner: removed edge missing from adjacency");
+    }
+    adj_a.erase(it_a);
+    adj_b.erase(it_b);
+    NodeId child;
+    if (parent_[static_cast<std::size_t>(a)] == b) {
+      child = a;
+    } else if (parent_[static_cast<std::size_t>(b)] == a) {
+      child = b;
+    } else {
+      throw std::logic_error(
+          "DynamicPlanner: removed edge inconsistent with orientation");
+    }
+    store_.remove(uplink_[static_cast<std::size_t>(child)]);
+    uplink_[static_cast<std::size_t>(child)] = geom::kNoLink;
+    parent_[static_cast<std::size_t>(child)] = kNoParent;
+  }
+
+  for (const auto& [a, b] : pending) {
+    ensure_node(a > b ? a : b);
+    tree_adj_[static_cast<std::size_t>(a)].push_back(b);
+    tree_adj_[static_cast<std::size_t>(b)].push_back(a);
+  }
+
+  // Reattach detached components. An added edge is processable once one
+  // endpoint reaches the sink through already-settled structure; chained
+  // reconnections settle over multiple passes (the final tree is connected,
+  // so each pass resolves at least one edge).
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (std::size_t k = 0; k < pending.size();) {
+      const auto [a, b] = pending[k];
+      if (reaches_sink(a)) {
+        rehang(b, a);
+      } else if (reaches_sink(b)) {
+        rehang(a, b);
+      } else {
+        ++k;
+        continue;
+      }
+      progressed = true;
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    if (!progressed) {
+      throw std::logic_error(
+          "DynamicPlanner: edge diff left the tree disconnected");
+    }
+  }
+}
+
+void DynamicPlanner::reconcile_full() {
+  // From-scratch orientation in id-space (BFS from the sink), reconciled
+  // against the store so surviving pairs keep their stable ids: stale links
+  // are dropped, mis-directed ones flipped in place, missing ones added,
+  // and every length refreshed (bit-identical values do not bump
+  // generations, so clean links stay clean).
+  const auto ids = mst_.alive_ids();
+  if (!ids.empty()) ensure_node(ids.back());
+  for (const auto id : ids) {
+    parent_[static_cast<std::size_t>(id)] = kNoParent;
+    uplink_[static_cast<std::size_t>(id)] = geom::kNoLink;
+    tree_adj_[static_cast<std::size_t>(id)].clear();
+  }
+  for (const auto& e : mst_.edges()) {
+    tree_adj_[static_cast<std::size_t>(e.a)].push_back(e.b);
+    tree_adj_[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+
+  parent_[static_cast<std::size_t>(sink_id_)] = -1;
+  std::vector<NodeId> frontier{sink_id_};
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    const NodeId v = frontier[head++];
+    for (const NodeId w : tree_adj_[static_cast<std::size_t>(v)]) {
+      if (parent_[static_cast<std::size_t>(w)] != kNoParent) continue;
+      parent_[static_cast<std::size_t>(w)] = v;
+      frontier.push_back(w);
+    }
+  }
+  if (frontier.size() != ids.size()) {
+    throw std::logic_error(
+        "DynamicPlanner: maintained tree does not span the alive nodes");
+  }
+
+  for (const auto link : store_.live_ids()) {
+    const NodeId s = store_.sender(link);
+    const NodeId r = store_.receiver(link);
+    const bool live_pair = mst_.alive(s) && mst_.alive(r);
+    if (live_pair && parent_[static_cast<std::size_t>(s)] == r) {
+      uplink_[static_cast<std::size_t>(s)] = link;
+    } else if (live_pair && parent_[static_cast<std::size_t>(r)] == s) {
+      store_.flip(link);
+      uplink_[static_cast<std::size_t>(r)] = link;
+    } else {
+      store_.remove(link);
+    }
+  }
+  for (const auto id : ids) {
+    if (id == sink_id_) continue;
+    const NodeId up = parent_[static_cast<std::size_t>(id)];
+    const double len =
+        geom::distance(mst_.position(id), mst_.position(up));
+    if (uplink_[static_cast<std::size_t>(id)] == geom::kNoLink) {
+      uplink_[static_cast<std::size_t>(id)] = store_.add(id, up, len);
+    } else {
+      store_.set_length(uplink_[static_cast<std::size_t>(id)], len);
+    }
+  }
+}
+
+void DynamicPlanner::refresh_touched(const std::vector<NodeId>& touched) {
+  for (const NodeId v : touched) {
+    if (!mst_.alive(v)) continue;  // added/moved, then removed in-batch
+    for (const NodeId u : tree_adj_[static_cast<std::size_t>(v)]) {
+      const NodeId child = parent_[static_cast<std::size_t>(u)] == v ? u : v;
+      const geom::LinkId link = uplink_[static_cast<std::size_t>(child)];
+      const NodeId up = parent_[static_cast<std::size_t>(child)];
+      store_.set_length(
+          link, geom::distance(mst_.position(child), mst_.position(up)));
+      // The length alone cannot express a moved endpoint (SINR distances to
+      // every other link shifted even when the length survived), so bump
+      // the generation unconditionally.
+      store_.touch(link);
+    }
+  }
+}
+
 void DynamicPlanner::replan(const std::vector<NodeId>& touched,
                             EpochReport& report) {
   const auto& config = options_.config;
 
-  // ---- re-orient the maintained tree toward the sink ----
+  // ---- bring the id-space store in line with the maintained tree ----
   auto stage_start = Clock::now();
+  const auto delta = mst_.take_delta();
+  if (force_reconcile_ || delta.rebuilt) {
+    reconcile_full();
+    force_reconcile_ = false;
+  } else {
+    apply_structural_diff(delta);
+  }
+  refresh_touched(touched);
+
+  // ---- dense per-epoch snapshot (increasing-id order) ----
   auto ids = mst_.alive_ids();
   geom::Pointset points;
   points.reserve(ids.size());
   for (const auto id : ids) points.push_back(mst_.position(id));
+  std::vector<std::int32_t> node_index(
+      ids.empty() ? 0 : static_cast<std::size_t>(ids.back()) + 1, -1);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    node_index[static_cast<std::size_t>(ids[i])] =
+        static_cast<std::int32_t>(i);
+  }
   const auto sink_it = std::lower_bound(ids.begin(), ids.end(), sink_id_);
   const auto sink_idx = static_cast<std::int32_t>(sink_it - ids.begin());
-  auto tree =
-      mst::orient_toward_sink(points, mst_.compact_edges(), sink_idx);
-  const geom::LinkSet& links = tree.links;
+  geom::LinkSet links(store_.snapshot(points, node_index));
   const std::size_t n = links.size();
-
-  std::vector<LinkKey> keys;
-  keys.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    keys.push_back(link_key(ids[static_cast<std::size_t>(links.link(i).sender)],
-                            ids[static_cast<std::size_t>(
-                                links.link(i).receiver)]));
-  }
   report.timings.mst_ms += ms_since(stage_start);
 
-  // ---- dirty detection (no conflict graph needed: the pairwise conflict
-  // relation of two geometrically unchanged links cannot change) ----
+  // ---- dirty detection via generation counters (no conflict graph
+  // needed: the pairwise conflict relation of two geometrically unchanged
+  // links cannot change) ----
   stage_start = Clock::now();
-  std::unordered_set<NodeId> touched_set(touched.begin(), touched.end());
   // Fixed-power modes with ambient noise couple every power to the global
   // max link length; any change then invalidates every link.
   const bool noise_coupled = config.power_mode != core::PowerMode::kGlobal &&
                              config.sinr.noise > 0.0;
+  if (slot_of_.size() < store_.capacity()) {
+    slot_of_.resize(store_.capacity(), -1);
+  }
   std::vector<bool> dirty(n, false);
   std::size_t dirty_count = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto sender_id = ids[static_cast<std::size_t>(links.link(i).sender)];
-    const auto receiver_id =
-        ids[static_cast<std::size_t>(links.link(i).receiver)];
-    dirty[i] = noise_coupled || !slot_of_key_.count(keys[i]) ||
-               touched_set.count(sender_id) || touched_set.count(receiver_id);
+    const auto id = static_cast<std::size_t>(links.id_of(i));
+    dirty[i] = noise_coupled || slot_of_[id] < 0 ||
+               store_.generation(links.id_of(i)) > plan_clock_;
     if (dirty[i]) ++dirty_count;
   }
   report.dirty_links = dirty_count;
@@ -173,7 +435,7 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
   report.timings.recolor_ms += ms_since(stage_start);
 
   const bool full =
-      slot_of_key_.empty() ||
+      prev_slot_count_.empty() ||
       static_cast<double>(dirty_count) >
           options_.full_replan_fraction * static_cast<double>(n);
   report.full_replan = full;
@@ -187,10 +449,10 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     core::StageTimings stage_timings;
     core::WarmStart warm;
     const core::WarmStart* warm_ptr = nullptr;
-    if (!slot_of_key_.empty()) {
+    if (!prev_slot_count_.empty()) {
       warm.seed_colors.assign(n, -1);
       for (std::size_t i = 0; i < n; ++i) {
-        if (!dirty[i]) warm.seed_colors[i] = slot_of_key_.at(keys[i]);
+        if (!dirty[i]) warm.seed_colors[i] = slot_of_[links.id_of(i)];
       }
       warm_ptr = &warm;
     }
@@ -237,14 +499,8 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     // first-fit colored against their conflict rows.
     stage_start = Clock::now();
     std::vector<int> seed(n, -1);
-    std::vector<std::size_t> prev_size;  // keys per previous slot index
     for (std::size_t i = 0; i < n; ++i) {
-      if (!dirty[i]) seed[i] = slot_of_key_.at(keys[i]);
-    }
-    for (const auto& [key, slot] : slot_of_key_) {
-      const auto s = static_cast<std::size_t>(slot);
-      if (s >= prev_size.size()) prev_size.resize(s + 1, 0);
-      ++prev_size[s];
+      if (!dirty[i]) seed[i] = slot_of_[links.id_of(i)];
     }
     const auto recolored =
         coloring::greedy_recolor_rows(dirty_indices, neighbor_rows, seed);
@@ -278,7 +534,8 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
       // one fresh check, or a repack if the conservative oracle now
       // rejects it.
       const bool kept_certified =
-          kept.empty() || (c < prev_size.size() && kept.size() == prev_size[c]);
+          kept.empty() || (c < prev_slot_count_.size() &&
+                           kept.size() == prev_slot_count_[c]);
       if (loose.empty() && kept_certified) {
         ++report.reused_slots;
         final_schedule.slots.push_back(std::move(kept));
@@ -299,22 +556,111 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
   report.slots = final_schedule.length();
   report.rate = final_schedule.empty() ? 0.0 : final_schedule.coloring_rate();
 
-  // ---- persist state for the next epoch ----
-  slot_of_key_.clear();
-  slot_of_key_.reserve(n * 2);
+  // ---- persist state for the next epoch (id-indexed arrays: no key
+  // remapping, no hashing) ----
+  prev_slot_count_.assign(final_schedule.slots.size(), 0);
   for (std::size_t s = 0; s < final_schedule.slots.size(); ++s) {
+    prev_slot_count_[s] = final_schedule.slots[s].size();
     for (const auto i : final_schedule.slots[s]) {
-      slot_of_key_[keys[i]] = static_cast<int>(s);
+      slot_of_[static_cast<std::size_t>(links.id_of(i))] =
+          static_cast<int>(s);
     }
   }
-  // `links` (a reference into `tree`) and `ids` are dead past this point,
-  // so the snapshot can steal them instead of copying O(n) state.
+  plan_clock_ = store_.clock();
+  slot_powers_current_ = false;
   current_.points = std::move(points);
   current_.ids = std::move(ids);
   current_.sink = sink_idx;
-  current_.links = std::move(tree.links);
+  current_.links = std::move(links);
   current_.schedule = std::move(final_schedule);
   current_.rate = report.rate;
+}
+
+const std::vector<sinr::PowerAssignment>& DynamicPlanner::slot_powers() {
+  if (options_.config.power_mode != core::PowerMode::kGlobal) {
+    throw std::logic_error(
+        "DynamicPlanner::slot_powers: fixed-power modes use sinr::*_power, "
+        "not per-slot Perron vectors");
+  }
+  if (slot_powers_current_) return slot_powers_;
+  const auto start = Clock::now();
+  const auto& links = current_.links;
+  const auto link_ids = links.ids();  // increasing (store snapshot order)
+  const auto dense_of = [&](geom::LinkId id) {
+    const auto it = std::lower_bound(link_ids.begin(), link_ids.end(), id);
+    return static_cast<std::size_t>(it - link_ids.begin());
+  };
+
+  slot_powers_.clear();
+  slot_powers_.reserve(current_.schedule.slots.size());
+  std::vector<std::uint64_t> used_keys;
+  std::vector<geom::LinkId> members;
+  for (const auto& slot : current_.schedule.slots) {
+    members.clear();
+    for (const auto i : slot) members.push_back(links.id_of(i));
+    std::sort(members.begin(), members.end());
+    const auto key = membership_key(members);
+    used_keys.push_back(key);
+
+    auto it = power_cache_.find(key);
+    bool hit = it != power_cache_.end() && it->second.members == members;
+    if (hit) {
+      // Generations certify the members' geometry is untouched since the
+      // vector was computed; any change invalidates the entry.
+      for (const auto id : members) {
+        if (store_.generation(id) > it->second.clock_mark) {
+          hit = false;
+          break;
+        }
+      }
+    }
+    if (!hit) {
+      const auto pc =
+          sinr::power_control_feasible(links, slot, options_.config.sinr);
+      CachedSlotPower entry;
+      entry.members = members;
+      entry.clock_mark = store_.clock();
+      entry.feasible = pc.feasible;
+      if (pc.feasible) {
+        // Re-align from slot order to sorted-member order for storage.
+        std::vector<std::pair<geom::LinkId, double>> by_id;
+        by_id.reserve(slot.size());
+        for (std::size_t a = 0; a < slot.size(); ++a) {
+          by_id.emplace_back(links.id_of(slot[a]), pc.log2_power[a]);
+        }
+        std::sort(by_id.begin(), by_id.end());
+        entry.log2_power.reserve(by_id.size());
+        for (const auto& [id, p] : by_id) entry.log2_power.push_back(p);
+      }
+      it = power_cache_.insert_or_assign(key, std::move(entry)).first;
+      ++report_.power_slots_computed;
+    } else {
+      ++report_.power_slots_cached;
+    }
+
+    const auto& entry = it->second;
+    if (!entry.feasible) {
+      slot_powers_.emplace_back(std::vector<double>(links.size(), 0.0),
+                                "infeasible-slot");
+      continue;
+    }
+    std::vector<double> dense(links.size(), 0.0);
+    for (std::size_t a = 0; a < entry.members.size(); ++a) {
+      dense[dense_of(entry.members[a])] = entry.log2_power[a];
+    }
+    slot_powers_.emplace_back(std::move(dense), "power-control");
+  }
+
+  // Retain only the current schedule's entries so the cache tracks the
+  // session instead of its history.
+  std::sort(used_keys.begin(), used_keys.end());
+  std::erase_if(power_cache_, [&](const auto& kv) {
+    return !std::binary_search(used_keys.begin(), used_keys.end(), kv.first);
+  });
+
+  slot_powers_current_ = true;
+  report_.timings.power_ms += ms_since(start);
+  return slot_powers_;
 }
 
 void DynamicPlanner::run_audit(EpochReport& report) {
@@ -346,6 +692,27 @@ void DynamicPlanner::run_audit(EpochReport& report) {
   report.audit_tree_match =
       std::abs(incremental_weight - full_weight) <=
       1e-9 * std::max(1.0, std::abs(full_weight));
+
+  // The diff-maintained store must equal a from-scratch re-orientation of
+  // the maintained tree: same directed pairs, same lengths (bit-identical —
+  // both sides run geom::distance on the same coordinates).
+  auto oriented =
+      mst::orient_toward_sink(current_.points, mst_.compact_edges(),
+                              current_.sink);
+  bool store_match =
+      oriented.links.size() == store_.num_live() &&
+      store_.num_live() == current_.links.size();
+  for (std::size_t i = 0; store_match && i < oriented.links.size(); ++i) {
+    const NodeId s = current_.ids[static_cast<std::size_t>(
+        oriented.links.link(i).sender)];
+    const NodeId r = current_.ids[static_cast<std::size_t>(
+        oriented.links.link(i).receiver)];
+    const geom::LinkId link = store_.find_pair(s, r);
+    store_match = link != geom::kNoLink && store_.sender(link) == s &&
+                  store_.receiver(link) == r &&
+                  store_.length(link) == oriented.links.length(i);
+  }
+  report.audit_store_match = store_match;
 
   report.audited = true;
   report.timings.audit_ms = ms_since(audit_start);

@@ -8,10 +8,12 @@
 
 #include "core/planner.h"
 #include "dynamic/mutation.h"
+#include "geom/link_store.h"
 #include "geom/linkset.h"
 #include "geom/point.h"
 #include "mst/incremental.h"
 #include "schedule/schedule.h"
+#include "sinr/power.h"
 
 namespace wagg::dynamic {
 
@@ -29,12 +31,14 @@ struct DynamicOptions {
 
 /// Wall-clock breakdown of one epoch, milliseconds. audit_ms covers only the
 /// from-scratch replan of audit mode, so incremental_ms() is the honest cost
-/// of the incremental engine.
+/// of the incremental engine. power_ms covers on-demand slot-power
+/// materialization (slot_powers()), which runs only when a consumer asks.
 struct EpochTimings {
-  double mst_ms = 0.0;      ///< incremental MST updates + reorientation
-  double conflict_ms = 0.0; ///< conflict-graph rebuild
+  double mst_ms = 0.0;      ///< incremental MST updates + orientation diffs
+  double conflict_ms = 0.0; ///< dirty-set conflict-row queries
   double recolor_ms = 0.0;  ///< dirty detection + seeded recoloring
   double repair_ms = 0.0;   ///< slot carry-over + patch repair
+  double power_ms = 0.0;    ///< on-demand per-slot power materialization
   double audit_ms = 0.0;    ///< audit-mode full replan + full verification
 
   [[nodiscard]] double incremental_ms() const noexcept {
@@ -63,6 +67,11 @@ struct EpochReport {
   /// Feasibility-oracle invocations this epoch (the cost driver).
   std::size_t oracle_calls = 0;
 
+  /// slot_powers() bookkeeping: Perron vectors served from the
+  /// membership-keyed cache vs computed fresh this epoch.
+  std::size_t power_slots_cached = 0;
+  std::size_t power_slots_computed = 0;
+
   double rate = 0.0;
   /// Structural validity (schedule partitions the links). Feasibility of
   /// every slot is certified by an oracle call on exactly its membership —
@@ -78,6 +87,9 @@ struct EpochReport {
   bool audit_valid = false;
   /// Incremental MST weight matches the from-scratch MST weight.
   bool audit_tree_match = false;
+  /// The diff-maintained LinkStore orientation equals a from-scratch
+  /// re-orientation (same edges, same sink-ward direction, same lengths).
+  bool audit_store_match = false;
   std::size_t audit_full_slots = 0;  ///< schedule length of the full replan
   double audit_full_rate = 0.0;
   double audit_full_ms = 0.0;        ///< wall clock of the full replan
@@ -87,22 +99,39 @@ struct EpochReport {
 /// mutation-stream API and maintains a valid aggregation plan across epochs
 /// at a cost proportional to the change, not the instance.
 ///
+/// The cross-epoch source of truth is a geom::LinkStore in id-space: links
+/// carry stable 64-bit ids that survive node insertion/removal/movement,
+/// tree re-orientations are applied as in-place flips along the rehung
+/// chains (no container rebuild), and per-field generation counters mark
+/// exactly which links changed. Dense-index pipeline stages (conflict rows,
+/// coloring, repair, verification) run on a geom::LinkView snapshot built
+/// once per epoch from only the live set — no per-epoch LinkSet
+/// reconstruction, no length recomputation, no key remapping.
+///
 /// Epoch pipeline:
-///   1. mutations -> IncrementalMst (localized tree updates, exact);
-///   2. re-orient toward the sink, diff links by stable (sender, receiver)
-///      id pairs;
-///   3. query conflict rows for ONLY the dirty links (bucket-grid subset
-///      queries) and first-fit recolor them, seeding every surviving link
-///      with its previous final slot (final slots are independent sets, so
-///      the seed is proper by construction);
-///   4. carry over slots whose membership is unchanged verbatim (their old
-///      oracle certificate applies — no monotonicity assumption), re-check
-///      slots that shrank with one oracle call each, and patch-repair
-///      classes that gained members (schedule::patch_slot); oracle calls
-///      stay proportional to the dirty set.
+///   1. mutations -> IncrementalMst (localized tree updates, exact), which
+///      journals the edge diff;
+///   2. the diff is replayed onto the LinkStore: removed edges drop their
+///      links, added edges re-root the detached component by reversing the
+///      parent chain (one store.flip per hop); links incident to moved
+///      nodes refresh their length column;
+///   3. a LinkView snapshot is built (dense order = increasing link id) and
+///      links are classified dirty iff their store generation advanced
+///      since the last plan;
+///   4. conflict rows are queried for ONLY the dirty links (bucket-grid
+///      subset queries) and first-fit recolored, seeding every surviving
+///      link with its previous final slot (read from an id-indexed array);
+///   5. slots whose membership is unchanged carry over verbatim (their old
+///      oracle certificate applies — no monotonicity assumption), slots
+///      that shrank are re-checked with one oracle call each, and classes
+///      that gained members are patch-repaired (schedule::patch_slot);
+///      oracle calls stay proportional to the dirty set.
 /// When the dirty fraction exceeds DynamicOptions::full_replan_fraction the
 /// epoch falls back to core::schedule_links with a warm-start seed — full
-/// repair and verification re-anchor the carried-over validity chain.
+/// repair and verification re-anchor the carried-over validity chain. Bulk
+/// mutation batches likewise rebuild the tree wholesale and reconcile the
+/// store against it (surviving pairs keep their ids, so the warm start
+/// still applies).
 ///
 /// Not thread-safe; one session per thread (runtime::PlanService sessions
 /// wrap instances for service use).
@@ -139,8 +168,16 @@ class DynamicPlanner {
     return options_;
   }
 
+  /// Read access to the id-space link store (stable link ids, generation
+  /// counters). Links reference stable node ids; snapshot().links holds the
+  /// dense per-epoch view of the same data.
+  [[nodiscard]] const geom::LinkStore& link_store() const noexcept {
+    return store_;
+  }
+
   /// The current plan, materialized with compact indices (ids[i] is the
-  /// stable id of compact node i). Links and slots index into `links`.
+  /// stable id of compact node i). Links and slots index into `links`;
+  /// links.ids() exposes the stable link ids of the store.
   struct Snapshot {
     geom::Pointset points;
     std::vector<NodeId> ids;
@@ -151,12 +188,18 @@ class DynamicPlanner {
   };
   [[nodiscard]] const Snapshot& snapshot() const noexcept { return current_; }
 
+  /// kGlobal only: the per-slot Perron power vectors of the current
+  /// schedule (aligned with snapshot().schedule.slots), materialized on
+  /// demand. Vectors are cached across epochs keyed by the slot's stable-id
+  /// membership and validated against the store's generation counters, so
+  /// carried-over slots skip power_control_feasible entirely. The cost and
+  /// hit counts land in last_report().timings.power_ms /
+  /// power_slots_cached / power_slots_computed. Throws std::logic_error for
+  /// fixed-power modes (their assignment is sinr::*_power, not per-slot).
+  [[nodiscard]] const std::vector<sinr::PowerAssignment>& slot_powers();
+
  private:
-  using LinkKey = std::uint64_t;
-  static LinkKey link_key(NodeId sender, NodeId receiver) noexcept {
-    return (static_cast<LinkKey>(static_cast<std::uint32_t>(sender)) << 32) |
-           static_cast<LinkKey>(static_cast<std::uint32_t>(receiver));
-  }
+  static constexpr NodeId kNoParent = -2;  ///< broken / dead / unset
 
   /// Replans after the MST is up to date. `touched` holds the node ids
   /// added or moved this epoch; geometry-dirty links are those incident to
@@ -164,14 +207,64 @@ class DynamicPlanner {
   void replan(const std::vector<NodeId>& touched, EpochReport& report);
   void run_audit(EpochReport& report);
 
+  /// Grows the id-indexed node arrays to cover `id`.
+  void ensure_node(NodeId id);
+  /// Replays a journaled edge diff onto the store: removals break parent
+  /// chains, additions re-root detached components via in-place flips.
+  void apply_structural_diff(const mst::MstDelta& delta);
+  /// From-scratch orientation (BFS in id-space) reconciled against the
+  /// store: surviving pairs keep their ids, orientations are flipped in
+  /// place, stale links dropped, missing ones added, lengths refreshed.
+  void reconcile_full();
+  /// Marks the tree links incident to `touched` nodes geometry-dirty and
+  /// refreshes their lengths.
+  void refresh_touched(const std::vector<NodeId>& touched);
+  /// Re-roots the detached component containing `child` onto `parent`
+  /// (sink side), reversing the old parent chain with in-place flips.
+  void rehang(NodeId child, NodeId parent);
+  /// True iff the parent chain from `node` currently reaches the sink.
+  [[nodiscard]] bool reaches_sink(NodeId node) const;
+  /// Drops all carried plan state (slot seeds, caches) and forces the next
+  /// epoch through reconcile_full + full replan.
+  void invalidate_carried_state();
+
   DynamicOptions options_;
   NodeId sink_id_ = 0;
   mst::IncrementalMst mst_;
 
-  /// Previous epoch's final slot of every link, keyed by stable link key.
-  /// Every final slot is conflict-independent and oracle-feasible, so this
-  /// doubles as a proper coloring seed for the next epoch.
-  std::unordered_map<LinkKey, int> slot_of_key_;
+  /// The mutation-aware id-space link container (the tree's directed links,
+  /// child -> parent).
+  geom::LinkStore store_;
+  // ---- id-space orientation state, indexed by NodeId ----
+  std::vector<NodeId> parent_;          ///< kNoParent dead/broken; -1 sink
+  std::vector<geom::LinkId> uplink_;    ///< node's upward link, kNoLink none
+  std::vector<std::vector<NodeId>> tree_adj_;  ///< current tree neighbors
+
+  /// Previous epoch's final slot of every link, indexed by stable LinkId
+  /// (-1 unknown). Every final slot is conflict-independent and
+  /// oracle-feasible, so this doubles as a proper coloring seed for the
+  /// next epoch.
+  std::vector<int> slot_of_;
+  /// Member count per previous final slot (including links that died
+  /// since) — membership-unchanged certification needs exact counts.
+  std::vector<std::size_t> prev_slot_count_;
+  /// Store clock at the end of the last successful replan; links whose
+  /// generation exceeds it are dirty.
+  std::uint64_t plan_clock_ = 0;
+  /// Set after construction, bulk rebuilds, or failed epochs: the next
+  /// replan must rebuild orientation from scratch.
+  bool force_reconcile_ = true;
+
+  // ---- slot-power materialization cache (kGlobal) ----
+  struct CachedSlotPower {
+    std::vector<geom::LinkId> members;  ///< sorted stable ids
+    std::vector<double> log2_power;     ///< aligned with members
+    std::uint64_t clock_mark = 0;       ///< store clock at computation
+    bool feasible = false;
+  };
+  std::unordered_map<std::uint64_t, CachedSlotPower> power_cache_;
+  std::vector<sinr::PowerAssignment> slot_powers_;
+  bool slot_powers_current_ = false;
 
   Snapshot current_;
   EpochReport report_;

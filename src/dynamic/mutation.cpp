@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -16,6 +17,16 @@ std::string to_string(Mutation::Kind kind) {
       return "remove";
     case Mutation::Kind::kMove:
       return "move";
+  }
+  return "?";
+}
+
+std::string to_string(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kGaussian:
+      return "gauss";
+    case DriftKind::kWaypoint:
+      return "waypoint";
   }
   return "?";
 }
@@ -38,6 +49,20 @@ void ChurnParams::validate() const {
   }
   if (min_nodes < 2) {
     throw std::invalid_argument("ChurnParams: min_nodes must be >= 2");
+  }
+  if (!(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "ChurnParams: hotspot_fraction must lie in [0, 1]");
+  }
+  if (hotspot_radius < 0.0) {
+    throw std::invalid_argument(
+        "ChurnParams: hotspot_radius must be >= 0 (0 selects the auto "
+        "default)");
+  }
+  if (waypoint_speed < 0.0) {
+    throw std::invalid_argument(
+        "ChurnParams: waypoint_speed must be >= 0 (0 selects the auto "
+        "default)");
   }
 }
 
@@ -67,6 +92,11 @@ ChurnTrace make_churn_trace(const geom::Pointset& initial,
   const double sigma =
       params.drift_sigma > 0.0 ? params.drift_sigma
                                : std::max(diag, 1e-9) * 0.02;
+  const double hotspot_radius = params.hotspot_radius > 0.0
+                                    ? params.hotspot_radius
+                                    : std::max(diag, 1e-9) * 0.15;
+  const double waypoint_step =
+      params.waypoint_speed > 0.0 ? params.waypoint_speed : 4.0 * sigma;
 
   // Mirror of the planner's id allocation and liveness.
   std::vector<geom::Point> position(initial.begin(), initial.end());
@@ -74,10 +104,23 @@ ChurnTrace make_churn_trace(const geom::Pointset& initial,
   for (std::size_t i = 0; i < alive.size(); ++i) {
     alive[i] = static_cast<NodeId>(i);
   }
+  // Per-node waypoint targets (kWaypoint drift): -inf x marks "none yet".
+  constexpr double kNoWaypoint = -std::numeric_limits<double>::infinity();
+  std::vector<geom::Point> waypoint(initial.size(),
+                                    geom::Point{kNoWaypoint, 0.0});
 
   util::Rng rng(seed ^ 0x85ebca6b0f00dULL);
   const double total_weight =
       params.add_weight + params.remove_weight + params.move_weight;
+
+  // Hotspot center: one deterministic draw per trace. Skipped entirely at
+  // fraction 0 so legacy (spatially uniform) traces keep their historical
+  // random stream byte-identical.
+  geom::Point hotspot{0.0, 0.0};
+  if (params.hotspot_fraction > 0.0) {
+    hotspot = {rng.uniform(min_x, max_x),
+               min_y == max_y ? min_y : rng.uniform(min_y, max_y)};
+  }
 
   ChurnTrace trace;
   trace.reserve(params.epochs);
@@ -101,24 +144,61 @@ ChurnTrace make_churn_trace(const geom::Pointset& initial,
         kind = Mutation::Kind::kAdd;  // keep the instance plannable
       }
 
+      // Arrival/departure hotspot: this event is hotspot-local when the
+      // (deterministic) coin says so.
+      const bool in_hotspot =
+          params.hotspot_fraction > 0.0 &&
+          (kind == Mutation::Kind::kAdd || kind == Mutation::Kind::kRemove) &&
+          rng.uniform() < params.hotspot_fraction;
+
       Mutation mutation;
       mutation.kind = kind;
       switch (kind) {
         case Mutation::Kind::kAdd: {
-          mutation.position = {rng.uniform(min_x, max_x),
-                               min_y == max_y ? min_y
-                                              : rng.uniform(min_y, max_y)};
+          if (in_hotspot) {
+            // Uniform in the hotspot disk (rejection-free: polar with
+            // sqrt-radius), clamped to the instance bounding box.
+            const double angle = rng.uniform(0.0, 6.283185307179586);
+            const double r = hotspot_radius * std::sqrt(rng.uniform());
+            mutation.position = {
+                std::clamp(hotspot.x + r * std::cos(angle), min_x, max_x),
+                min_y == max_y
+                    ? min_y
+                    : std::clamp(hotspot.y + r * std::sin(angle), min_y,
+                                 max_y)};
+          } else {
+            mutation.position = {rng.uniform(min_x, max_x),
+                                 min_y == max_y ? min_y
+                                                : rng.uniform(min_y, max_y)};
+          }
           mutation.node = static_cast<NodeId>(position.size());
           position.push_back(mutation.position);
           alive.push_back(mutation.node);
+          waypoint.push_back({kNoWaypoint, 0.0});
           break;
         }
         case Mutation::Kind::kRemove: {
-          // Uniform victim among alive non-sink nodes.
           std::size_t slot;
-          do {
-            slot = static_cast<std::size_t>(rng.below(alive.size()));
-          } while (alive[slot] == sink);
+          if (in_hotspot) {
+            // The victim nearest the hotspot center (sink excepted) — a
+            // depletion front, the failure mode hotspot churn models.
+            slot = alive.size();
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t s = 0; s < alive.size(); ++s) {
+              if (alive[s] == sink) continue;
+              const double d2 = geom::squared_distance(
+                  position[static_cast<std::size_t>(alive[s])], hotspot);
+              if (d2 < best) {
+                best = d2;
+                slot = s;
+              }
+            }
+          } else {
+            // Uniform victim among alive non-sink nodes.
+            do {
+              slot = static_cast<std::size_t>(rng.below(alive.size()));
+            } while (alive[slot] == sink);
+          }
           mutation.node = alive[slot];
           alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(slot));
           break;
@@ -126,13 +206,32 @@ ChurnTrace make_churn_trace(const geom::Pointset& initial,
         case Mutation::Kind::kMove: {
           const auto slot = static_cast<std::size_t>(rng.below(alive.size()));
           mutation.node = alive[slot];
-          const auto& from = position[static_cast<std::size_t>(mutation.node)];
-          mutation.position = {from.x + rng.normal() * sigma,
-                               min_y == max_y
-                                   ? from.y
-                                   : from.y + rng.normal() * sigma};
-          position[static_cast<std::size_t>(mutation.node)] =
-              mutation.position;
+          const auto node = static_cast<std::size_t>(mutation.node);
+          const auto& from = position[node];
+          if (params.drift == DriftKind::kWaypoint) {
+            // Walk toward the persistent target; redraw it on arrival so
+            // successive moves of one node stay correlated.
+            auto& target = waypoint[node];
+            if (target.x == kNoWaypoint ||
+                geom::distance(from, target) <= waypoint_step) {
+              target = {rng.uniform(min_x, max_x),
+                        min_y == max_y ? min_y : rng.uniform(min_y, max_y)};
+            }
+            const double dist = geom::distance(from, target);
+            const double step = std::min(waypoint_step, dist);
+            mutation.position =
+                dist <= 0.0 ? from
+                            : geom::Point{from.x + (target.x - from.x) *
+                                                       step / dist,
+                                          from.y + (target.y - from.y) *
+                                                       step / dist};
+          } else {
+            mutation.position = {from.x + rng.normal() * sigma,
+                                 min_y == max_y
+                                     ? from.y
+                                     : from.y + rng.normal() * sigma};
+          }
+          position[node] = mutation.position;
           break;
         }
       }

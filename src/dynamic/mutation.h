@@ -34,6 +34,18 @@ struct Mutation {
 /// e-th replan.
 using ChurnTrace = std::vector<std::vector<Mutation>>;
 
+/// How kMove displacements evolve across epochs.
+enum class DriftKind {
+  /// Independent Gaussian steps (memoryless).
+  kGaussian,
+  /// Random waypoint: each mobile node walks toward a persistent target at
+  /// a fixed speed, drawing a fresh target on arrival — successive moves of
+  /// one node are correlated, the classic mobility model.
+  kWaypoint,
+};
+
+[[nodiscard]] std::string to_string(DriftKind kind);
+
 /// Parameters of the deterministic churn generator.
 struct ChurnParams {
   /// Number of epochs (replans); each applies >= 1 mutation.
@@ -46,13 +58,28 @@ struct ChurnParams {
   double remove_weight = 1.0;
   double move_weight = 1.0;
   /// Standard deviation of a kMove displacement; 0 means 2% of the initial
-  /// bounding-box diagonal.
+  /// bounding-box diagonal. For kWaypoint drift this scales the default
+  /// step length instead.
   double drift_sigma = 0.0;
   /// Removes are converted to adds when alive count would drop below this.
   std::size_t min_nodes = 3;
 
-  /// Throws std::invalid_argument on non-positive epochs/rate or an all-zero
-  /// kind mix.
+  // ---- churn realism knobs ----
+  /// Fraction of arrivals/departures concentrated in a hotspot disk (0 =
+  /// spatially uniform churn). The hotspot center is drawn once per trace
+  /// from the seed; hotspot adds land inside the disk, hotspot removes pick
+  /// the victim closest to the center.
+  double hotspot_fraction = 0.0;
+  /// Hotspot disk radius; 0 means 15% of the initial bounding-box diagonal.
+  double hotspot_radius = 0.0;
+  /// Displacement model for kMove.
+  DriftKind drift = DriftKind::kGaussian;
+  /// Waypoint step length per selected move; 0 means 4 * the effective
+  /// drift sigma. Ignored for kGaussian.
+  double waypoint_speed = 0.0;
+
+  /// Throws std::invalid_argument on non-positive epochs/rate, an all-zero
+  /// kind mix, or out-of-range hotspot/waypoint knobs.
   void validate() const;
 
   friend bool operator==(const ChurnParams&, const ChurnParams&) = default;

@@ -1,0 +1,128 @@
+#include "geom/link_store.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace wagg::geom {
+
+std::size_t LinkStore::checked(LinkId id) const {
+  if (!alive(id)) {
+    throw std::invalid_argument("LinkStore: dead or unknown link id " +
+                                std::to_string(id));
+  }
+  return static_cast<std::size_t>(id);
+}
+
+std::uint64_t LinkStore::pair_key(std::int32_t a, std::int32_t b) noexcept {
+  const auto lo = static_cast<std::uint32_t>(a < b ? a : b);
+  const auto hi = static_cast<std::uint32_t>(a < b ? b : a);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+LinkId LinkStore::add(std::int32_t sender, std::int32_t receiver,
+                      double length) {
+  if (sender == receiver) {
+    throw std::invalid_argument("LinkStore: self-loop link");
+  }
+  if (!(length > 0.0)) {
+    throw std::invalid_argument("LinkStore: length must be positive");
+  }
+  const auto [it, inserted] =
+      pair_index_.try_emplace(pair_key(sender, receiver),
+                              static_cast<LinkId>(alive_.size()));
+  if (!inserted) {
+    throw std::invalid_argument("LinkStore: pair already has a live link");
+  }
+  const LinkId id = static_cast<LinkId>(alive_.size());
+  sender_.push_back(sender);
+  receiver_.push_back(receiver);
+  length_.push_back(length);
+  ++clock_;
+  endpoint_gen_.push_back(clock_);
+  length_gen_.push_back(clock_);
+  alive_.push_back(true);
+  ++num_live_;
+  return id;
+}
+
+void LinkStore::remove(LinkId id) {
+  const auto slot = checked(id);
+  pair_index_.erase(pair_key(sender_[slot], receiver_[slot]));
+  alive_[slot] = false;
+  --num_live_;
+  ++clock_;
+}
+
+void LinkStore::flip(LinkId id) {
+  const auto slot = checked(id);
+  std::swap(sender_[slot], receiver_[slot]);
+  endpoint_gen_[slot] = ++clock_;
+}
+
+void LinkStore::set_length(LinkId id, double length) {
+  const auto slot = checked(id);
+  if (!(length > 0.0)) {
+    throw std::invalid_argument("LinkStore: length must be positive");
+  }
+  if (length_[slot] == length) return;  // clean sweep must not dirty links
+  length_[slot] = length;
+  length_gen_[slot] = ++clock_;
+}
+
+void LinkStore::touch(LinkId id) {
+  const auto slot = checked(id);
+  length_gen_[slot] = ++clock_;
+}
+
+void LinkStore::clear() {
+  // Ids stay retired: columns keep their slots so future adds continue the
+  // id sequence and stale ids remain detectably dead.
+  for (std::size_t slot = 0; slot < alive_.size(); ++slot) {
+    alive_[slot] = false;
+  }
+  pair_index_.clear();
+  num_live_ = 0;
+  ++clock_;
+}
+
+LinkId LinkStore::find_pair(std::int32_t a, std::int32_t b) const {
+  const auto it = pair_index_.find(pair_key(a, b));
+  return it == pair_index_.end() ? kNoLink : it->second;
+}
+
+std::vector<LinkId> LinkStore::live_ids() const {
+  std::vector<LinkId> ids;
+  ids.reserve(num_live_);
+  for (std::size_t slot = 0; slot < alive_.size(); ++slot) {
+    if (alive_[slot]) ids.push_back(static_cast<LinkId>(slot));
+  }
+  return ids;
+}
+
+LinkView LinkStore::snapshot(Pointset points,
+                             std::span<const std::int32_t> node_index) const {
+  std::vector<Link> links;
+  std::vector<double> lengths;
+  std::vector<LinkId> ids;
+  links.reserve(num_live_);
+  lengths.reserve(num_live_);
+  ids.reserve(num_live_);
+  const auto dense = [&](std::int32_t node) {
+    const auto n = static_cast<std::size_t>(node);
+    if (node < 0 || n >= node_index.size() || node_index[n] < 0) {
+      throw std::invalid_argument(
+          "LinkStore::snapshot: live link references an unmapped node");
+    }
+    return node_index[n];
+  };
+  for (std::size_t slot = 0; slot < alive_.size(); ++slot) {
+    if (!alive_[slot]) continue;
+    links.push_back(Link{dense(sender_[slot]), dense(receiver_[slot])});
+    lengths.push_back(length_[slot]);
+    ids.push_back(static_cast<LinkId>(slot));
+  }
+  return LinkView(std::move(points), std::move(links), std::move(lengths),
+                  std::move(ids));
+}
+
+}  // namespace wagg::geom

@@ -1,0 +1,99 @@
+#include "geom/link_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace wagg::geom {
+
+double LinkView::link_distance(std::size_t i, std::size_t j) const {
+  if (shares_node(i, j)) return 0.0;
+  const Point& si = sender_pos(i);
+  const Point& ri = receiver_pos(i);
+  const Point& sj = sender_pos(j);
+  const Point& rj = receiver_pos(j);
+  return std::min(std::min(distance(si, sj), distance(si, rj)),
+                  std::min(distance(ri, sj), distance(ri, rj)));
+}
+
+double LinkView::min_length() const {
+  if (lengths_.empty()) throw std::logic_error("LinkView::min_length: empty");
+  return *std::min_element(lengths_.begin(), lengths_.end());
+}
+
+double LinkView::max_length() const {
+  if (lengths_.empty()) throw std::logic_error("LinkView::max_length: empty");
+  return *std::max_element(lengths_.begin(), lengths_.end());
+}
+
+double LinkView::delta() const { return max_length() / min_length(); }
+
+double LinkView::log2_delta() const {
+  return std::log2(max_length()) - std::log2(min_length());
+}
+
+bool LinkView::shares_node(std::size_t i, std::size_t j) const noexcept {
+  const Link& a = links_[i];
+  const Link& b = links_[j];
+  return a.sender == b.sender || a.sender == b.receiver ||
+         a.receiver == b.sender || a.receiver == b.receiver;
+}
+
+LinkView LinkView::subset_view(std::span<const std::size_t> indices) const {
+  // Compact the pointset to the endpoints actually referenced so the result
+  // costs O(|indices|) regardless of how many points the parent holds.
+  std::unordered_map<std::int32_t, std::int32_t> remap;
+  remap.reserve(indices.size() * 2);
+  Pointset sub_points;
+  std::vector<Link> sub_links;
+  std::vector<double> sub_lengths;
+  std::vector<LinkId> sub_ids;
+  sub_links.reserve(indices.size());
+  sub_lengths.reserve(indices.size());
+  sub_ids.reserve(indices.size());
+  sub_points.reserve(std::min<std::size_t>(2 * indices.size(), num_points()));
+  const auto compact = [&](std::int32_t node) {
+    const auto [it, inserted] =
+        remap.try_emplace(node, static_cast<std::int32_t>(sub_points.size()));
+    if (inserted) sub_points.push_back(points_[static_cast<std::size_t>(node)]);
+    return it->second;
+  };
+  for (const std::size_t idx : indices) {
+    const Link& original = links_.at(idx);
+    sub_links.push_back(
+        Link{compact(original.sender), compact(original.receiver)});
+    sub_lengths.push_back(lengths_[idx]);
+    sub_ids.push_back(ids_[idx]);
+  }
+  return LinkView(std::move(sub_points), std::move(sub_links),
+                  std::move(sub_lengths), std::move(sub_ids));
+}
+
+std::vector<std::size_t> LinkView::by_decreasing_length() const {
+  std::vector<std::size_t> order(links_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (lengths_[a] != lengths_[b]) {
+                       return lengths_[a] > lengths_[b];
+                     }
+                     return a < b;
+                   });
+  return order;
+}
+
+std::vector<std::size_t> LinkView::by_increasing_length() const {
+  std::vector<std::size_t> order(links_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (lengths_[a] != lengths_[b]) {
+                       return lengths_[a] < lengths_[b];
+                     }
+                     return a < b;
+                   });
+  return order;
+}
+
+}  // namespace wagg::geom

@@ -1,14 +1,14 @@
 #include "geom/linkset.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace wagg::geom {
 
-LinkSet::LinkSet(Pointset points, std::vector<Link> links)
-    : points_(std::move(points)), links_(std::move(links)) {
+LinkSet::LinkSet(Pointset points, std::vector<Link> links) {
+  points_ = std::move(points);
+  links_ = std::move(links);
   lengths_.reserve(links_.size());
+  ids_.reserve(links_.size());
   const auto n = static_cast<std::int32_t>(points_.size());
   for (const Link& link : links_) {
     if (link.sender < 0 || link.sender >= n || link.receiver < 0 ||
@@ -25,73 +25,8 @@ LinkSet::LinkSet(Pointset points, std::vector<Link> links)
       throw std::invalid_argument("LinkSet: zero-length link");
     }
     lengths_.push_back(len);
+    ids_.push_back(static_cast<LinkId>(ids_.size()));
   }
-}
-
-double LinkSet::link_distance(std::size_t i, std::size_t j) const {
-  if (shares_node(i, j)) return 0.0;
-  const Point& si = sender_pos(i);
-  const Point& ri = receiver_pos(i);
-  const Point& sj = sender_pos(j);
-  const Point& rj = receiver_pos(j);
-  return std::min(std::min(distance(si, sj), distance(si, rj)),
-                  std::min(distance(ri, sj), distance(ri, rj)));
-}
-
-double LinkSet::min_length() const {
-  if (lengths_.empty()) throw std::logic_error("LinkSet::min_length: empty");
-  return *std::min_element(lengths_.begin(), lengths_.end());
-}
-
-double LinkSet::max_length() const {
-  if (lengths_.empty()) throw std::logic_error("LinkSet::max_length: empty");
-  return *std::max_element(lengths_.begin(), lengths_.end());
-}
-
-double LinkSet::delta() const { return max_length() / min_length(); }
-
-double LinkSet::log2_delta() const {
-  return std::log2(max_length()) - std::log2(min_length());
-}
-
-bool LinkSet::shares_node(std::size_t i, std::size_t j) const noexcept {
-  const Link& a = links_[i];
-  const Link& b = links_[j];
-  return a.sender == b.sender || a.sender == b.receiver ||
-         a.receiver == b.sender || a.receiver == b.receiver;
-}
-
-LinkSet LinkSet::subset(std::span<const std::size_t> indices) const {
-  std::vector<Link> sub;
-  sub.reserve(indices.size());
-  for (std::size_t idx : indices) sub.push_back(links_.at(idx));
-  return LinkSet(points_, std::move(sub));
-}
-
-std::vector<std::size_t> LinkSet::by_decreasing_length() const {
-  std::vector<std::size_t> order(links_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     if (lengths_[a] != lengths_[b]) {
-                       return lengths_[a] > lengths_[b];
-                     }
-                     return a < b;
-                   });
-  return order;
-}
-
-std::vector<std::size_t> LinkSet::by_increasing_length() const {
-  std::vector<std::size_t> order(links_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     if (lengths_[a] != lengths_[b]) {
-                       return lengths_[a] < lengths_[b];
-                     }
-                     return a < b;
-                   });
-  return order;
 }
 
 }  // namespace wagg::geom

@@ -1,100 +1,41 @@
 #ifndef WAGG_GEOM_LINKSET_H
 #define WAGG_GEOM_LINKSET_H
 
-#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "geom/link_view.h"
 #include "geom/point.h"
 
 namespace wagg::geom {
 
-/// A directed communication request from sender node to receiver node,
-/// stored as indices into the owning LinkSet's pointset.
-struct Link {
-  std::int32_t sender = -1;
-  std::int32_t receiver = -1;
-
-  friend bool operator==(const Link&, const Link&) = default;
-};
-
-/// A set of links over a pointset — the unit every other module operates on
-/// (SINR feasibility, conflict graphs, coloring, schedules). Owns both the
-/// points and the links; link lengths are precomputed.
+/// The owning link container of the static pipeline — a thin façade over
+/// LinkView (which carries the whole read API consumers use).
 ///
-/// Notation follows the paper: for links i, j
-///   l_i          = length(i)                (sender-to-receiver distance)
-///   d_ji         = sinr_distance(j, i)      (sender of j to receiver of i)
-///   d(i, j)      = link_distance(i, j)      (min over the 4 node pairs)
-///   Delta        = delta()                  (max length / min length)
-class LinkSet {
+/// Two ways in:
+///   - the validating constructor (points + links) checks indices,
+///     self-loops and zero lengths, computes the length column, and assigns
+///     identity ids 0..n-1 — the historical LinkSet contract;
+///   - the façade constructor adopts an already-consistent LinkView (e.g. a
+///     geom::LinkStore snapshot) verbatim, with no validation and no length
+///     recomputation — O(1).
+class LinkSet : public LinkView {
  public:
   LinkSet() = default;
+
   /// Throws std::invalid_argument on out-of-range indices, self-loops, or
   /// zero-length links.
   LinkSet(Pointset points, std::vector<Link> links);
 
-  [[nodiscard]] std::size_t size() const noexcept { return links_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return links_.empty(); }
-  [[nodiscard]] std::size_t num_points() const noexcept {
-    return points_.size();
+  /// Adopts a consistent view (trusted; no validation, no recompute).
+  explicit LinkSet(LinkView view) : LinkView(std::move(view)) {}
+
+  /// The sub-LinkSet induced by the given link indices. The pointset is
+  /// compacted to the referenced endpoints (O(|indices|), not O(n)); stable
+  /// ids carry over from the parent.
+  [[nodiscard]] LinkSet subset(std::span<const std::size_t> indices) const {
+    return LinkSet(subset_view(indices));
   }
-
-  [[nodiscard]] const Pointset& points() const noexcept { return points_; }
-  [[nodiscard]] std::span<const Link> links() const noexcept { return links_; }
-  [[nodiscard]] const Link& link(std::size_t i) const { return links_.at(i); }
-
-  [[nodiscard]] const Point& sender_pos(std::size_t i) const {
-    return points_[static_cast<std::size_t>(links_[i].sender)];
-  }
-  [[nodiscard]] const Point& receiver_pos(std::size_t i) const {
-    return points_[static_cast<std::size_t>(links_[i].receiver)];
-  }
-
-  /// l_i: the length of link i.
-  [[nodiscard]] double length(std::size_t i) const { return lengths_[i]; }
-  [[nodiscard]] std::span<const double> lengths() const noexcept {
-    return lengths_;
-  }
-
-  /// d_ji = d(s_j, r_i): the SINR interference distance from link j's sender
-  /// to link i's receiver. sinr_distance(i, i) == length(i).
-  [[nodiscard]] double sinr_distance(std::size_t j, std::size_t i) const {
-    return distance(sender_pos(j), receiver_pos(i));
-  }
-
-  /// d(i, j): minimum distance between the nodes of links i and j
-  /// (0 if they share a node). This is the metric of the conflict graphs.
-  [[nodiscard]] double link_distance(std::size_t i, std::size_t j) const;
-
-  [[nodiscard]] double min_length() const;
-  [[nodiscard]] double max_length() const;
-
-  /// Delta = max link length / min link length. Throws if empty.
-  [[nodiscard]] double delta() const;
-
-  /// log2(Delta), computed without forming the ratio (survives instances
-  /// whose Delta is representable only in log space via lengths; for lengths
-  /// already stored as doubles this is exact enough).
-  [[nodiscard]] double log2_delta() const;
-
-  /// True if links i and j share an endpoint node (index equality).
-  [[nodiscard]] bool shares_node(std::size_t i, std::size_t j) const noexcept;
-
-  /// The sub-LinkSet induced by the given link indices (points are kept).
-  [[nodiscard]] LinkSet subset(std::span<const std::size_t> indices) const;
-
-  /// Indices 0..size()-1 sorted by non-increasing length; ties broken by
-  /// link index so the order (and thus every schedule) is deterministic.
-  [[nodiscard]] std::vector<std::size_t> by_decreasing_length() const;
-
-  /// Indices sorted by non-decreasing length, same deterministic tie-break.
-  [[nodiscard]] std::vector<std::size_t> by_increasing_length() const;
-
- private:
-  Pointset points_;
-  std::vector<Link> links_;
-  std::vector<double> lengths_;
 };
 
 }  // namespace wagg::geom

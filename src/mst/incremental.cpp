@@ -1,31 +1,15 @@
 #include "mst/incremental.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace wagg::mst {
 
 namespace {
 
-struct Candidate {
-  double w;
-  NodeId a;  ///< canonical a < b
-  NodeId b;
-
-  [[nodiscard]] bool operator<(const Candidate& other) const {
-    if (w != other.w) return w < other.w;
-    if (a != other.a) return a < other.a;
-    return b < other.b;
-  }
-};
-
-Candidate make_candidate(double w, NodeId x, NodeId y) {
-  return x < y ? Candidate{w, x, y} : Candidate{w, y, x};
-}
-
-void sort_edges(std::vector<IdEdge>& edges) {
+void sort_by_pair(std::vector<IdEdge>& edges) {
   std::sort(edges.begin(), edges.end(), [](const IdEdge& x, const IdEdge& y) {
     if (x.a != y.a) return x.a < y.a;
     return x.b < y.b;
@@ -41,11 +25,11 @@ IncrementalMst::IncrementalMst(const geom::Pointset& initial)
     // Seed from the batch algorithm; Prim is O(n^2) once, and every later
     // update is localized.
     const auto seed_edges = euclidean_mst(initial);
-    edges_.reserve(seed_edges.size());
-    for (const auto& e : seed_edges) {
-      edges_.push_back(e.u < e.v ? IdEdge{e.u, e.v} : IdEdge{e.v, e.u});
+    std::vector<NodeId> ids(initial.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = static_cast<NodeId>(i);
     }
-    sort_edges(edges_);
+    reset_tree_from(seed_edges, ids);
   }
 }
 
@@ -65,30 +49,48 @@ std::vector<NodeId> IncrementalMst::alive_ids() const {
   return ids;
 }
 
-double IncrementalMst::edge_weight(NodeId a, NodeId b) const {
-  return geom::distance(points_[static_cast<std::size_t>(a)],
-                        points_[static_cast<std::size_t>(b)]);
+double IncrementalMst::squared_weight(NodeId a, NodeId b) const {
+  return geom::squared_distance(points_[static_cast<std::size_t>(a)],
+                                points_[static_cast<std::size_t>(b)]);
 }
 
 double IncrementalMst::weight() const {
   double sum = 0.0;
-  for (const auto& e : edges_) sum += edge_weight(e.a, e.b);
+  for (const auto& e : tree_) sum += std::sqrt(e.w2);
   return sum;
 }
 
+const std::vector<IdEdge>& IncrementalMst::edges() const {
+  if (edges_cache_stale_) {
+    edges_cache_.clear();
+    edges_cache_.reserve(tree_.size());
+    for (const auto& e : tree_) edges_cache_.push_back(IdEdge{e.a, e.b});
+    sort_by_pair(edges_cache_);
+    edges_cache_stale_ = false;
+  }
+  return edges_cache_;
+}
+
 std::vector<Edge> IncrementalMst::compact_edges() const {
-  std::unordered_map<NodeId, std::int32_t> index;
-  index.reserve(num_alive_ * 2);
+  // Dense index per alive id via a scratch array (ids are small integers).
+  std::vector<std::int32_t> index(alive_.size(), -1);
   std::int32_t next = 0;
   for (std::size_t id = 0; id < alive_.size(); ++id) {
-    if (alive_[id]) index[static_cast<NodeId>(id)] = next++;
+    if (alive_[id]) index[id] = next++;
   }
   std::vector<Edge> result;
-  result.reserve(edges_.size());
-  for (const auto& e : edges_) {
-    result.push_back(Edge{index.at(e.a), index.at(e.b)});
+  result.reserve(edges().size());
+  for (const auto& e : edges()) {
+    result.push_back(Edge{index[static_cast<std::size_t>(e.a)],
+                          index[static_cast<std::size_t>(e.b)]});
   }
   return result;
+}
+
+MstDelta IncrementalMst::take_delta() {
+  MstDelta drained = std::move(delta_);
+  delta_ = MstDelta{};
+  return drained;
 }
 
 NodeId IncrementalMst::add_point(const geom::Point& position) {
@@ -147,107 +149,135 @@ void IncrementalMst::move_point_deferred(NodeId id,
   points_[static_cast<std::size_t>(id)] = position;
 }
 
-void IncrementalMst::rebuild() {
-  edges_.clear();
-  if (num_alive_ < 2) return;
-  const auto ids = alive_ids();
-  geom::Pointset compact;
-  compact.reserve(ids.size());
-  for (const auto id : ids) {
-    compact.push_back(points_[static_cast<std::size_t>(id)]);
-  }
-  const auto compact_tree = euclidean_mst(compact);
-  edges_.reserve(compact_tree.size());
-  for (const auto& e : compact_tree) {
+void IncrementalMst::reset_tree_from(const std::vector<Edge>& compact,
+                                     const std::vector<NodeId>& ids) {
+  tree_.clear();
+  tree_.reserve(compact.size());
+  for (const auto& e : compact) {
     const NodeId a = ids[static_cast<std::size_t>(e.u)];
     const NodeId b = ids[static_cast<std::size_t>(e.v)];
-    edges_.push_back(a < b ? IdEdge{a, b} : IdEdge{b, a});
+    tree_.push_back(a < b ? WeightedEdge{squared_weight(a, b), a, b}
+                          : WeightedEdge{squared_weight(a, b), b, a});
   }
-  sort_edges(edges_);
+  std::sort(tree_.begin(), tree_.end());
+  edges_cache_stale_ = true;
+}
+
+void IncrementalMst::rebuild() {
+  if (num_alive_ < 2) {
+    tree_.clear();
+  } else {
+    const auto ids = alive_ids();
+    geom::Pointset compact;
+    compact.reserve(ids.size());
+    for (const auto id : ids) {
+      compact.push_back(points_[static_cast<std::size_t>(id)]);
+    }
+    reset_tree_from(euclidean_mst(compact), ids);
+  }
+  edges_cache_stale_ = true;
+  delta_ = MstDelta{};
+  delta_.rebuilt = true;
 }
 
 void IncrementalMst::attach(NodeId id) {
+  edges_cache_stale_ = true;
   if (num_alive_ < 2) return;
 
   // Cycle property: every old non-tree edge stays non-tree after inserting a
   // point, so the new MST lies inside (old tree edges) + (the point's star).
-  std::vector<Candidate> candidates;
-  candidates.reserve(edges_.size() + num_alive_ - 1);
-  for (const auto& e : edges_) {
-    candidates.push_back({edge_weight(e.a, e.b), e.a, e.b});
-  }
+  // The maintained tree is already in (w2, a, b) order — Kruskal acceptance
+  // order is weight order — so sorting just the star and merging the two
+  // sorted streams replaces the old full candidate sort.
+  std::vector<WeightedEdge> star;
+  star.reserve(num_alive_ - 1);
   for (std::size_t other = 0; other < alive_.size(); ++other) {
-    if (!alive_[other] || static_cast<NodeId>(other) == id) continue;
-    candidates.push_back(
-        make_candidate(edge_weight(static_cast<NodeId>(other), id),
-                       static_cast<NodeId>(other), id));
+    const auto o = static_cast<NodeId>(other);
+    if (!alive_[other] || o == id) continue;
+    star.push_back(o < id ? WeightedEdge{squared_weight(o, id), o, id}
+                          : WeightedEdge{squared_weight(o, id), id, o});
   }
-  std::sort(candidates.begin(), candidates.end());
+  std::sort(star.begin(), star.end());
 
-  std::unordered_map<NodeId, std::size_t> slot;
-  slot.reserve(num_alive_ * 2);
-  for (const auto alive_id : alive_ids()) {
-    const std::size_t next = slot.size();
-    slot[alive_id] = next;
-  }
-  UnionFind uf(num_alive_);
-  std::vector<IdEdge> next_edges;
-  next_edges.reserve(num_alive_ - 1);
-  for (const auto& c : candidates) {
-    if (uf.unite(slot.at(c.a), slot.at(c.b))) {
-      next_edges.push_back(IdEdge{c.a, c.b});
-      if (next_edges.size() + 1 == num_alive_) break;
+  UnionFind uf(alive_.size());
+  std::vector<WeightedEdge> next_tree;
+  next_tree.reserve(num_alive_ - 1);
+  std::size_t ti = 0;
+  std::size_t si = 0;
+  const auto target = num_alive_ - 1;
+  while (next_tree.size() < target) {
+    if (ti >= tree_.size() && si >= star.size()) {
+      throw std::logic_error(
+          "IncrementalMst::attach: candidate streams exhausted before the "
+          "tree completed (maintained tree was not spanning)");
+    }
+    const bool from_tree =
+        ti < tree_.size() && (si >= star.size() || tree_[ti] < star[si]);
+    const WeightedEdge& c = from_tree ? tree_[ti++] : star[si++];
+    if (uf.unite(static_cast<std::size_t>(c.a), static_cast<std::size_t>(c.b))) {
+      next_tree.push_back(c);
+      if (!from_tree) delta_.added.push_back(IdEdge{c.a, c.b});
+    } else if (from_tree) {
+      delta_.removed.push_back(IdEdge{c.a, c.b});
     }
   }
-  edges_ = std::move(next_edges);
-  sort_edges(edges_);
+  // The new tree is complete; every old edge not yet examined is displaced.
+  for (; ti < tree_.size(); ++ti) {
+    delta_.removed.push_back(IdEdge{tree_[ti].a, tree_[ti].b});
+  }
+  tree_ = std::move(next_tree);
 }
 
 void IncrementalMst::detach(NodeId id) {
+  edges_cache_stale_ = true;
   alive_[static_cast<std::size_t>(id)] = false;
   --num_alive_;
-  std::erase_if(edges_,
-                [id](const IdEdge& e) { return e.a == id || e.b == id; });
+  std::erase_if(tree_, [&](const WeightedEdge& e) {
+    if (e.a != id && e.b != id) return false;
+    delta_.removed.push_back(IdEdge{e.a, e.b});
+    return true;
+  });
   if (num_alive_ < 2) return;
 
-  // Component labelling over the surviving forest (compact slots).
-  const auto ids = alive_ids();
-  std::unordered_map<NodeId, std::size_t> slot;
-  slot.reserve(ids.size() * 2);
-  for (std::size_t i = 0; i < ids.size(); ++i) slot[ids[i]] = i;
-
-  UnionFind uf(ids.size());
-  for (const auto& e : edges_) uf.unite(slot.at(e.a), slot.at(e.b));
-  if (uf.num_components() == 1) return;
-
-  // Member lists per component, keyed by union-find root.
-  std::unordered_map<std::size_t, std::vector<NodeId>> groups;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    groups[uf.find(i)].push_back(ids[i]);
+  // Component labelling over the surviving forest, on raw ids (dead slots
+  // simply stay singleton components nothing references).
+  UnionFind uf(alive_.size());
+  for (const auto& e : tree_) {
+    uf.unite(static_cast<std::size_t>(e.a), static_cast<std::size_t>(e.b));
   }
+
+  // Member lists per component, in increasing-first-member order (alive ids
+  // are scanned in increasing order, so the order is deterministic).
+  std::vector<std::size_t> comp_roots;
   std::vector<std::vector<NodeId>> comps;
-  comps.reserve(groups.size());
-  for (auto& [root, members] : groups) comps.push_back(std::move(members));
-  // Deterministic component order (members are already id-sorted because
-  // alive_ids() is increasing).
-  std::sort(comps.begin(), comps.end(),
-            [](const std::vector<NodeId>& x, const std::vector<NodeId>& y) {
-              return x.front() < y.front();
-            });
+  std::vector<std::int32_t> comp_of_root(alive_.size(), -1);
+  for (std::size_t node = 0; node < alive_.size(); ++node) {
+    if (!alive_[node]) continue;
+    const std::size_t root = uf.find(node);
+    if (comp_of_root[root] < 0) {
+      comp_of_root[root] = static_cast<std::int32_t>(comps.size());
+      comps.emplace_back();
+    }
+    comps[static_cast<std::size_t>(comp_of_root[root])].push_back(
+        static_cast<NodeId>(node));
+  }
+  if (comps.size() == 1) return;
 
   // Cut property: the new MST is the old forest plus the MST of the
   // contracted component graph, whose only useful edges are the minimum
   // cross edge of each component pair. An Euclidean MST has max degree 6,
   // so at most 6 components exist and — churn being local — all but one are
   // typically small.
-  std::vector<Candidate> candidates;
+  std::vector<WeightedEdge> candidates;
   candidates.reserve(comps.size() * (comps.size() - 1) / 2);
   for (std::size_t x = 0; x < comps.size(); ++x) {
     for (std::size_t y = x + 1; y < comps.size(); ++y) {
-      Candidate best{std::numeric_limits<double>::infinity(), -1, -1};
+      WeightedEdge best{std::numeric_limits<double>::infinity(), -1, -1};
       for (const NodeId p : comps[x]) {
         for (const NodeId q : comps[y]) {
-          const auto c = make_candidate(edge_weight(p, q), p, q);
+          const double w2 = squared_weight(p, q);
+          const WeightedEdge c = p < q ? WeightedEdge{w2, p, q}
+                                       : WeightedEdge{w2, q, p};
           if (c < best) best = c;
         }
       }
@@ -256,12 +286,14 @@ void IncrementalMst::detach(NodeId id) {
   }
   std::sort(candidates.begin(), candidates.end());
   for (const auto& c : candidates) {
-    if (uf.unite(slot.at(c.a), slot.at(c.b))) {
-      edges_.push_back(IdEdge{c.a, c.b});
-      if (uf.num_components() == 1) break;
+    if (uf.unite(static_cast<std::size_t>(c.a),
+                 static_cast<std::size_t>(c.b))) {
+      // Keep the maintained tree in weight order: insert in place (at most
+      // five reconnection edges, so the memmove cost is negligible).
+      tree_.insert(std::upper_bound(tree_.begin(), tree_.end(), c), c);
+      delta_.added.push_back(IdEdge{c.a, c.b});
     }
   }
-  sort_edges(edges_);
 }
 
 }  // namespace wagg::mst

@@ -25,12 +25,29 @@ struct IdEdge {
   friend bool operator==(const IdEdge&, const IdEdge&) = default;
 };
 
+/// Edge changes accumulated by an IncrementalMst since the last
+/// take_delta(). When `rebuilt` is set the added/removed lists are empty
+/// and meaningless: the whole tree was recomputed and the consumer must
+/// reconcile against edges() wholesale. An edge may appear in both lists
+/// (removed then re-added within the window); consumers diff against their
+/// own view of the pre-window tree.
+struct MstDelta {
+  std::vector<IdEdge> added;
+  std::vector<IdEdge> removed;
+  bool rebuilt = false;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return !rebuilt && added.empty() && removed.empty();
+  }
+};
+
 /// Exact Euclidean MST maintained under point insertion, deletion, and
 /// motion, at a cost proportional to the disturbed neighborhood instead of
 /// the instance:
 ///
 ///   add_point    new MST is a subset of (old edges + the new point's star);
-///                one Kruskal pass over those 2n-1 edges, O(n log n).
+///                the maintained tree is kept in weight order, so one sort
+///                of the star plus a merge-Kruskal pass suffices.
 ///   remove_point the old edges minus the removed point's incident ones stay
 ///                in the new MST (cycle property: deleting a vertex only
 ///                removes cycles); the <= 6 resulting components (Euclidean
@@ -40,9 +57,13 @@ struct IdEdge {
 ///   move_point   remove + re-add under the same id.
 ///
 /// All updates are deterministic: candidate edges are compared by
-/// (weight, a, b). With distinct pairwise distances the maintained tree is
-/// THE Euclidean MST; under ties it is an MST of equal weight (tests compare
-/// weights against a from-scratch Prim run).
+/// (squared weight, a, b). With distinct pairwise distances the maintained
+/// tree is THE Euclidean MST; under ties it is an MST of equal weight (tests
+/// compare weights against a from-scratch Prim run).
+///
+/// Every structural change is journaled into an MstDelta that tree
+/// consumers (dynamic::DynamicPlanner's geom::LinkStore orientation) drain
+/// with take_delta() to update in place instead of re-reading the world.
 class IncrementalMst {
  public:
   /// Ids 0..initial.size()-1 map to the initial points. A single point (or
@@ -70,6 +91,9 @@ class IncrementalMst {
   /// From-scratch, id-preserving recompute of the maintained tree.
   void rebuild();
 
+  /// Drains the accumulated edge-change journal (and resets it).
+  [[nodiscard]] MstDelta take_delta();
+
   [[nodiscard]] bool alive(NodeId id) const noexcept {
     return id >= 0 && static_cast<std::size_t>(id) < alive_.size() &&
            alive_[static_cast<std::size_t>(id)];
@@ -82,9 +106,7 @@ class IncrementalMst {
 
   /// Current MST edges over the alive points (stable ids, canonical a < b,
   /// sorted by (a, b) so equal trees compare equal).
-  [[nodiscard]] const std::vector<IdEdge>& edges() const noexcept {
-    return edges_;
-  }
+  [[nodiscard]] const std::vector<IdEdge>& edges() const;
 
   /// Total Euclidean weight of the maintained tree.
   [[nodiscard]] double weight() const;
@@ -94,17 +116,40 @@ class IncrementalMst {
   [[nodiscard]] std::vector<Edge> compact_edges() const;
 
  private:
-  [[nodiscard]] double edge_weight(NodeId a, NodeId b) const;
-  /// Insertion update: Kruskal over (current forest + id's star).
+  /// A maintained or candidate edge with its cached squared weight;
+  /// canonical a < b, ordered by (w2, a, b) — the same order as
+  /// (weight, a, b) since x -> x^2 is monotone on lengths.
+  struct WeightedEdge {
+    double w2 = 0.0;
+    NodeId a = -1;
+    NodeId b = -1;
+
+    [[nodiscard]] bool operator<(const WeightedEdge& other) const noexcept {
+      if (w2 != other.w2) return w2 < other.w2;
+      if (a != other.a) return a < other.a;
+      return b < other.b;
+    }
+  };
+
+  [[nodiscard]] double squared_weight(NodeId a, NodeId b) const;
+  /// Insertion update: merge-Kruskal over (weight-ordered tree + sorted
+  /// star of id).
   void attach(NodeId id);
   /// Deletion update: drops id and its incident edges, then reconnects the
   /// leftover components via their minimum cross edges.
   void detach(NodeId id);
+  void reset_tree_from(const std::vector<Edge>& compact,
+                       const std::vector<NodeId>& ids);
 
   std::vector<geom::Point> points_;  ///< indexed by id (dead slots stale)
   std::vector<bool> alive_;
   std::size_t num_alive_ = 0;
-  std::vector<IdEdge> edges_;
+  /// The maintained tree in (w2, a, b) order — Kruskal acceptance order.
+  std::vector<WeightedEdge> tree_;
+  /// Lazily materialized (a, b)-sorted view backing edges().
+  mutable std::vector<IdEdge> edges_cache_;
+  mutable bool edges_cache_stale_ = true;
+  MstDelta delta_;
 };
 
 }  // namespace wagg::mst

@@ -62,11 +62,20 @@ void execute_session_request(const PlanRequest& request,
   options.audit = request.audit;
   dynamic::DynamicPlanner planner(request.points, options);
 
+  // Serving sessions ship the actual transmit powers every epoch; the
+  // planner's membership-keyed cache means carried-over slots cost a hash
+  // lookup instead of a Perron solve.
+  const bool materialize_powers =
+      request.config.power_mode == core::PowerMode::kGlobal;
+  if (materialize_powers) (void)planner.slot_powers();
+
   std::vector<dynamic::EpochReport> reports;
   reports.reserve(request.trace.size() + 1);
   reports.push_back(planner.last_report());
   for (const auto& epoch_mutations : request.trace) {
-    reports.push_back(planner.apply(epoch_mutations));
+    (void)planner.apply(epoch_mutations);
+    if (materialize_powers) (void)planner.slot_powers();
+    reports.push_back(planner.last_report());
   }
 
   outcome.ok = true;
@@ -85,6 +94,7 @@ void execute_session_request(const PlanRequest& request,
     outcome.timings.conflict_ms += report.timings.conflict_ms;
     outcome.timings.coloring_ms += report.timings.recolor_ms;
     outcome.timings.repair_ms += report.timings.repair_ms;
+    outcome.timings.power_ms += report.timings.power_ms;
     outcome.timings.verify_ms += report.timings.audit_ms;
   }
   const auto& final_report = reports.back();

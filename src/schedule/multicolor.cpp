@@ -9,7 +9,7 @@
 namespace wagg::schedule {
 
 MulticolorResult improve_rate_by_multicoloring(
-    const geom::LinkSet& links, const Schedule& baseline,
+    const geom::LinkView& links, const Schedule& baseline,
     const FeasibilityOracle& oracle, const MulticolorOptions& options) {
   if (!is_partition(baseline, links.size())) {
     throw std::invalid_argument(

@@ -39,7 +39,7 @@ struct MulticolorResult {
 /// the baseline. Throws std::invalid_argument if the baseline is not a
 /// partition of the link set.
 [[nodiscard]] MulticolorResult improve_rate_by_multicoloring(
-    const geom::LinkSet& links, const Schedule& baseline,
+    const geom::LinkView& links, const Schedule& baseline,
     const FeasibilityOracle& oracle, const MulticolorOptions& options = {});
 
 }  // namespace wagg::schedule

@@ -6,7 +6,7 @@ namespace wagg::schedule {
 
 namespace {
 
-Schedule everything_in_one_slot(const geom::LinkSet& links) {
+Schedule everything_in_one_slot(const geom::LinkView& links) {
   Schedule all;
   all.slots.emplace_back();
   all.slots.front().reserve(links.size());
@@ -18,7 +18,7 @@ Schedule everything_in_one_slot(const geom::LinkSet& links) {
 
 }  // namespace
 
-Schedule ffd_schedule(const geom::LinkSet& links,
+Schedule ffd_schedule(const geom::LinkView& links,
                       const FeasibilityOracle& oracle) {
   if (links.empty()) return Schedule{};
   // Repairing the one-slot schedule IS first-fit-decreasing: repair sorts
@@ -27,7 +27,7 @@ Schedule ffd_schedule(const geom::LinkSet& links,
       .schedule;
 }
 
-Schedule ffd_schedule_fixed_power(const geom::LinkSet& links,
+Schedule ffd_schedule_fixed_power(const geom::LinkView& links,
                                   const sinr::SinrParams& params,
                                   const sinr::PowerAssignment& power,
                                   double tolerance) {

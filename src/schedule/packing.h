@@ -18,12 +18,12 @@ namespace wagg::schedule {
 /// decisions. Benchmarked against the planner in E9.
 ///
 /// Throws std::runtime_error if some singleton is infeasible.
-[[nodiscard]] Schedule ffd_schedule(const geom::LinkSet& links,
+[[nodiscard]] Schedule ffd_schedule(const geom::LinkView& links,
                                     const FeasibilityOracle& oracle);
 
 /// Fixed-power FFD using the incremental packer (O(n * slots * slot size)).
 [[nodiscard]] Schedule ffd_schedule_fixed_power(
-    const geom::LinkSet& links, const sinr::SinrParams& params,
+    const geom::LinkView& links, const sinr::SinrParams& params,
     const sinr::PowerAssignment& power, double tolerance = 1e-9);
 
 }  // namespace wagg::schedule

@@ -8,7 +8,7 @@
 
 namespace wagg::schedule {
 
-std::vector<std::size_t> pack_order(const geom::LinkSet& links,
+std::vector<std::size_t> pack_order(const geom::LinkView& links,
                                     std::span<const std::size_t> members) {
   std::vector<std::size_t> ordered(members.begin(), members.end());
   std::stable_sort(ordered.begin(), ordered.end(),
@@ -21,7 +21,7 @@ std::vector<std::size_t> pack_order(const geom::LinkSet& links,
   return ordered;
 }
 
-RepairResult repair_schedule(const geom::LinkSet& links,
+RepairResult repair_schedule(const geom::LinkView& links,
                              const Schedule& schedule,
                              const FeasibilityOracle& oracle) {
   RepairResult result;
@@ -66,7 +66,7 @@ RepairResult repair_schedule(const geom::LinkSet& links,
   return result;
 }
 
-PatchResult patch_slot(const geom::LinkSet& links,
+PatchResult patch_slot(const geom::LinkView& links,
                        std::vector<std::vector<std::size_t>> kept,
                        std::span<const std::size_t> loose,
                        const FeasibilityOracle& oracle,
@@ -152,7 +152,7 @@ namespace {
 /// costs O(|sub-slot|).
 class FixedPowerPacker {
  public:
-  FixedPowerPacker(const geom::LinkSet& links, const sinr::SinrParams& params,
+  FixedPowerPacker(const geom::LinkView& links, const sinr::SinrParams& params,
                    const sinr::PowerAssignment& power, double tolerance)
       : links_(links), params_(params), power_(power), tolerance_(tolerance) {
     log2_len_.reserve(links.size());
@@ -231,7 +231,7 @@ class FixedPowerPacker {
   }
 
  private:
-  const geom::LinkSet& links_;
+  const geom::LinkView& links_;
   sinr::SinrParams params_;
   const sinr::PowerAssignment& power_;
   double tolerance_;
@@ -240,7 +240,7 @@ class FixedPowerPacker {
 
 }  // namespace
 
-RepairResult repair_schedule_fixed_power(const geom::LinkSet& links,
+RepairResult repair_schedule_fixed_power(const geom::LinkView& links,
                                          const Schedule& schedule,
                                          const sinr::SinrParams& params,
                                          const sinr::PowerAssignment& power,

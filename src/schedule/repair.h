@@ -31,7 +31,7 @@ struct RepairResult {
 /// Precondition: every singleton {link} must satisfy the oracle (true for
 /// all oracles in this library on interference-limited instances); otherwise
 /// std::runtime_error is thrown.
-[[nodiscard]] RepairResult repair_schedule(const geom::LinkSet& links,
+[[nodiscard]] RepairResult repair_schedule(const geom::LinkView& links,
                                            const Schedule& schedule,
                                            const FeasibilityOracle& oracle);
 
@@ -39,7 +39,7 @@ struct RepairResult {
 /// ties by link index. Shared by repair_schedule, patch_slot, and the
 /// dynamic planner so the packing order cannot drift between them.
 [[nodiscard]] std::vector<std::size_t> pack_order(
-    const geom::LinkSet& links, std::span<const std::size_t> members);
+    const geom::LinkView& links, std::span<const std::size_t> members);
 
 /// Outcome of a patch-level (single color class) repair.
 struct PatchResult {
@@ -73,7 +73,7 @@ struct PatchResult {
 /// Preconditions: kept/loose are disjoint and duplicate-free; every
 /// singleton must satisfy the oracle (std::runtime_error otherwise, as in
 /// repair_schedule). Certified kept sub-slots are NOT re-verified.
-[[nodiscard]] PatchResult patch_slot(const geom::LinkSet& links,
+[[nodiscard]] PatchResult patch_slot(const geom::LinkView& links,
                                      std::vector<std::vector<std::size_t>> kept,
                                      std::span<const std::size_t> loose,
                                      const FeasibilityOracle& oracle,
@@ -86,7 +86,7 @@ struct PatchResult {
 /// of magnitude faster; output slots pass the exact fixed-power check with
 /// the same tolerance.
 [[nodiscard]] RepairResult repair_schedule_fixed_power(
-    const geom::LinkSet& links, const Schedule& schedule,
+    const geom::LinkView& links, const Schedule& schedule,
     const sinr::SinrParams& params, const sinr::PowerAssignment& power,
     double tolerance = 1e-9);
 

@@ -2,7 +2,7 @@
 
 namespace wagg::schedule {
 
-FeasibilityOracle fixed_power_oracle(const geom::LinkSet& links,
+FeasibilityOracle fixed_power_oracle(const geom::LinkView& links,
                                      const sinr::SinrParams& params,
                                      sinr::PowerAssignment power,
                                      double tolerance) {
@@ -12,7 +12,7 @@ FeasibilityOracle fixed_power_oracle(const geom::LinkSet& links,
   };
 }
 
-FeasibilityOracle power_control_oracle(const geom::LinkSet& links,
+FeasibilityOracle power_control_oracle(const geom::LinkView& links,
                                        const sinr::SinrParams& params,
                                        sinr::PowerControlOptions options) {
   return [&links, params, options](std::span<const std::size_t> slot) {
@@ -20,7 +20,7 @@ FeasibilityOracle power_control_oracle(const geom::LinkSet& links,
   };
 }
 
-VerificationReport verify_schedule(const geom::LinkSet& links,
+VerificationReport verify_schedule(const geom::LinkView& links,
                                    const Schedule& schedule,
                                    const FeasibilityOracle& oracle) {
   VerificationReport report;

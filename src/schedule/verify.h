@@ -19,13 +19,13 @@ using FeasibilityOracle =
 
 /// Oracle for a fixed power assignment (exact SINR check).
 [[nodiscard]] FeasibilityOracle fixed_power_oracle(
-    const geom::LinkSet& links, const sinr::SinrParams& params,
+    const geom::LinkView& links, const sinr::SinrParams& params,
     sinr::PowerAssignment power, double tolerance = 1e-9);
 
 /// Oracle for arbitrary power control (spectral-radius decision + certified
 /// power vector, see sinr::power_control_feasible).
 [[nodiscard]] FeasibilityOracle power_control_oracle(
-    const geom::LinkSet& links, const sinr::SinrParams& params,
+    const geom::LinkView& links, const sinr::SinrParams& params,
     sinr::PowerControlOptions options = {});
 
 /// Per-schedule verification result.
@@ -42,7 +42,7 @@ struct VerificationReport {
 
 /// Verifies every slot of the schedule against the oracle and checks link
 /// coverage.
-[[nodiscard]] VerificationReport verify_schedule(const geom::LinkSet& links,
+[[nodiscard]] VerificationReport verify_schedule(const geom::LinkView& links,
                                                  const Schedule& schedule,
                                                  const FeasibilityOracle& oracle);
 

@@ -15,14 +15,14 @@ namespace wagg::sinr {
 /// power P:  I_P(j, i) = (P_j / d_ji^alpha) / (P_i / l_i^alpha).
 /// Returns -inf for j == i and +inf when d_ji == 0 (sender of j sits on the
 /// receiver of i).
-[[nodiscard]] double log2_affectance(const geom::LinkSet& links,
+[[nodiscard]] double log2_affectance(const geom::LinkView& links,
                                      const SinrParams& params,
                                      const PowerAssignment& power,
                                      std::size_t j, std::size_t i);
 
 /// True iff some node appears in two links of the set (half-duplex, single
 /// radio per node: such sets are never schedulable in one slot).
-[[nodiscard]] bool has_shared_node(const geom::LinkSet& links,
+[[nodiscard]] bool has_shared_node(const geom::LinkView& links,
                                    std::span<const std::size_t> set);
 
 /// Result of an exact slot-feasibility check.
@@ -40,12 +40,12 @@ struct FeasibilityReport {
 /// `tolerance` loosens the SINR comparison multiplicatively to absorb
 /// floating-point noise (load <= 1 + tolerance passes).
 [[nodiscard]] FeasibilityReport check_feasible(
-    const geom::LinkSet& links, std::span<const std::size_t> set,
+    const geom::LinkView& links, std::span<const std::size_t> set,
     const SinrParams& params, const PowerAssignment& power,
     double tolerance = 1e-9);
 
 /// Convenience wrapper returning just the verdict.
-[[nodiscard]] bool is_feasible(const geom::LinkSet& links,
+[[nodiscard]] bool is_feasible(const geom::LinkView& links,
                                std::span<const std::size_t> set,
                                const SinrParams& params,
                                const PowerAssignment& power,
@@ -80,13 +80,13 @@ struct PowerControlOptions {
 };
 
 [[nodiscard]] PowerControlResult power_control_feasible(
-    const geom::LinkSet& links, std::span<const std::size_t> set,
+    const geom::LinkView& links, std::span<const std::size_t> set,
     const SinrParams& params, const PowerControlOptions& options = {});
 
 /// Expands the per-set power vector from power_control_feasible into a
 /// full-linkset PowerAssignment (links outside `set` keep log2 power 0).
 [[nodiscard]] PowerAssignment embed_slot_power(
-    const geom::LinkSet& links, std::span<const std::size_t> set,
+    const geom::LinkView& links, std::span<const std::size_t> set,
     const PowerControlResult& result);
 
 /// Numerically stable log2(sum_i 2^x_i); -inf on empty input.

@@ -6,7 +6,7 @@
 
 namespace wagg::sinr {
 
-double interference_between(const geom::LinkSet& links, std::size_t j,
+double interference_between(const geom::LinkView& links, std::size_t j,
                             std::size_t i, double alpha) {
   if (i == j) return 0.0;
   const double d = links.link_distance(i, j);
@@ -17,7 +17,7 @@ double interference_between(const geom::LinkSet& links, std::size_t j,
   return std::exp2(alpha * (std::log2(lj) - std::log2(d)));
 }
 
-double outgoing_interference(const geom::LinkSet& links, std::size_t i,
+double outgoing_interference(const geom::LinkView& links, std::size_t i,
                              std::span<const std::size_t> set, double alpha) {
   double sum = 0.0;
   for (std::size_t j : set) {
@@ -27,7 +27,7 @@ double outgoing_interference(const geom::LinkSet& links, std::size_t i,
   return sum;
 }
 
-double incoming_interference(const geom::LinkSet& links,
+double incoming_interference(const geom::LinkView& links,
                              std::span<const std::size_t> set, std::size_t i,
                              double alpha) {
   double sum = 0.0;
@@ -38,7 +38,7 @@ double incoming_interference(const geom::LinkSet& links,
   return sum;
 }
 
-double outgoing_to_longer(const geom::LinkSet& links, std::size_t i,
+double outgoing_to_longer(const geom::LinkView& links, std::size_t i,
                           double alpha) {
   double sum = 0.0;
   const double li = links.length(i);
@@ -49,7 +49,7 @@ double outgoing_to_longer(const geom::LinkSet& links, std::size_t i,
   return sum;
 }
 
-double incoming_from_shorter(const geom::LinkSet& links, std::size_t i,
+double incoming_from_shorter(const geom::LinkView& links, std::size_t i,
                              double alpha) {
   double sum = 0.0;
   const double li = links.length(i);
@@ -60,7 +60,7 @@ double incoming_from_shorter(const geom::LinkSet& links, std::size_t i,
   return sum;
 }
 
-double lemma1_statistic(const geom::LinkSet& links, double alpha) {
+double lemma1_statistic(const geom::LinkView& links, double alpha) {
   double worst = 0.0;
   for (std::size_t i = 0; i < links.size(); ++i) {
     worst = std::max(worst, outgoing_to_longer(links, i, alpha));
@@ -68,7 +68,7 @@ double lemma1_statistic(const geom::LinkSet& links, double alpha) {
   return worst;
 }
 
-double theorem3_statistic(const geom::LinkSet& links,
+double theorem3_statistic(const geom::LinkView& links,
                           std::span<const std::size_t> set, double alpha) {
   double worst = 0.0;
   for (std::size_t idx : set) {

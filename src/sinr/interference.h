@@ -12,39 +12,39 @@ namespace wagg::sinr {
 ///   I(j, i) = min{ 1, l_j^alpha / d(i, j)^alpha },   I(i, i) = 0,
 /// where d(i, j) is the minimum distance between the nodes of the two links
 /// (1 if they share a node, since min{1, inf} = 1).
-[[nodiscard]] double interference_between(const geom::LinkSet& links,
+[[nodiscard]] double interference_between(const geom::LinkView& links,
                                           std::size_t j, std::size_t i,
                                           double alpha);
 
 /// I(i, S) = sum_{j in S} I(i, j): total outgoing interference of link i on
 /// the links in `set` (i is skipped if present).
-[[nodiscard]] double outgoing_interference(const geom::LinkSet& links,
+[[nodiscard]] double outgoing_interference(const geom::LinkView& links,
                                            std::size_t i,
                                            std::span<const std::size_t> set,
                                            double alpha);
 
 /// I(S, i) = sum_{j in S} I(j, i): total incoming interference.
-[[nodiscard]] double incoming_interference(const geom::LinkSet& links,
+[[nodiscard]] double incoming_interference(const geom::LinkView& links,
                                            std::span<const std::size_t> set,
                                            std::size_t i, double alpha);
 
 /// I(i, S_i^+): outgoing interference of link i on all links of the set that
 /// are at least as long as i (the quantity Lemma 1 bounds by O(1) for MSTs).
-[[nodiscard]] double outgoing_to_longer(const geom::LinkSet& links,
+[[nodiscard]] double outgoing_to_longer(const geom::LinkView& links,
                                         std::size_t i, double alpha);
 
 /// I(S_i^-, i): incoming interference from all links no longer than i (the
 /// quantity Theorem 3 bounds by O(1) for feasible sets with beta = 3^alpha).
-[[nodiscard]] double incoming_from_shorter(const geom::LinkSet& links,
+[[nodiscard]] double incoming_from_shorter(const geom::LinkView& links,
                                            std::size_t i, double alpha);
 
 /// Lemma 1 audit: max over links i of I(i, T_i^+). For any MST this should
 /// be bounded by an absolute constant regardless of n or Delta.
-[[nodiscard]] double lemma1_statistic(const geom::LinkSet& links,
+[[nodiscard]] double lemma1_statistic(const geom::LinkView& links,
                                       double alpha);
 
 /// Theorem 3 audit: max over links i of I(S_i^-, i) within the given set.
-[[nodiscard]] double theorem3_statistic(const geom::LinkSet& links,
+[[nodiscard]] double theorem3_statistic(const geom::LinkView& links,
                                         std::span<const std::size_t> set,
                                         double alpha);
 

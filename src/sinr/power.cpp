@@ -15,7 +15,7 @@ double PowerAssignment::power(std::size_t i) const {
   return std::exp2(log2_power_.at(i));
 }
 
-PowerAssignment oblivious_power(const geom::LinkSet& links, double tau,
+PowerAssignment oblivious_power(const geom::LinkView& links, double tau,
                                 const SinrParams& params) {
   params.validate();
   if (!(tau >= 0.0 && tau <= 1.0)) {
@@ -43,13 +43,13 @@ PowerAssignment oblivious_power(const geom::LinkSet& links, double tau,
                          "P_tau(tau=" + std::to_string(tau) + ")");
 }
 
-PowerAssignment uniform_power(const geom::LinkSet& links,
+PowerAssignment uniform_power(const geom::LinkView& links,
                               const SinrParams& params) {
   auto p = oblivious_power(links, 0.0, params);
   return PowerAssignment(p.log2_powers(), "uniform");
 }
 
-PowerAssignment linear_power(const geom::LinkSet& links,
+PowerAssignment linear_power(const geom::LinkView& links,
                              const SinrParams& params) {
   auto p = oblivious_power(links, 1.0, params);
   return PowerAssignment(p.log2_powers(), "linear");

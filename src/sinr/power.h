@@ -46,16 +46,16 @@ class PowerAssignment {
 /// making every link interference-limited:
 ///   C = (1 + eps) * beta * N * max_i l_i^((1 - tau) * alpha).
 /// tau = 0 is the uniform scheme P_0, tau = 1 the linear scheme P_1.
-[[nodiscard]] PowerAssignment oblivious_power(const geom::LinkSet& links,
+[[nodiscard]] PowerAssignment oblivious_power(const geom::LinkView& links,
                                               double tau,
                                               const SinrParams& params);
 
 /// Uniform power P_0 (every sender uses the same power).
-[[nodiscard]] PowerAssignment uniform_power(const geom::LinkSet& links,
+[[nodiscard]] PowerAssignment uniform_power(const geom::LinkView& links,
                                             const SinrParams& params);
 
 /// Linear power P_1 (power proportional to l^alpha).
-[[nodiscard]] PowerAssignment linear_power(const geom::LinkSet& links,
+[[nodiscard]] PowerAssignment linear_power(const geom::LinkView& links,
                                            const SinrParams& params);
 
 }  // namespace wagg::sinr

@@ -211,6 +211,22 @@ void parse_churn(const std::string& value, WorkloadSpec& spec) {
       spec.churn.move_weight = parse_double(sub, "churn move");
     } else if (key == "sigma") {
       spec.churn.drift_sigma = parse_double(sub, "churn sigma");
+    } else if (key == "hotspot") {
+      spec.churn.hotspot_fraction = parse_double(sub, "churn hotspot");
+    } else if (key == "hradius") {
+      spec.churn.hotspot_radius = parse_double(sub, "churn hradius");
+    } else if (key == "drift") {
+      if (sub == "gauss") {
+        spec.churn.drift = dynamic::DriftKind::kGaussian;
+      } else if (sub == "waypoint") {
+        spec.churn.drift = dynamic::DriftKind::kWaypoint;
+      } else {
+        throw std::invalid_argument(
+            "WorkloadSpec: churn drift must be gauss or waypoint, got: " +
+            sub);
+      }
+    } else if (key == "speed") {
+      spec.churn.waypoint_speed = parse_double(sub, "churn speed");
     } else if (key == "audit") {
       spec.churn_audit = parse_size(sub, "churn audit") != 0;
     } else {
@@ -303,6 +319,14 @@ std::string WorkloadSpec::to_text() const {
         << ",add:" << churn.add_weight << ",remove:" << churn.remove_weight
         << ",move:" << churn.move_weight;
     if (churn.drift_sigma > 0.0) out << ",sigma:" << churn.drift_sigma;
+    if (churn.hotspot_fraction > 0.0) {
+      out << ",hotspot:" << churn.hotspot_fraction;
+    }
+    if (churn.hotspot_radius > 0.0) out << ",hradius:" << churn.hotspot_radius;
+    if (churn.drift != dynamic::DriftKind::kGaussian) {
+      out << ",drift:" << dynamic::to_string(churn.drift);
+    }
+    if (churn.waypoint_speed > 0.0) out << ",speed:" << churn.waypoint_speed;
     if (churn_audit) out << ",audit:1";
     out << "\n";
   }

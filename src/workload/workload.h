@@ -73,13 +73,18 @@ class FamilyRegistry {
 ///   seed=42                   # base seed (default 1)
 ///   alpha=3.0 beta=1.0        # SINR parameters (defaults shown)
 ///   churn=epochs:40,rate:0.05,add:2,remove:1,move:2,audit:1
+///   churn=epochs:40,rate:0.05,hotspot:0.8,hradius:2.5,drift:waypoint
 ///
 /// The churn key turns every request into a dynamic session: the instance
 /// is planned once, then `epochs` seeded mutation epochs are applied
 /// incrementally. Its value is comma-separated `key:value` pairs —
 /// epochs (required, > 0), rate (mutations per node per epoch),
 /// add/remove/move (kind-mix weights), sigma (move drift; 0 = auto),
-/// audit (0/1: cross-check every epoch against a full replan).
+/// hotspot (fraction of arrivals/departures concentrated in a seeded
+/// hotspot disk), hradius (its radius; 0 = auto), drift (gauss | waypoint:
+/// memoryless Gaussian steps vs random-waypoint correlated walks), speed
+/// (waypoint step length; 0 = auto), audit (0/1: cross-check every epoch
+/// against a full replan).
 ///
 /// Expansion is deterministic: each request's seed depends only on the base
 /// seed and its (family, size, mode, replication) cell, never on the rest of

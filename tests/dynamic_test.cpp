@@ -111,6 +111,7 @@ TEST(DynamicPlanner, HighChurnBulkEpochsStayValid) {
     EXPECT_TRUE(report.valid) << "epoch " << report.epoch;
     EXPECT_TRUE(report.audit_valid) << "epoch " << report.epoch;
     EXPECT_TRUE(report.audit_tree_match) << "epoch " << report.epoch;
+    EXPECT_TRUE(report.audit_store_match) << "epoch " << report.epoch;
   }
 }
 
@@ -186,6 +187,8 @@ TEST(DynamicPlanner, AuditedChurnStaysValidAcrossFamilies) {
       EXPECT_TRUE(report.audit_valid)
           << family << " epoch " << report.epoch;
       EXPECT_TRUE(report.audit_tree_match)
+          << family << " epoch " << report.epoch;
+      EXPECT_TRUE(report.audit_store_match)
           << family << " epoch " << report.epoch;
       EXPECT_GT(report.rate, 0.0);
       EXPECT_EQ(report.num_links + 1, report.num_nodes);

@@ -88,13 +88,33 @@ TEST(LinkSet, Validation) {
   EXPECT_THROW(LinkSet(dup, {Link{0, 1}}), std::invalid_argument);  // zero len
 }
 
-TEST(LinkSet, SubsetKeepsGeometry) {
+TEST(LinkSet, SubsetKeepsGeometryAndCompactsPoints) {
   const auto ls = make_two_links();
   const std::vector<std::size_t> idx{1};
   const auto sub = ls.subset(idx);
   ASSERT_EQ(sub.size(), 1u);
   EXPECT_DOUBLE_EQ(sub.length(0), 2.0);
-  EXPECT_EQ(sub.num_points(), ls.num_points());
+  // The pointset is compacted to the referenced endpoints (O(|subset|)),
+  // and stable ids carry over from the parent.
+  EXPECT_EQ(sub.num_points(), 2u);
+  EXPECT_EQ(sub.sender_pos(0), ls.sender_pos(1));
+  EXPECT_EQ(sub.receiver_pos(0), ls.receiver_pos(1));
+  EXPECT_EQ(sub.id_of(0), ls.id_of(1));
+}
+
+TEST(LinkSet, IdentityIdsAndSubsetDistances) {
+  Pointset pts{{0, 0}, {1, 0}, {5, 0}, {5, 2}, {9, 9}};
+  const LinkSet ls(pts, {Link{0, 1}, Link{2, 3}, Link{3, 4}});
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    EXPECT_EQ(ls.id_of(i), static_cast<LinkId>(i));
+  }
+  const std::vector<std::size_t> idx{0, 1};
+  const auto sub = ls.subset(idx);
+  ASSERT_EQ(sub.size(), 2u);
+  // Pairwise metrics are preserved under point compaction.
+  EXPECT_DOUBLE_EQ(sub.link_distance(0, 1), ls.link_distance(0, 1));
+  EXPECT_DOUBLE_EQ(sub.sinr_distance(0, 1), ls.sinr_distance(0, 1));
+  EXPECT_DOUBLE_EQ(sub.sinr_distance(1, 0), ls.sinr_distance(1, 0));
 }
 
 TEST(LinkSet, OrderingsAreInverseAndDeterministic) {
