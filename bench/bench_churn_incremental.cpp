@@ -8,8 +8,12 @@
 
 #include "bench_common.h"
 
+#include <limits>
+
+#include "conflict/fgraph.h"
 #include "dynamic/dynamic_planner.h"
 #include "dynamic/mutation.h"
+#include "util/clock.h"
 
 namespace wagg {
 namespace {
@@ -17,10 +21,32 @@ namespace {
 struct SessionCost {
   double incremental_ms = 0.0;  ///< sum over epochs, audit excluded
   double full_ms = 0.0;         ///< sum of the audit's from-scratch replans
+  double conflict_ms = 0.0;     ///< conflict layer: index upkeep + queries
+  double conflict_maintain_ms = 0.0;
+  double conflict_query_ms = 0.0;
   std::size_t epochs = 0;
+  std::size_t dirty_links = 0;   ///< sum over epochs
   std::size_t full_replans = 0;  ///< epochs that hit the fallback
   bool all_valid = true;
 };
+
+/// Folds one epoch report into the running session cost (shared by the
+/// study tables and the smoke gate so both always measure the same
+/// quantities).
+void accumulate(SessionCost& cost, const dynamic::EpochReport& report) {
+  cost.incremental_ms += report.timings.incremental_ms();
+  cost.full_ms += report.audit_full_ms;
+  cost.conflict_ms += report.timings.conflict_ms;
+  cost.conflict_maintain_ms += report.timings.conflict_maintain_ms;
+  cost.conflict_query_ms += report.timings.conflict_query_ms;
+  cost.dirty_links += report.dirty_links;
+  cost.all_valid = cost.all_valid && report.valid &&
+                   (!report.audited ||
+                    (report.audit_valid && report.audit_tree_match &&
+                     report.audit_store_match && report.audit_index_match));
+  if (report.full_replan) ++cost.full_replans;
+  ++cost.epochs;
+}
 
 SessionCost run_session(const std::string& family, std::size_t n, double rate,
                         std::size_t epochs, bool audit) {
@@ -37,15 +63,7 @@ SessionCost run_session(const std::string& family, std::size_t n, double rate,
 
   SessionCost cost;
   for (const auto& epoch : trace) {
-    const auto report = planner.apply(epoch);
-    cost.incremental_ms += report.timings.incremental_ms();
-    cost.full_ms += report.audit_full_ms;
-    cost.all_valid = cost.all_valid && report.valid &&
-                     (!report.audited ||
-                      (report.audit_valid && report.audit_tree_match &&
-                       report.audit_store_match));
-    if (report.full_replan) ++cost.full_replans;
-    ++cost.epochs;
+    accumulate(cost, planner.apply(epoch));
   }
   return cost;
 }
@@ -58,7 +76,8 @@ void print_table() {
       "identical pointsets). Speedup should be large at low churn rates and\n"
       "decay gracefully as the dirty set grows.");
   util::Table t({"family", "n", "rate", "epochs", "incr ms/epoch",
-                 "full ms/epoch", "speedup", "fallbacks", "valid"});
+                 "cfl ms/epoch", "full ms/epoch", "speedup", "fallbacks",
+                 "valid"});
   for (const std::string family : {"uniform", "cluster", "noisygrid"}) {
     for (const std::size_t n : {256u, 1024u}) {
       for (const double rate : {0.01, 0.05, 0.2}) {
@@ -72,12 +91,46 @@ void print_table() {
             .cell(rate, 2)
             .cell(cost.epochs)
             .cell(incr, 3)
+            .cell(cost.conflict_ms / static_cast<double>(cost.epochs), 3)
             .cell(full, 3)
             .cell(incr > 0.0 ? full / incr : 0.0, 1)
             .cell(cost.full_replans)
             .cell(cost.all_valid ? "yes" : "NO");
       }
     }
+  }
+  t.print(std::cout);
+}
+
+/// The conflict-index acceptance configuration: unaudited large sessions at
+/// low churn, reporting the conflict layer's per-epoch cost split into
+/// persistent-index maintenance vs dirty-row queries. Before the index this
+/// column was an O(n) per-epoch grid rebuild plus un-pruned row queries
+/// (~8.5 ms/epoch at n=2048 / 1% churn); the standing grids cut it >= 2x.
+void print_conflict_scale_table() {
+  bench::print_header(
+      "E13: persistent conflict index at scale",
+      "Per-epoch conflict-layer cost (index maintenance + dirty-row\n"
+      "queries) under low churn. Maintenance rides the store's mutation\n"
+      "stream; queries touch only dirty rows, so neither column rebuilds\n"
+      "anything per epoch.");
+  util::Table t({"family", "n", "rate", "epochs", "dirty/epoch",
+                 "incr ms/epoch", "cfl ms/epoch", "maintain ms", "query ms",
+                 "valid"});
+  for (const std::size_t n : {1024u, 2048u}) {
+    const auto cost = run_session("uniform", n, 0.01, 8, false);
+    const auto epochs = static_cast<double>(cost.epochs);
+    t.row()
+        .cell("uniform")
+        .cell(n)
+        .cell(0.01, 2)
+        .cell(cost.epochs)
+        .cell(static_cast<double>(cost.dirty_links) / epochs, 1)
+        .cell(cost.incremental_ms / epochs, 3)
+        .cell(cost.conflict_ms / epochs, 3)
+        .cell(cost.conflict_maintain_ms / epochs, 3)
+        .cell(cost.conflict_query_ms / epochs, 3)
+        .cell(cost.all_valid ? "yes" : "NO");
   }
   t.print(std::cout);
 }
@@ -128,16 +181,69 @@ BENCHMARK(BM_FullReplanEpoch)->Arg(512)->Arg(2048)->Unit(
 /// margin. A regression that drags epoch cost back toward O(n) fails the
 /// job instead of landing silently; the threshold sits well below the
 /// current ~3x so scheduler noise on shared runners cannot flake it.
+///
+/// The session also gates the conflict layer: its per-epoch cost (index
+/// maintenance + dirty-row queries) must undercut a from-scratch
+/// conflict_neighbors_bucketed call answering the same average dirty set —
+/// the O(n) rebuild every pre-index epoch paid. Measuring the budget on the
+/// same machine in the same process keeps the gate hardware-relative, so a
+/// regression that quietly reintroduces per-epoch rebuild work fails CI
+/// without the flakiness of an absolute-milliseconds threshold.
 int run_smoke() {
   constexpr double kMinSpeedup = 1.4;
-  const auto cost = run_session("uniform", 512, 0.01, 8, /*audit=*/true);
-  const double incr = cost.incremental_ms / static_cast<double>(cost.epochs);
-  const double full = cost.full_ms / static_cast<double>(cost.epochs);
+  // A healthy index runs at ~0.5x the baseline on a quiet machine; a
+  // regression that reinstates the O(n) rebuild lands at >= 1.5x (rebuild
+  // plus queries). 0.9 splits the two with headroom for runner noise.
+  constexpr double kMaxConflictShare = 0.9;  ///< of the rebuild baseline
+  const std::size_t n = 512;
+  dynamic::ChurnParams params;
+  params.epochs = 8;
+  params.rate = 0.01;
+  const auto points = workload::make_family("uniform", n, 3);
+  const auto trace = dynamic::make_churn_trace(points, params, 17);
+
+  dynamic::DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.audit = true;
+  dynamic::DynamicPlanner planner(points, options);
+
+  SessionCost cost;
+  for (const auto& epoch : trace) {
+    accumulate(cost, planner.apply(epoch));
+  }
+  const auto epochs = static_cast<double>(cost.epochs);
+  const double incr = cost.incremental_ms / epochs;
+  const double full = cost.full_ms / epochs;
   const double speedup = incr > 0.0 ? full / incr : 0.0;
-  std::cout << "smoke: uniform n=512 rate=0.01 epochs=" << cost.epochs
+  const double conflict = cost.conflict_ms / epochs;
+
+  // Rebuild baseline: answer the session's average dirty set from scratch
+  // against the final snapshot (pays the per-call grid build the index
+  // avoids). Best of a few repetitions to shed scheduler noise.
+  const auto& links = planner.snapshot().links;
+  const auto spec = core::spec_for_mode(options.config);
+  std::vector<std::size_t> queries(
+      std::min(links.size(),
+               std::max<std::size_t>(
+                   1, cost.dirty_links / std::max<std::size_t>(1,
+                                                               cost.epochs))));
+  for (std::size_t i = 0; i < queries.size(); ++i) queries[i] = i;
+  double baseline = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto start = util::Clock::now();
+    const auto rows =
+        conflict::conflict_neighbors_bucketed(links, spec, queries);
+    benchmark::DoNotOptimize(rows.size());
+    baseline = std::min(baseline, util::ms_since(start));
+  }
+
+  std::cout << "smoke: uniform n=" << n << " rate=0.01 epochs=" << cost.epochs
             << " incr=" << incr << " ms/epoch full=" << full
             << " ms/epoch speedup=" << speedup
-            << "x fallbacks=" << cost.full_replans
+            << "x conflict=" << conflict << " ms/epoch ("
+            << cost.conflict_maintain_ms / epochs << " maintain / "
+            << cost.conflict_query_ms / epochs << " query, rebuild baseline "
+            << baseline << ") fallbacks=" << cost.full_replans
             << " valid=" << (cost.all_valid ? "yes" : "NO") << "\n";
   if (!cost.all_valid) {
     std::cout << "smoke FAILED: an epoch lost validity or audit "
@@ -152,6 +258,13 @@ int run_smoke() {
   if (speedup < kMinSpeedup) {
     std::cout << "smoke FAILED: incremental speedup " << speedup << "x < "
               << kMinSpeedup << "x floor\n";
+    return 1;
+  }
+  if (conflict > kMaxConflictShare * baseline) {
+    std::cout << "smoke FAILED: conflict layer " << conflict
+              << " ms/epoch exceeds " << kMaxConflictShare
+              << "x the from-scratch rebuild baseline (" << baseline
+              << " ms) — the index is no longer O(dirty)\n";
     return 1;
   }
   return 0;
@@ -179,6 +292,7 @@ int main(int argc, char** argv) {
     if (gate != 0) return gate;
   } else {
     wagg::print_table();
+    wagg::print_conflict_scale_table();
   }
   std::cout << "\n";
   benchmark::Initialize(&argc, argv);

@@ -63,6 +63,10 @@ void print_stage_table(const wagg::runtime::BatchStats& stats) {
   };
   add("tree", stats.tree);
   add("conflict", stats.conflict);
+  // Session batches split the conflict stage: persistent-index upkeep vs
+  // dirty-row queries (all-static batches leave both rows at zero).
+  add("  maintain", stats.conflict_maintain);
+  add("  query", stats.conflict_query);
   add("coloring", stats.coloring);
   add("repair", stats.repair);
   add("verify", stats.verify);

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> columns = {"epoch", "muts",  "nodes",
                                         "links", "dirty", "slots",
                                         "reused", "patched", "oracle",
-                                        "rate",  "incr ms"};
+                                        "rate",  "incr ms", "cfl ms"};
     if (options.audit) {
       columns.push_back("full ms");
       columns.push_back("ok");
@@ -78,11 +78,12 @@ int main(int argc, char** argv) {
           .cell(report.touched_slots)
           .cell(report.oracle_calls)
           .cell(report.rate, 4)
-          .cell(report.timings.incremental_ms(), 2);
+          .cell(report.timings.incremental_ms(), 2)
+          .cell(report.timings.conflict_ms, 2);
       if (options.audit) {
         row.cell(report.audit_full_ms, 2)
             .cell(report.audit_valid && report.audit_tree_match &&
-                          report.audit_store_match
+                          report.audit_store_match && report.audit_index_match
                       ? "yes"
                       : "NO");
       }
@@ -103,6 +104,8 @@ int main(int argc, char** argv) {
     add_row(planner.last_report());
     double incremental_ms = 0.0;
     double full_ms = 0.0;
+    double conflict_maintain_ms = 0.0;
+    double conflict_query_ms = 0.0;
     double power_ms = 0.0;
     std::size_t power_cached = 0;
     std::size_t power_computed = 0;
@@ -115,6 +118,8 @@ int main(int argc, char** argv) {
       add_row(report);
       incremental_ms += report.timings.incremental_ms();
       full_ms += report.audit_full_ms;
+      conflict_maintain_ms += report.timings.conflict_maintain_ms;
+      conflict_query_ms += report.timings.conflict_query_ms;
       power_ms += report.timings.power_ms;
       power_cached += report.power_slots_cached;
       power_computed += report.power_slots_computed;
@@ -122,7 +127,8 @@ int main(int argc, char** argv) {
       all_valid = all_valid && report.valid &&
                   (!report.audited || (report.audit_valid &&
                                        report.audit_tree_match &&
-                                       report.audit_store_match));
+                                       report.audit_store_match &&
+                                       report.audit_index_match));
     }
     if (args.has("csv")) {
       table.print_csv(std::cout);
@@ -142,6 +148,18 @@ int main(int argc, char** argv) {
                 << util::format_double(full_ms / incremental_ms, 1)
                 << "x speedup)";
     }
+    std::cout << ", conflict "
+              << util::format_double(
+                     (conflict_maintain_ms + conflict_query_ms) /
+                         static_cast<double>(epochs),
+                     2)
+              << " ms/epoch ("
+              << util::format_double(
+                     conflict_maintain_ms / static_cast<double>(epochs), 2)
+              << " maintain / "
+              << util::format_double(
+                     conflict_query_ms / static_cast<double>(epochs), 2)
+              << " query)";
     if (powers) {
       std::cout << ", powers "
                 << util::format_double(

@@ -1,0 +1,233 @@
+#include "conflict/conflict_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "util/clock.h"
+
+namespace wagg::conflict {
+
+namespace {
+
+/// Absolute length class: c such that length lies in [2^c, 2^(c+1)).
+[[nodiscard]] int class_of(double length) {
+  return static_cast<int>(std::floor(std::log2(length)));
+}
+
+}  // namespace
+
+ConflictIndex::Entry& ConflictIndex::checked(geom::LinkId id) {
+  if (!contains(id)) {
+    throw std::invalid_argument("ConflictIndex: unknown link id " +
+                                std::to_string(id));
+  }
+  return entries_[static_cast<std::size_t>(id)];
+}
+
+void ConflictIndex::grid_insert(const Entry& entry, geom::LinkId id) {
+  auto [it, inserted] = classes_.try_emplace(
+      entry.cls, std::exp2(static_cast<double>(entry.cls)), origin_x_,
+      origin_y_);
+  it->second.insert(entry.sender, id);
+  it->second.insert(entry.receiver, id);
+}
+
+void ConflictIndex::grid_erase(const Entry& entry, geom::LinkId id) {
+  const auto it = classes_.find(entry.cls);
+  if (it == classes_.end()) {
+    throw std::logic_error("ConflictIndex: class grid missing for live link");
+  }
+  it->second.erase(entry.sender, id);
+  it->second.erase(entry.receiver, id);
+  if (it->second.empty()) classes_.erase(it);
+}
+
+void ConflictIndex::add(geom::LinkId id, const geom::Point& sender,
+                        const geom::Point& receiver, double length) {
+  const auto start = util::Clock::now();
+  if (id < 0) {
+    throw std::invalid_argument("ConflictIndex::add: negative link id");
+  }
+  if (!(length > 0.0)) {
+    throw std::invalid_argument("ConflictIndex::add: length must be positive");
+  }
+  if (contains(id)) {
+    throw std::invalid_argument("ConflictIndex::add: id already present");
+  }
+  if (entries_.size() <= static_cast<std::size_t>(id)) {
+    entries_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  if (!have_origin_) {
+    origin_x_ = sender.x;
+    origin_y_ = sender.y;
+    have_origin_ = true;
+  }
+  auto& entry = entries_[static_cast<std::size_t>(id)];
+  entry = Entry{sender, receiver, length, class_of(length), true};
+  grid_insert(entry, id);
+  ++live_;
+  ++stats_.adds;
+  stats_.maintain_ms += util::ms_since(start);
+}
+
+void ConflictIndex::remove(geom::LinkId id) {
+  const auto start = util::Clock::now();
+  auto& entry = checked(id);
+  grid_erase(entry, id);
+  entry.live = false;
+  --live_;
+  ++stats_.removes;
+  stats_.maintain_ms += util::ms_since(start);
+}
+
+void ConflictIndex::update(geom::LinkId id, const geom::Point& sender,
+                          const geom::Point& receiver, double length) {
+  const auto start = util::Clock::now();
+  if (!(length > 0.0)) {
+    throw std::invalid_argument(
+        "ConflictIndex::update: length must be positive");
+  }
+  auto& entry = checked(id);
+  const int cls = class_of(length);
+  const bool moved =
+      entry.sender != sender || entry.receiver != receiver;
+  if (cls == entry.cls) {
+    // Lazy re-classing: the length stayed inside its power-of-two class, so
+    // only the endpoint cells can need refreshing.
+    if (moved) {
+      auto& grid = classes_.at(entry.cls);
+      grid.erase(entry.sender, id);
+      grid.erase(entry.receiver, id);
+      grid.insert(sender, id);
+      grid.insert(receiver, id);
+    }
+    entry.sender = sender;
+    entry.receiver = receiver;
+    entry.length = length;
+  } else {
+    grid_erase(entry, id);
+    entry = Entry{sender, receiver, length, cls, true};
+    grid_insert(entry, id);
+    ++stats_.reclasses;
+  }
+  ++stats_.updates;
+  stats_.maintain_ms += util::ms_since(start);
+}
+
+void ConflictIndex::clear() {
+  entries_.clear();
+  classes_.clear();
+  live_ = 0;
+}
+
+std::vector<std::vector<std::int32_t>> ConflictIndex::neighbors(
+    const geom::LinkView& links, const ConflictSpec& spec,
+    std::span<const std::size_t> queries) const {
+  spec.validate();
+  if (links.size() != live_) {
+    throw std::logic_error(
+        "ConflictIndex::neighbors: view holds " +
+        std::to_string(links.size()) + " links, index holds " +
+        std::to_string(live_) + " — not a snapshot of the mirrored store");
+  }
+  std::vector<std::vector<std::int32_t>> result(queries.size());
+  if (live_ < 2) return result;
+
+  // Dense index of a stable id: the snapshot's dense order is increasing id.
+  const auto link_ids = links.ids();
+  const auto dense_of = [&](geom::LinkId id) {
+    const auto it = std::lower_bound(link_ids.begin(), link_ids.end(), id);
+    if (it == link_ids.end() || *it != id) {
+      throw std::logic_error(
+          "ConflictIndex::neighbors: indexed link absent from the view");
+    }
+    return static_cast<std::int32_t>(it - link_ids.begin());
+  };
+
+  if (stamp_.size() < entries_.size()) stamp_.resize(entries_.size(), 0);
+  std::vector<geom::LinkId> candidates;
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    const std::size_t q = queries[k];
+    const double lq = links.length(q);
+    const geom::Point& qs = links.sender_pos(q);
+    const geom::Point& qr = links.receiver_pos(q);
+    const std::uint64_t serial = ++stamp_serial_;
+    auto& row = result[k];
+    for (const auto& [cs, grid] : classes_) {
+      // Two-sided bound, identical to conflict_neighbors_bucketed but with
+      // ABSOLUTE class bounds: partner j in class cs has
+      // class_lo <= l_j < class_hi, so conflict requires
+      //   d(q, j) <= lmin_pair * f(lmax_pair / lmin_pair)
+      // with lmin_pair <= min(lq, class_hi) and the ratio at most x_max;
+      // f non-decreasing makes the radius an over-approximation of every
+      // pair. Guard formula matches the one-shot builders exactly so
+      // threshold ties agree across all three.
+      const double class_lo = std::exp2(static_cast<double>(cs));
+      const double class_hi = 2.0 * class_lo;
+      const double x_max = std::max({1.0, lq / class_lo, class_hi / lq});
+      const double radius = std::min(lq, class_hi) * spec.f(x_max) +
+                            1e-12 * std::max(lq, class_hi);
+      // The exact-distance prune needs its own RELATIVE slack: for specs
+      // with large f the absolute 1e-12 * max(...) term can fall below one
+      // ulp of the radius product, and a threshold pair the exact predicate
+      // accepts (its comparison carries ~ulp rounding of its own) would be
+      // pruned. The cell-granularity collect is immune — it always has a
+      // full cell of slack — so only the squared threshold is inflated.
+      const double prune_radius = radius * (1.0 + 4e-12);
+      const double radius2 = prune_radius * prune_radius;
+      candidates.clear();
+      grid.collect(qs, qr, radius, candidates);
+      for (const geom::LinkId id : candidates) {
+        const auto slot = static_cast<std::size_t>(id);
+        if (stamp_[slot] == serial) continue;  // seen via the other endpoint
+        stamp_[slot] = serial;
+        // Cheap squared-distance prune before the exact predicate: the
+        // radius over-approximates every conflict distance for this class,
+        // so anything farther cannot conflict. Overflowing products land on
+        // +inf and the comparison keeps the pair (the exact predicate is
+        // overflow-safe), never drops it.
+        const Entry& entry = entries_[slot];
+        const double d2 =
+            std::min(std::min(geom::squared_distance(qs, entry.sender),
+                              geom::squared_distance(qs, entry.receiver)),
+                     std::min(geom::squared_distance(qr, entry.sender),
+                              geom::squared_distance(qr, entry.receiver)));
+        if (d2 > radius2) continue;
+        const auto j = static_cast<std::size_t>(dense_of(id));
+        if (spec.conflicting(links, q, j)) {
+          row.push_back(static_cast<std::int32_t>(j));
+        }
+      }
+    }
+    // Match the one-shot query's row order (sorted dense indices).
+    std::sort(row.begin(), row.end());
+  }
+  return result;
+}
+
+Graph ConflictIndex::build_graph(const geom::LinkView& links,
+                                 const ConflictSpec& spec) const {
+  Graph graph(links.size());
+  if (links.size() < 2) {
+    graph.finalize();
+    return graph;
+  }
+  std::vector<std::size_t> all(links.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto rows = neighbors(links, spec, all);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (const std::int32_t j : rows[i]) {
+      // Every edge surfaces from both endpoints; keep the i < j sighting.
+      if (static_cast<std::size_t>(j) > i) {
+        graph.add_edge(i, static_cast<std::size_t>(j));
+      }
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace wagg::conflict

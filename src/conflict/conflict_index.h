@@ -1,0 +1,136 @@
+#ifndef WAGG_CONFLICT_CONFLICT_INDEX_H
+#define WAGG_CONFLICT_CONFLICT_INDEX_H
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "conflict/class_grid.h"
+#include "conflict/fgraph.h"
+#include "geom/link_view.h"
+#include "geom/point.h"
+
+namespace wagg::conflict {
+
+/// Maintenance and shape counters of a ConflictIndex. maintain_ms is the
+/// accumulated wall clock of every add/remove/update since construction —
+/// callers diff it across an epoch to attribute index upkeep separately
+/// from query time.
+struct ConflictIndexStats {
+  std::size_t adds = 0;
+  std::size_t removes = 0;
+  std::size_t updates = 0;
+  /// Updates that moved a link to a different length class.
+  std::size_t reclasses = 0;
+  double maintain_ms = 0.0;
+};
+
+/// A persistent, mutation-aware version of the per-length-class bucket grids
+/// that build_conflict_graph_bucketed / conflict_neighbors_bucketed erect
+/// from scratch on every call. The index lives alongside a geom::LinkStore
+/// across epochs and is maintained under add / remove / update by stable
+/// LinkId, so a dynamic planner answers dirty-row conflict queries with ZERO
+/// per-epoch rebuild — O(dirty) queries against standing state instead of an
+/// O(n) grid construction.
+///
+/// Length classes are anchored to ABSOLUTE lengths: class c holds links with
+/// length in [2^c, 2^(c+1)), cell size 2^c. The one-shot builders anchor to
+/// the instance's min_length, which drifts under churn — an absolute anchor
+/// means a link is re-classed only when ITS OWN length crosses a power of
+/// two (lazy re-classing: update() moves it between grids just then), never
+/// because some other link shrank the global minimum. Query radii are
+/// computed from each class's actual absolute bounds, so the answers are
+/// identical to the from-scratch builders (property-tested; audit mode
+/// cross-checks every epoch).
+///
+/// The index stores endpoint positions by value: the owning planner feeds
+/// them in on every geometry change (LinkStore carries node ids, not
+/// positions). Queries take the per-epoch geom::LinkView snapshot of the
+/// same store — the view supplies the dense-index space of the answer rows
+/// and the exact-predicate geometry; the index supplies the candidates.
+class ConflictIndex {
+ public:
+  ConflictIndex() = default;
+
+  /// Inserts a live link. `id` must not already be present
+  /// (std::invalid_argument); length must be positive.
+  void add(geom::LinkId id, const geom::Point& sender,
+           const geom::Point& receiver, double length);
+
+  /// Drops a link. Throws std::invalid_argument on unknown ids.
+  void remove(geom::LinkId id);
+
+  /// Refreshes a link's endpoints/length after its geometry changed.
+  /// Re-classing happens lazily: the link moves to another grid only when
+  /// its length crossed a class boundary; an in-class move just re-buckets
+  /// the two endpoint cells (and a pure metadata change touches no cell).
+  void update(geom::LinkId id, const geom::Point& sender,
+              const geom::Point& receiver, double length);
+
+  /// Drops every link. Counters and accumulated stats survive.
+  void clear();
+
+  [[nodiscard]] bool contains(geom::LinkId id) const noexcept {
+    return id >= 0 && static_cast<std::size_t>(id) < entries_.size() &&
+           entries_[static_cast<std::size_t>(id)].live;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  /// Non-empty length classes currently held.
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return classes_.size();
+  }
+  [[nodiscard]] const ConflictIndexStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Conflict rows for a subset of dense link indices, computed against the
+  /// standing grids: result[k] holds the sorted dense indices conflicting
+  /// with queries[k] — byte-identical to conflict_neighbors_bucketed on the
+  /// same view, without its O(n) per-call grid build. `links` must be the
+  /// snapshot of the store this index mirrors (same live ids, increasing-id
+  /// dense order); a desynchronized view throws std::logic_error.
+  [[nodiscard]] std::vector<std::vector<std::int32_t>> neighbors(
+      const geom::LinkView& links, const ConflictSpec& spec,
+      std::span<const std::size_t> queries) const;
+
+  /// The full conflict graph G_f assembled from index queries (one row per
+  /// link) — equal to build_conflict_graph_bucketed on the same view. Used
+  /// by full-replan fallbacks that already pay for an index so even the
+  /// fallback skips the from-scratch grid construction.
+  [[nodiscard]] Graph build_graph(const geom::LinkView& links,
+                                  const ConflictSpec& spec) const;
+
+ private:
+  struct Entry {
+    geom::Point sender{};
+    geom::Point receiver{};
+    double length = 0.0;
+    int cls = 0;
+    bool live = false;
+  };
+
+  [[nodiscard]] Entry& checked(geom::LinkId id);
+  /// Inserts into (possibly creating) the class grid.
+  void grid_insert(const Entry& entry, geom::LinkId id);
+  /// Erases from the class grid, dropping the grid when it empties.
+  void grid_erase(const Entry& entry, geom::LinkId id);
+
+  std::vector<Entry> entries_;  ///< indexed by LinkId (ids never reused)
+  std::map<int, detail::ClassGrid<geom::LinkId>> classes_;
+  /// Query scratch (per-id visit stamps): logically const, reused across
+  /// neighbors() calls. One reason the index is not thread-safe.
+  mutable std::vector<std::uint64_t> stamp_;
+  mutable std::uint64_t stamp_serial_ = 0;
+  std::size_t live_ = 0;
+  /// Grid origin, captured from the first endpoint ever inserted to keep
+  /// cell coordinates small on far-from-zero instances.
+  bool have_origin_ = false;
+  double origin_x_ = 0.0;
+  double origin_y_ = 0.0;
+  ConflictIndexStats stats_;
+};
+
+}  // namespace wagg::conflict
+
+#endif  // WAGG_CONFLICT_CONFLICT_INDEX_H

@@ -3,28 +3,25 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
+
+#include "conflict/class_grid.h"
 
 namespace wagg::conflict {
 
-namespace {
-
-void validate(const ConflictSpec& spec) {
-  if (!(spec.gamma > 0.0)) {
+void ConflictSpec::validate() const {
+  if (!(gamma > 0.0)) {
     throw std::invalid_argument("ConflictSpec: gamma must be positive");
   }
-  if (spec.kind == ConflictSpec::Kind::kPowerLaw &&
-      !(spec.delta > 0.0 && spec.delta < 1.0)) {
+  if (kind == Kind::kPowerLaw && !(delta > 0.0 && delta < 1.0)) {
     throw std::invalid_argument("ConflictSpec: delta must lie in (0, 1)");
   }
-  if (spec.kind == ConflictSpec::Kind::kLogarithmic && !(spec.alpha > 2.0)) {
+  if (kind == Kind::kLogarithmic && !(alpha > 2.0)) {
     throw std::invalid_argument("ConflictSpec: alpha must exceed 2");
   }
 }
-
-}  // namespace
 
 double ConflictSpec::f(double x) const {
   if (x < 1.0) throw std::invalid_argument("ConflictSpec::f: x must be >= 1");
@@ -70,7 +67,7 @@ ConflictSpec ConflictSpec::constant(double gamma) {
   ConflictSpec spec;
   spec.kind = Kind::kConstant;
   spec.gamma = gamma;
-  validate(spec);
+  spec.validate();
   return spec;
 }
 
@@ -79,7 +76,7 @@ ConflictSpec ConflictSpec::power_law(double gamma, double delta) {
   spec.kind = Kind::kPowerLaw;
   spec.gamma = gamma;
   spec.delta = delta;
-  validate(spec);
+  spec.validate();
   return spec;
 }
 
@@ -88,13 +85,13 @@ ConflictSpec ConflictSpec::logarithmic(double gamma, double alpha) {
   spec.kind = Kind::kLogarithmic;
   spec.gamma = gamma;
   spec.alpha = alpha;
-  validate(spec);
+  spec.validate();
   return spec;
 }
 
 Graph build_conflict_graph(const geom::LinkView& links,
                            const ConflictSpec& spec) {
-  validate(spec);
+  spec.validate();
   Graph graph(links.size());
   for (std::size_t i = 0; i < links.size(); ++i) {
     for (std::size_t j = i + 1; j < links.size(); ++j) {
@@ -107,75 +104,13 @@ Graph build_conflict_graph(const geom::LinkView& links,
 
 namespace {
 
-/// Uniform grid over link endpoints of one length class.
-class ClassGrid {
- public:
-  ClassGrid(double cell, double origin_x, double origin_y)
-      : cell_(cell), origin_x_(origin_x), origin_y_(origin_y) {}
-
-  void insert(const geom::Point& p, std::int32_t link) {
-    cells_[key(p)].push_back(link);
-  }
-
-  /// Collects links with an endpoint within `radius` of p (over-approximate:
-  /// visits all cells intersecting the bounding square).
-  void query(const geom::Point& p, double radius,
-             std::vector<std::int32_t>& out) const {
-    const auto [cx, cy] = coords(p);
-    const auto reach = static_cast<std::int64_t>(radius / cell_) + 1;
-    for (std::int64_t dx = -reach; dx <= reach; ++dx) {
-      for (std::int64_t dy = -reach; dy <= reach; ++dy) {
-        const auto it = cells_.find(pack(cx + dx, cy + dy));
-        if (it == cells_.end()) continue;
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
-    }
-  }
-
-  /// Number of cells a query of this radius would visit.
-  [[nodiscard]] double query_cost(double radius) const {
-    const double reach = radius / cell_ + 1.0;
-    return (2.0 * reach + 1.0) * (2.0 * reach + 1.0);
-  }
-
-  /// Collects every link in the class (linear scan fallback).
-  void all(std::vector<std::int32_t>& out) const {
-    for (const auto& [key, bucket] : cells_) {
-      out.insert(out.end(), bucket.begin(), bucket.end());
-    }
-  }
-
-  [[nodiscard]] std::size_t size() const noexcept { return total_; }
-
-  void note_insert() { ++total_; }
-
- private:
-  [[nodiscard]] std::pair<std::int64_t, std::int64_t> coords(
-      const geom::Point& p) const {
-    return {static_cast<std::int64_t>(std::floor((p.x - origin_x_) / cell_)),
-            static_cast<std::int64_t>(std::floor((p.y - origin_y_) / cell_))};
-  }
-  [[nodiscard]] std::uint64_t key(const geom::Point& p) const {
-    const auto [cx, cy] = coords(p);
-    return pack(cx, cy);
-  }
-  static std::uint64_t pack(std::int64_t x, std::int64_t y) {
-    return (static_cast<std::uint64_t>(x) << 32) ^
-           static_cast<std::uint64_t>(y & 0xffffffffLL);
-  }
-
-  double cell_;
-  double origin_x_;
-  double origin_y_;
-  std::size_t total_ = 0;
-  std::unordered_map<std::uint64_t, std::vector<std::int32_t>> cells_;
-};
+using DenseGrid = detail::ClassGrid<std::int32_t>;
 
 }  // namespace
 
 Graph build_conflict_graph_bucketed(const geom::LinkView& links,
                                     const ConflictSpec& spec) {
-  validate(spec);
+  spec.validate();
   Graph graph(links.size());
   if (links.size() < 2) {
     graph.finalize();
@@ -195,7 +130,7 @@ Graph build_conflict_graph_bucketed(const geom::LinkView& links,
   // grid after querying all classes of shorter-or-equal links, so every
   // conflicting pair is examined exactly once from its longer side.
   const auto order = links.by_increasing_length();
-  std::unordered_map<int, ClassGrid> grids;
+  std::map<int, DenseGrid> grids;
   std::vector<std::int32_t> candidates;
   for (const std::size_t i : order) {
     const int ci = class_of(i);
@@ -209,11 +144,18 @@ Graph build_conflict_graph_bucketed(const geom::LinkView& links,
       const double class_lo = std::exp2(static_cast<double>(cs)) * lmin;
       const double class_hi = 2.0 * class_lo;
       const double x_max = std::max(1.0, li / class_lo);
+      // The 1e-12 * max(l_query, class_hi) term guards exact-boundary ties
+      // against rounding in the radius product. The SAME formula is used by
+      // conflict_neighbors_bucketed and ConflictIndex::neighbors, so a pair
+      // sitting exactly on the conflict threshold lands in the candidate set
+      // of all three (the exact predicate then decides membership
+      // identically) — with differing guards a tie could appear in the built
+      // graph but not in a queried row, or vice versa.
       const double radius = std::min(class_hi, li) * spec.f(x_max) +
-                            1e-12 * li;  // guard against exact-boundary ties
+                            1e-12 * std::max(li, class_hi);
       // Endpoint-to-endpoint distance bound; query around both endpoints.
       if (grid.query_cost(radius) >
-          static_cast<double>(grid.size()) + 64.0) {
+          static_cast<double>(grid.num_links()) + 64.0) {
         // Scanning the class linearly is cheaper than walking cells.
         grid.all(candidates);
       } else {
@@ -233,7 +175,6 @@ Graph build_conflict_graph_bucketed(const geom::LinkView& links,
         ci, std::exp2(static_cast<double>(ci)) * lmin, origin_x, origin_y);
     it->second.insert(links.sender_pos(i), static_cast<std::int32_t>(i));
     it->second.insert(links.receiver_pos(i), static_cast<std::int32_t>(i));
-    it->second.note_insert();
   }
   graph.finalize();
   return graph;
@@ -242,7 +183,7 @@ Graph build_conflict_graph_bucketed(const geom::LinkView& links,
 std::vector<std::vector<std::int32_t>> conflict_neighbors_bucketed(
     const geom::LinkView& links, const ConflictSpec& spec,
     std::span<const std::size_t> queries) {
-  validate(spec);
+  spec.validate();
   std::vector<std::vector<std::int32_t>> result(queries.size());
   if (links.size() < 2) return result;
   const double lmin = links.min_length();
@@ -255,14 +196,13 @@ std::vector<std::vector<std::int32_t>> conflict_neighbors_bucketed(
 
   // Index EVERY link (unlike the builder, a query must see both shorter and
   // longer partners).
-  std::unordered_map<int, ClassGrid> grids;
+  std::map<int, DenseGrid> grids;
   for (std::size_t i = 0; i < links.size(); ++i) {
     const int ci = class_of(i);
     auto [it, inserted] = grids.try_emplace(
         ci, std::exp2(static_cast<double>(ci)) * lmin, origin_x, origin_y);
     it->second.insert(links.sender_pos(i), static_cast<std::int32_t>(i));
     it->second.insert(links.receiver_pos(i), static_cast<std::int32_t>(i));
-    it->second.note_insert();
   }
 
   std::vector<std::int32_t> candidates;
@@ -281,10 +221,13 @@ std::vector<std::vector<std::int32_t>> conflict_neighbors_bucketed(
       const double class_hi = 2.0 * class_lo;
       const double x_max =
           std::max({1.0, lq / class_lo, class_hi / lq});
+      // Exact-boundary tie guard: identical formula to the builder's (and
+      // ConflictIndex's), so the three candidate sets agree on threshold
+      // pairs.
       const double radius =
           std::min(lq, class_hi) * spec.f(x_max) + 1e-12 * std::max(lq, class_hi);
       if (grid.query_cost(radius) >
-          static_cast<double>(grid.size()) + 64.0) {
+          static_cast<double>(grid.num_links()) + 64.0) {
         grid.all(candidates);
       } else {
         grid.query(links.sender_pos(q), radius, candidates);

@@ -27,6 +27,10 @@ struct ConflictSpec {
   /// The threshold function f(x); domain x >= 1.
   [[nodiscard]] double f(double x) const;
 
+  /// Throws std::invalid_argument unless the parameters are in range for
+  /// `kind` (positive gamma, delta in (0, 1), alpha > 2).
+  void validate() const;
+
   /// True iff links i and j of `links` conflict under this spec.
   [[nodiscard]] bool conflicting(const geom::LinkView& links, std::size_t i,
                                  std::size_t j) const;

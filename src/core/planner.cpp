@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "coloring/coloring.h"
+#include "conflict/conflict_index.h"
 #include "schedule/repair.h"
 #include "util/clock.h"
 
@@ -89,8 +90,8 @@ schedule::FeasibilityOracle oracle_for_mode(const geom::LinkView& links,
 
 LinkScheduleResult schedule_links(const geom::LinkView& links,
                                   const PlannerConfig& config,
-                                  StageTimings* timings,
-                                  const WarmStart* warm) {
+                                  StageTimings* timings, const WarmStart* warm,
+                                  const conflict::ConflictIndex* conflict_index) {
   config.validate();
   if (warm && warm->seed_colors.size() != links.size()) {
     throw std::invalid_argument(
@@ -102,7 +103,8 @@ LinkScheduleResult schedule_links(const geom::LinkView& links,
 
   auto stage_start = Clock::now();
   const conflict::Graph graph =
-      config.bucketed_conflict
+      conflict_index ? conflict_index->build_graph(links, result.spec)
+      : config.bucketed_conflict
           ? conflict::build_conflict_graph_bucketed(links, result.spec)
           : conflict::build_conflict_graph(links, result.spec);
   if (timings) timings->conflict_ms = ms_since(stage_start);

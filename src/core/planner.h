@@ -15,6 +15,10 @@
 #include "sinr/model.h"
 #include "sinr/power.h"
 
+namespace wagg::conflict {
+class ConflictIndex;
+}  // namespace wagg::conflict
+
 namespace wagg::core {
 
 /// Power-control regime (Sec 2 "Power Assignments").
@@ -124,11 +128,15 @@ struct WarmStart {
 /// for an arbitrary link set under the configured power mode. When `timings`
 /// is non-null the conflict/coloring/repair/verify stages are clocked into
 /// it. When `warm` is non-null (and sized to the links) the coloring is
-/// seeded from it instead of computed from scratch.
-[[nodiscard]] LinkScheduleResult schedule_links(const geom::LinkView& links,
-                                                const PlannerConfig& config,
-                                                StageTimings* timings = nullptr,
-                                                const WarmStart* warm = nullptr);
+/// seeded from it instead of computed from scratch. When `conflict_index` is
+/// non-null it must be the maintained index of the store `links` snapshots
+/// (dynamic::DynamicPlanner's), and the conflict graph is assembled from
+/// index queries instead of a from-scratch grid build — same graph, no O(n)
+/// construction.
+[[nodiscard]] LinkScheduleResult schedule_links(
+    const geom::LinkView& links, const PlannerConfig& config,
+    StageTimings* timings = nullptr, const WarmStart* warm = nullptr,
+    const conflict::ConflictIndex* conflict_index = nullptr);
 
 /// Full aggregation plan for a pointset.
 struct PlanResult {

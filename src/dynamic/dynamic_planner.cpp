@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
@@ -47,10 +48,36 @@ void DynamicOptions::validate() const {
   }
 }
 
+void DynamicPlanner::on_add(geom::LinkId id) {
+  conflict_index_.add(id, mst_.position(store_.sender(id)),
+                      mst_.position(store_.receiver(id)), store_.length(id));
+}
+
+void DynamicPlanner::on_remove(geom::LinkId id) { conflict_index_.remove(id); }
+
+void DynamicPlanner::on_flip(geom::LinkId id) {
+  // An orientation flip leaves the undirected endpoint pair — the conflict
+  // metric's only input — untouched; the index needs no update.
+  (void)id;
+}
+
+void DynamicPlanner::on_set_length(geom::LinkId id) {
+  conflict_index_.update(id, mst_.position(store_.sender(id)),
+                         mst_.position(store_.receiver(id)),
+                         store_.length(id));
+}
+
+void DynamicPlanner::on_touch(geom::LinkId id) {
+  // touch marks geometry context changes; the endpoints may have moved even
+  // when the cached length survived, so refresh the index cells.
+  on_set_length(id);
+}
+
 DynamicPlanner::DynamicPlanner(const geom::Pointset& initial,
                                DynamicOptions options)
     : options_(std::move(options)), mst_(initial) {
   options_.validate();
+  store_.set_listener(this);
   if (initial.size() < 2) {
     throw std::invalid_argument("DynamicPlanner: need >= 2 initial points");
   }
@@ -113,14 +140,16 @@ EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
       }
     }
   } catch (...) {
-    // Applied prefix stays applied (documented); the tree must still be
-    // consistent for the next epoch, which deferred updates postponed.
-    if (bulk) mst_.rebuild();
-    // The prefix's touched nodes are lost with this frame, so carried slot
-    // certificates can no longer tell clean links from moved ones, and the
-    // store's lengths may be stale. Drop everything: the next epoch
+    // Applied prefix stays applied (documented). The prefix's touched nodes
+    // are lost with this frame, so carried slot certificates can no longer
+    // tell clean links from moved ones, and the store's lengths may be
+    // stale. Drop everything FIRST — the carried state must be invalidated
+    // even if the recovery rebuild below throws too — so the next epoch
     // reconciles the store and replans (and re-verifies) from scratch.
     invalidate_carried_state();
+    // The tree must still be consistent for the next epoch, which deferred
+    // updates postponed.
+    if (bulk) mst_.rebuild();
     throw;
   }
   if (bulk) mst_.rebuild();
@@ -128,11 +157,15 @@ EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
 
   try {
     replan(touched, report);
+    if (options_.audit) run_audit(report);
   } catch (...) {
+    // replan may have mutated the store/index/plan partway (or run_audit
+    // died after the plan advanced); either way the carried validity chain
+    // is broken, so drop it before propagating — the next successful epoch
+    // re-anchors from scratch.
     invalidate_carried_state();
     throw;
   }
-  if (options_.audit) run_audit(report);
   report_ = report;
   return report;
 }
@@ -358,6 +391,20 @@ void DynamicPlanner::reconcile_full() {
       store_.set_length(uplink_[static_cast<std::size_t>(id)], len);
     }
   }
+
+  // Re-seed the conflict index from the reconciled truth. The listener kept
+  // it structurally in sync above, but a reconcile can follow a FAILED epoch
+  // whose touched-node list died with the exception frame — a node may have
+  // moved while its uplink length stayed bit-identical, in which case the
+  // set_length refresh above fires no event and the index would keep the
+  // endpoint's OLD position (wrong grid cell, wrong distance prune). This
+  // path is already O(n), so the rebuild is asymptotically free.
+  conflict_index_.clear();
+  for (const auto link : store_.live_ids()) {
+    conflict_index_.add(link, mst_.position(store_.sender(link)),
+                        mst_.position(store_.receiver(link)),
+                        store_.length(link));
+  }
 }
 
 void DynamicPlanner::refresh_touched(const std::vector<NodeId>& touched) {
@@ -382,6 +429,10 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
   const auto& config = options_.config;
 
   // ---- bring the id-space store in line with the maintained tree ----
+  // Conflict-index upkeep rides the store's listener hooks inside this
+  // stage; its accumulated-timer delta is carved out of mst_ms below so the
+  // conflict stage owns the full conflict-layer cost.
+  const double maintain_mark = conflict_index_.stats().maintain_ms;
   auto stage_start = Clock::now();
   const auto delta = mst_.take_delta();
   if (force_reconcile_ || delta.rebuilt) {
@@ -407,7 +458,11 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
   const auto sink_idx = static_cast<std::int32_t>(sink_it - ids.begin());
   geom::LinkSet links(store_.snapshot(points, node_index));
   const std::size_t n = links.size();
-  report.timings.mst_ms += ms_since(stage_start);
+  const double maintain_ms =
+      conflict_index_.stats().maintain_ms - maintain_mark;
+  report.timings.conflict_maintain_ms += maintain_ms;
+  report.timings.conflict_ms += maintain_ms;
+  report.timings.mst_ms += ms_since(stage_start) - maintain_ms;
 
   // ---- dirty detection via generation counters (no conflict graph
   // needed: the pairwise conflict relation of two geometrically unchanged
@@ -457,9 +512,10 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
       warm_ptr = &warm;
     }
     report.timings.recolor_ms += ms_since(stage_start);
-    auto scheduled =
-        core::schedule_links(links, config, &stage_timings, warm_ptr);
+    auto scheduled = core::schedule_links(links, config, &stage_timings,
+                                          warm_ptr, &conflict_index_);
     report.timings.conflict_ms += stage_timings.conflict_ms;
+    report.timings.conflict_query_ms += stage_timings.conflict_ms;
     report.timings.recolor_ms += stage_timings.coloring_ms;
     report.timings.repair_ms +=
         stage_timings.repair_ms + stage_timings.verify_ms;
@@ -470,8 +526,10 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     // ---- localized path ----
     // Conflict adjacency is needed only for the dirty links: the relation
     // between two unchanged links cannot change, and clean links keep their
-    // colors. The bucket-grid subset query makes this O(n) index work plus
-    // output-sensitive rows instead of a full graph rebuild.
+    // colors. The persistent index answers those rows against its standing
+    // per-class grids — output-sensitive queries with ZERO per-epoch
+    // rebuild (the O(n) grid construction the from-scratch subset query
+    // pays every call).
     stage_start = Clock::now();
     std::vector<std::size_t> dirty_indices;
     dirty_indices.reserve(dirty_count);
@@ -491,8 +549,10 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     }
     const auto spec = core::spec_for_mode(config);
     const auto neighbor_rows =
-        conflict::conflict_neighbors_bucketed(links, spec, dirty_indices);
-    report.timings.conflict_ms += ms_since(stage_start);
+        conflict_index_.neighbors(links, spec, dirty_indices);
+    const double query_ms = ms_since(stage_start);
+    report.timings.conflict_ms += query_ms;
+    report.timings.conflict_query_ms += query_ms;
 
     // Seeded recolor: surviving links keep their final slot (final slots
     // are independent sets, so the seed is proper); only dirty links are
@@ -713,6 +773,16 @@ void DynamicPlanner::run_audit(EpochReport& report) {
                   store_.length(link) == oriented.links.length(i);
   }
   report.audit_store_match = store_match;
+
+  // The maintained conflict index must answer every link's row exactly as a
+  // from-scratch bucket-grid query over the same snapshot — the standing
+  // grids never drift from the live geometry.
+  std::vector<std::size_t> all_links(current_.links.size());
+  std::iota(all_links.begin(), all_links.end(), std::size_t{0});
+  const auto spec = core::spec_for_mode(config);
+  report.audit_index_match =
+      conflict_index_.neighbors(current_.links, spec, all_links) ==
+      conflict::conflict_neighbors_bucketed(current_.links, spec, all_links);
 
   report.audited = true;
   report.timings.audit_ms = ms_since(audit_start);

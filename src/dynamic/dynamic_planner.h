@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "conflict/conflict_index.h"
 #include "core/planner.h"
 #include "dynamic/mutation.h"
 #include "geom/link_store.h"
@@ -35,7 +36,12 @@ struct DynamicOptions {
 /// materialization (slot_powers()), which runs only when a consumer asks.
 struct EpochTimings {
   double mst_ms = 0.0;      ///< incremental MST updates + orientation diffs
-  double conflict_ms = 0.0; ///< dirty-set conflict-row queries
+  /// Total conflict-layer cost: index maintenance + row queries. Split
+  /// below so an index-upkeep regression is visible separately from query
+  /// cost.
+  double conflict_ms = 0.0;
+  double conflict_maintain_ms = 0.0;  ///< ConflictIndex add/remove/update
+  double conflict_query_ms = 0.0;     ///< dirty-row queries / graph assembly
   double recolor_ms = 0.0;  ///< dirty detection + seeded recoloring
   double repair_ms = 0.0;   ///< slot carry-over + patch repair
   double power_ms = 0.0;    ///< on-demand per-slot power materialization
@@ -90,6 +96,9 @@ struct EpochReport {
   /// The diff-maintained LinkStore orientation equals a from-scratch
   /// re-orientation (same edges, same sink-ward direction, same lengths).
   bool audit_store_match = false;
+  /// The persistent ConflictIndex answers every link's conflict row exactly
+  /// as a from-scratch bucket-grid query over the same snapshot.
+  bool audit_index_match = false;
   std::size_t audit_full_slots = 0;  ///< schedule length of the full replan
   double audit_full_rate = 0.0;
   double audit_full_ms = 0.0;        ///< wall clock of the full replan
@@ -135,11 +144,19 @@ struct EpochReport {
 ///
 /// Not thread-safe; one session per thread (runtime::PlanService sessions
 /// wrap instances for service use).
-class DynamicPlanner {
+class DynamicPlanner : private geom::LinkStoreListener {
  public:
   /// Plans the initial epoch (a full replan). The pointset's indices become
   /// stable node ids 0..n-1; options.config.sink names the sink node.
   DynamicPlanner(const geom::Pointset& initial, DynamicOptions options);
+
+  // The planner registers itself as the store's mutation listener (the
+  // conflict index rides the mutation path); moving it would leave the
+  // store pointing at the old address.
+  DynamicPlanner(const DynamicPlanner&) = delete;
+  DynamicPlanner& operator=(const DynamicPlanner&) = delete;
+  DynamicPlanner(DynamicPlanner&&) = delete;
+  DynamicPlanner& operator=(DynamicPlanner&&) = delete;
 
   /// Applies one epoch: all mutations, then one incremental replan.
   /// Mutations referencing dead nodes, removing the sink, or shrinking the
@@ -175,6 +192,14 @@ class DynamicPlanner {
     return store_;
   }
 
+  /// The persistent conflict index maintained over the store's mutation
+  /// stream (the planner is the store's listener). Always mirrors the live
+  /// link set; epochs query dirty rows against it with zero rebuild.
+  [[nodiscard]] const conflict::ConflictIndex& conflict_index()
+      const noexcept {
+    return conflict_index_;
+  }
+
   /// The current plan, materialized with compact indices (ids[i] is the
   /// stable id of compact node i). Links and slots index into `links`;
   /// links.ids() exposes the stable link ids of the store.
@@ -200,6 +225,15 @@ class DynamicPlanner {
 
  private:
   static constexpr NodeId kNoParent = -2;  ///< broken / dead / unset
+
+  // ---- geom::LinkStoreListener (the store -> conflict-index bridge):
+  // every store mutation lands in the index with positions resolved through
+  // the maintained MST, so the index never needs a per-epoch rebuild. ----
+  void on_add(geom::LinkId id) override;
+  void on_remove(geom::LinkId id) override;
+  void on_flip(geom::LinkId id) override;
+  void on_set_length(geom::LinkId id) override;
+  void on_touch(geom::LinkId id) override;
 
   /// Replans after the MST is up to date. `touched` holds the node ids
   /// added or moved this epoch; geometry-dirty links are those incident to
@@ -235,6 +269,9 @@ class DynamicPlanner {
   /// The mutation-aware id-space link container (the tree's directed links,
   /// child -> parent).
   geom::LinkStore store_;
+  /// Persistent per-length-class conflict grids over the live links,
+  /// maintained through the store's listener hooks.
+  conflict::ConflictIndex conflict_index_;
   // ---- id-space orientation state, indexed by NodeId ----
   std::vector<NodeId> parent_;          ///< kNoParent dead/broken; -1 sink
   std::vector<geom::LinkId> uplink_;    ///< node's upward link, kNoLink none

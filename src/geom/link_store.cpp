@@ -42,6 +42,7 @@ LinkId LinkStore::add(std::int32_t sender, std::int32_t receiver,
   length_gen_.push_back(clock_);
   alive_.push_back(true);
   ++num_live_;
+  if (listener_) listener_->on_add(id);
   return id;
 }
 
@@ -51,12 +52,14 @@ void LinkStore::remove(LinkId id) {
   alive_[slot] = false;
   --num_live_;
   ++clock_;
+  if (listener_) listener_->on_remove(id);
 }
 
 void LinkStore::flip(LinkId id) {
   const auto slot = checked(id);
   std::swap(sender_[slot], receiver_[slot]);
   endpoint_gen_[slot] = ++clock_;
+  if (listener_) listener_->on_flip(id);
 }
 
 void LinkStore::set_length(LinkId id, double length) {
@@ -67,18 +70,22 @@ void LinkStore::set_length(LinkId id, double length) {
   if (length_[slot] == length) return;  // clean sweep must not dirty links
   length_[slot] = length;
   length_gen_[slot] = ++clock_;
+  if (listener_) listener_->on_set_length(id);
 }
 
 void LinkStore::touch(LinkId id) {
   const auto slot = checked(id);
   length_gen_[slot] = ++clock_;
+  if (listener_) listener_->on_touch(id);
 }
 
 void LinkStore::clear() {
   // Ids stay retired: columns keep their slots so future adds continue the
   // id sequence and stale ids remain detectably dead.
   for (std::size_t slot = 0; slot < alive_.size(); ++slot) {
+    if (!alive_[slot]) continue;
     alive_[slot] = false;
+    if (listener_) listener_->on_remove(static_cast<LinkId>(slot));
   }
   pair_index_.clear();
   num_live_ = 0;

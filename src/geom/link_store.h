@@ -11,6 +11,32 @@
 
 namespace wagg::geom {
 
+/// Observer of LinkStore mutations. Derived-data maintainers (e.g. the
+/// persistent conflict::ConflictIndex) attach one so every store mutation
+/// keeps them in sync without the mutating code knowing they exist.
+///
+/// Callbacks fire AFTER the store has updated its own state, exactly once
+/// per effective mutation:
+///   on_add         the id is live and its columns readable
+///   on_remove      the id is already dead — column accessors throw; read
+///                  what you need from your own mirror
+///   on_flip        sender/receiver swapped in place (the undirected
+///                  geometry is unchanged)
+///   on_set_length  the length column changed value (bit-identical
+///                  refreshes do not fire)
+///   on_touch       a geometry change the columns cannot express
+/// clear() fires on_remove for every live link. Listeners must not mutate
+/// the store from inside a callback.
+class LinkStoreListener {
+ public:
+  virtual ~LinkStoreListener() = default;
+  virtual void on_add(LinkId id) = 0;
+  virtual void on_remove(LinkId id) = 0;
+  virtual void on_flip(LinkId id) = 0;
+  virtual void on_set_length(LinkId id) = 0;
+  virtual void on_touch(LinkId id) = 0;
+};
+
 /// The canonical mutation-aware link container: a column store over stable
 /// 64-bit link ids that survive node insertion/removal/movement.
 ///
@@ -106,6 +132,15 @@ class LinkStore {
   /// the recorded value changed since.
   [[nodiscard]] std::uint64_t clock() const noexcept { return clock_; }
 
+  /// Attaches (or, with nullptr, detaches) the single mutation listener.
+  /// The listener must outlive the store or be detached first.
+  void set_listener(LinkStoreListener* listener) noexcept {
+    listener_ = listener;
+  }
+  [[nodiscard]] LinkStoreListener* listener() const noexcept {
+    return listener_;
+  }
+
   /// The live id of the undirected pair {a, b}, or kNoLink.
   [[nodiscard]] LinkId find_pair(std::int32_t a, std::int32_t b) const;
 
@@ -139,6 +174,7 @@ class LinkStore {
   std::unordered_map<std::uint64_t, LinkId> pair_index_;
   std::size_t num_live_ = 0;
   std::uint64_t clock_ = 0;
+  LinkStoreListener* listener_ = nullptr;
 };
 
 }  // namespace wagg::geom

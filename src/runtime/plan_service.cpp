@@ -92,6 +92,8 @@ void execute_session_request(const PlanRequest& request,
     // stages map onto their closest static counterparts, audit onto verify.
     outcome.timings.tree_ms += report.timings.mst_ms;
     outcome.timings.conflict_ms += report.timings.conflict_ms;
+    outcome.conflict_maintain_ms += report.timings.conflict_maintain_ms;
+    outcome.conflict_query_ms += report.timings.conflict_query_ms;
     outcome.timings.coloring_ms += report.timings.recolor_ms;
     outcome.timings.repair_ms += report.timings.repair_ms;
     outcome.timings.power_ms += report.timings.power_ms;
@@ -168,6 +170,7 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
   stats.wall_ms = wall_ms;
 
   util::Samples tree, conflict, coloring, repair, verify, power, queue, total;
+  util::Samples conflict_maintain, conflict_query;
   for (const auto& outcome : outcomes) {
     // Queue wait is a service property, not a planning property: failed
     // requests waited too, so they count.
@@ -176,6 +179,12 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
       ++stats.succeeded;
       tree.add(outcome.timings.tree_ms);
       conflict.add(outcome.timings.conflict_ms);
+      if (outcome.epochs > 0) {
+        // Only churn sessions maintain a conflict index; static plans would
+        // dilute the split with structural zeros.
+        conflict_maintain.add(outcome.conflict_maintain_ms);
+        conflict_query.add(outcome.conflict_query_ms);
+      }
       coloring.add(outcome.timings.coloring_ms);
       repair.add(outcome.timings.repair_ms);
       verify.add(outcome.timings.verify_ms);
@@ -187,6 +196,8 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
   }
   stats.tree = summarize_stage(tree);
   stats.conflict = summarize_stage(conflict);
+  stats.conflict_maintain = summarize_stage(conflict_maintain);
+  stats.conflict_query = summarize_stage(conflict_query);
   stats.coloring = summarize_stage(coloring);
   stats.repair = summarize_stage(repair);
   stats.verify = summarize_stage(verify);

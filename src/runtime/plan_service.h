@@ -66,6 +66,10 @@ struct PlanOutcome {
   std::size_t epochs = 0;        ///< epochs planned, incl. the initial plan
   std::size_t epochs_valid = 0;  ///< epochs whose plan was valid
   std::size_t full_replans = 0;  ///< mutation epochs that hit the fallback
+  /// Conflict-layer split across the session: persistent-index upkeep vs
+  /// dirty-row queries (their sum is timings.conflict_ms for sessions).
+  double conflict_maintain_ms = 0.0;
+  double conflict_query_ms = 0.0;
 
   core::StageTimings timings;
   double total_ms = 0.0;  ///< wall clock for the whole request
@@ -106,6 +110,11 @@ struct BatchStats {
   double plans_per_sec = 0.0;  ///< succeeded + failed, over wall_ms
   StageSummary tree;
   StageSummary conflict;
+  /// Session requests only: the conflict stage split into persistent-index
+  /// maintenance vs row queries (empty when the batch had no churn
+  /// sessions).
+  StageSummary conflict_maintain;
+  StageSummary conflict_query;
   StageSummary coloring;
   StageSummary repair;
   StageSummary verify;

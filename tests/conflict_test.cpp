@@ -1,16 +1,63 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numeric>
 
+#include "conflict/conflict_index.h"
 #include "conflict/fgraph.h"
 #include "conflict/graph.h"
+#include "geom/link_store.h"
 #include "geom/linkset.h"
 #include "instance/basic.h"
 #include "instance/lowerbound.h"
 #include "mst/tree.h"
+#include "util/rng.h"
 
 namespace wagg::conflict {
 namespace {
+
+/// A ConflictIndex mirroring `links` (identity ids 0..n-1), as the planner
+/// would have maintained it.
+ConflictIndex index_of(const geom::LinkView& links) {
+  ConflictIndex index;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    index.add(static_cast<geom::LinkId>(i), links.sender_pos(i),
+              links.receiver_pos(i), links.length(i));
+  }
+  return index;
+}
+
+/// Asserts that the brute-force O(n^2) graph, the bucketed builder, the
+/// one-shot subset query, and the persistent index all agree on every row.
+void expect_all_builders_agree(const geom::LinkView& links,
+                               const ConflictSpec& spec) {
+  const auto brute = build_conflict_graph(links, spec);
+  const auto bucketed = build_conflict_graph_bucketed(links, spec);
+  std::vector<std::size_t> all(links.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto rows = conflict_neighbors_bucketed(links, spec, all);
+  const auto index = index_of(links);
+  const auto index_rows = index.neighbors(links, spec, all);
+  const auto index_graph = index.build_graph(links, spec);
+
+  ASSERT_EQ(brute.num_vertices(), bucketed.num_vertices()) << spec.name();
+  EXPECT_EQ(brute.num_edges(), bucketed.num_edges()) << spec.name();
+  EXPECT_EQ(brute.num_edges(), index_graph.num_edges()) << spec.name();
+  for (std::size_t u = 0; u < links.size(); ++u) {
+    const auto expected = brute.neighbors(u);
+    ASSERT_EQ(rows[u].size(), expected.size())
+        << spec.name() << " query row " << u;
+    ASSERT_EQ(index_rows[u].size(), expected.size())
+        << spec.name() << " index row " << u;
+    for (std::size_t a = 0; a < expected.size(); ++a) {
+      EXPECT_EQ(rows[u][a], expected[a]) << spec.name() << " row " << u;
+      EXPECT_EQ(index_rows[u][a], expected[a])
+          << spec.name() << " index row " << u;
+      EXPECT_TRUE(bucketed.has_edge(u, static_cast<std::size_t>(expected[a])))
+          << spec.name();
+    }
+  }
+}
 
 TEST(Graph, EdgeBasics) {
   Graph g(4);
@@ -215,6 +262,227 @@ TEST(Builder, ExtremeScalesDoNotOverflow) {
     EXPECT_EQ(g.num_vertices(), tree.links.size());
     const auto gb = build_conflict_graph_bucketed(tree.links, spec);
     EXPECT_EQ(g.num_edges(), gb.num_edges()) << spec.name();
+  }
+}
+
+/// Regression for the exact-boundary tie guard: construct pairs whose
+/// distance equals the conflict threshold lmin * f(lmax / lmin) EXACTLY (in
+/// double arithmetic) and require graph membership to agree across the
+/// brute-force predicate, the bucketed builder, the subset query, and the
+/// persistent index. Before the guards were unified the builder padded its
+/// candidate radius with 1e-12 * l_longer while the query padded with
+/// 1e-12 * max(l_query, class_hi): a threshold pair could land in one
+/// candidate set but not the other, making the built graph disagree with
+/// the queried rows.
+TEST(Boundary, ExactThresholdPairsAgreeEverywhere) {
+  struct Case {
+    ConflictSpec spec;
+    geom::Pointset points;
+    std::vector<geom::Link> links;
+  };
+  const std::vector<Case> cases = {
+      // G_gamma, gamma = 1: unit links at horizontal distance exactly 1.
+      {ConflictSpec::constant(1.0),
+       {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {5, 0}, {5, 1}},
+       {{0, 1}, {2, 3}, {4, 5}}},
+      // Huge gamma: the conflict radius is ~1e6x the link scale, so any
+      // absolute tie slack vanishes below one ulp of the radius — the
+      // distance-pruned index path needs relative slack to keep the
+      // threshold pair.
+      {ConflictSpec::constant(1048576.0),
+       {{0, 0}, {0, 1}, {1048576, 0}, {1048576, 1}, {9000000, 0},
+        {9000000, 1}},
+       {{0, 1}, {2, 3}, {4, 5}}},
+      // G^delta, gamma = 1, delta = 0.5: lengths 1 and 4, threshold
+      // 1 * f(4) = sqrt(4) = 2, distance exactly 2.
+      {ConflictSpec::power_law(1.0, 0.5),
+       {{0, 0}, {0, 1}, {2, 0}, {2, 4}, {16, 0}, {16, 4}},
+       {{0, 1}, {2, 3}, {4, 5}}},
+      // G_log, gamma = 1, alpha = 4: f(x) = max(1, log2 x), lengths 1 and
+      // 4, threshold 1 * f(4) = 2, distance exactly 2.
+      {ConflictSpec::logarithmic(1.0, 4.0),
+       {{0, 0}, {0, 1}, {2, 0}, {2, 4}, {32, 0}, {32, 4}},
+       {{0, 1}, {2, 3}, {4, 5}}},
+  };
+  for (const auto& c : cases) {
+    const geom::LinkSet links(c.points, c.links);
+    // The constructed boundary pair must actually sit on the threshold.
+    ASSERT_TRUE(c.spec.conflicting(links, 0, 1)) << c.spec.name();
+    expect_all_builders_agree(links, c.spec);
+  }
+}
+
+/// Mirrors planner wiring: a LinkStore with an attached listener keeps a
+/// ConflictIndex in sync through adds, removes, endpoint moves (set_length +
+/// touch), and flips; after every step the index must answer every row
+/// exactly like a from-scratch bucketed query and the brute-force graph.
+class StoreIndexBridge final : public geom::LinkStoreListener {
+ public:
+  StoreIndexBridge(const geom::Pointset& points, const geom::LinkStore& store,
+                   ConflictIndex& index)
+      : points_(points), store_(store), index_(index) {}
+
+  void on_add(geom::LinkId id) override {
+    index_.add(id, points_[static_cast<std::size_t>(store_.sender(id))],
+               points_[static_cast<std::size_t>(store_.receiver(id))],
+               store_.length(id));
+  }
+  void on_remove(geom::LinkId id) override { index_.remove(id); }
+  void on_flip(geom::LinkId) override {}
+  void on_set_length(geom::LinkId id) override {
+    index_.update(id, points_[static_cast<std::size_t>(store_.sender(id))],
+                  points_[static_cast<std::size_t>(store_.receiver(id))],
+                  store_.length(id));
+  }
+  void on_touch(geom::LinkId id) override { on_set_length(id); }
+
+ private:
+  const geom::Pointset& points_;
+  const geom::LinkStore& store_;
+  ConflictIndex& index_;
+};
+
+TEST(ConflictIndex, RandomizedChurnMatchesFromScratch) {
+  util::Rng rng(2024);
+  geom::Pointset points;
+  for (int i = 0; i < 28; ++i) {
+    points.push_back({rng.uniform(0.0, 9.0), rng.uniform(0.0, 9.0)});
+  }
+  geom::LinkStore store;
+  ConflictIndex index;
+  StoreIndexBridge bridge(points, store, index);
+  store.set_listener(&bridge);
+
+  std::vector<std::int32_t> node_index(points.size());
+  std::iota(node_index.begin(), node_index.end(), 0);
+  const auto specs = {ConflictSpec::constant(2.0),
+                      ConflictSpec::power_law(1.0, 0.6),
+                      ConflictSpec::logarithmic(2.0, 3.0)};
+
+  const auto random_node = [&] {
+    return static_cast<std::int32_t>(rng.below(points.size()));
+  };
+  // Seed some links, then churn: add / remove / move with equal odds.
+  for (int step = 0; step < 120; ++step) {
+    const int op = step < 24 ? 0 : static_cast<int>(rng.below(3));
+    if (op == 0) {
+      const auto a = random_node();
+      const auto b = random_node();
+      if (a != b && store.find_pair(a, b) == geom::kNoLink) {
+        store.add(a, b,
+                  geom::distance(points[static_cast<std::size_t>(a)],
+                                 points[static_cast<std::size_t>(b)]));
+      }
+    } else if (op == 1 && store.num_live() > 4) {
+      const auto ids = store.live_ids();
+      store.remove(ids[rng.below(ids.size())]);
+    } else if (op == 2) {
+      // Move a node: refresh every incident link the way the planner does
+      // (length column + unconditional touch).
+      const auto v = random_node();
+      auto& p = points[static_cast<std::size_t>(v)];
+      p = {p.x + rng.normal() * 0.7, p.y + rng.normal() * 0.7};
+      for (const auto id : store.live_ids()) {
+        if (store.sender(id) != v && store.receiver(id) != v) continue;
+        store.set_length(
+            id, geom::distance(
+                    points[static_cast<std::size_t>(store.sender(id))],
+                    points[static_cast<std::size_t>(store.receiver(id))]));
+        store.touch(id);
+      }
+    }
+    if (step % 2 == 1 && rng.below(2) == 0 && store.num_live() > 0) {
+      // Orientation flips must be index no-ops.
+      const auto ids = store.live_ids();
+      store.flip(ids[rng.below(ids.size())]);
+    }
+
+    ASSERT_EQ(index.size(), store.num_live()) << "step " << step;
+    if (step % 4 != 3) continue;
+    const auto view = store.snapshot(points, node_index);
+    std::vector<std::size_t> all(view.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    for (const auto& spec : specs) {
+      const auto index_rows = index.neighbors(view, spec, all);
+      const auto scratch_rows = conflict_neighbors_bucketed(view, spec, all);
+      EXPECT_EQ(index_rows, scratch_rows)
+          << spec.name() << " step " << step;
+      const auto brute = build_conflict_graph(view, spec);
+      for (std::size_t u = 0; u < view.size(); ++u) {
+        const auto expected = brute.neighbors(u);
+        ASSERT_EQ(index_rows[u].size(), expected.size())
+            << spec.name() << " step " << step << " row " << u;
+        for (std::size_t a = 0; a < expected.size(); ++a) {
+          EXPECT_EQ(index_rows[u][a], expected[a])
+              << spec.name() << " step " << step << " row " << u;
+        }
+      }
+    }
+  }
+  store.set_listener(nullptr);
+}
+
+TEST(ConflictIndex, RejectsBadMutations) {
+  ConflictIndex index;
+  index.add(0, {0, 0}, {0, 1}, 1.0);
+  EXPECT_THROW(index.add(0, {1, 0}, {1, 1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(index.add(-1, {1, 0}, {1, 1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(index.add(1, {1, 0}, {1, 1}, 0.0), std::invalid_argument);
+  EXPECT_THROW(index.remove(7), std::invalid_argument);
+  EXPECT_THROW(index.update(7, {0, 0}, {0, 1}, 1.0), std::invalid_argument);
+  index.remove(0);
+  EXPECT_THROW(index.remove(0), std::invalid_argument);
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(ConflictIndex, LazyReclassOnlyWhenClassChanges) {
+  ConflictIndex index;
+  index.add(0, {0, 0}, {0, 1.5}, 1.5);   // class [1, 2)
+  index.add(1, {3, 0}, {3, 1.2}, 1.2);   // class [1, 2)
+  EXPECT_EQ(index.num_classes(), 1u);
+  EXPECT_EQ(index.stats().reclasses, 0u);
+  // In-class geometry refresh: no re-class.
+  index.update(0, {0, 0}, {0, 1.9}, 1.9);
+  EXPECT_EQ(index.stats().reclasses, 0u);
+  EXPECT_EQ(index.num_classes(), 1u);
+  // Crossing the power-of-two boundary moves the link to a new grid.
+  index.update(0, {0, 0}, {0, 2.5}, 2.5);
+  EXPECT_EQ(index.stats().reclasses, 1u);
+  EXPECT_EQ(index.num_classes(), 2u);
+  // Shrinking back empties and drops the [2, 4) grid.
+  index.update(0, {0, 0}, {0, 1.0}, 1.0);
+  EXPECT_EQ(index.stats().reclasses, 2u);
+  EXPECT_EQ(index.num_classes(), 1u);
+}
+
+/// Huge-extent instance: cell coordinates exceed 32 bits, where the old
+/// `(x << 32) ^ (y & 0xffffffff)` cell key silently aliased distant cells
+/// onto one bucket. Results must stay exact (aliasing only ever inflated
+/// candidate lists, so this doubles as a determinism check on the new
+/// full-width key mix).
+TEST(Builder, HugeExtentCoordinatesStayExact) {
+  geom::Pointset points;
+  std::vector<geom::Link> link_specs;
+  // Four far-separated clusters of two parallel unit links (cell size ~1 ->
+  // cluster offsets of 2^33 and 3 * 2^32 put cell coords far past 32 bits).
+  const double offsets[] = {0.0, 8589934592.0, 12884901888.0, 25769803776.0};
+  for (const double ox : offsets) {
+    const auto base = static_cast<std::int32_t>(points.size());
+    points.push_back({ox, 0.0});
+    points.push_back({ox, 1.0});
+    points.push_back({ox + 0.5, 0.0});
+    points.push_back({ox + 0.5, 1.0});
+    link_specs.push_back({base, base + 1});
+    link_specs.push_back({base + 2, base + 3});
+  }
+  const geom::LinkSet links(points, link_specs);
+  for (const auto& spec :
+       {ConflictSpec::constant(1.0), ConflictSpec::power_law(1.0, 0.5),
+        ConflictSpec::logarithmic(1.0, 3.0)}) {
+    expect_all_builders_agree(links, spec);
+    // Each cluster's pair conflicts; clusters are light-years apart.
+    const auto g = build_conflict_graph_bucketed(links, spec);
+    EXPECT_EQ(g.num_edges(), 4u) << spec.name();
   }
 }
 

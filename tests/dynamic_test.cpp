@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstddef>
+#include <numeric>
 #include <vector>
 
+#include "conflict/fgraph.h"
 #include "dynamic/dynamic_planner.h"
 #include "dynamic/mutation.h"
 #include "mst/incremental.h"
@@ -196,6 +198,155 @@ TEST(DynamicPlanner, AuditedChurnStaysValidAcrossFamilies) {
   }
 }
 
+/// Randomized equivalence harness for the persistent conflict index: across
+/// a churn trace, after EVERY epoch the index must answer every link's
+/// conflict row exactly like (a) a from-scratch bucketed subset query and
+/// (b) the brute-force O(n^2) conflict graph over the same snapshot.
+TEST(DynamicPlanner, ConflictIndexMatchesFromScratchEveryEpoch) {
+  for (const std::string family : {"uniform", "cluster", "expchain"}) {
+    const auto points = workload::make_family(family, 64, 31);
+    ChurnParams params;
+    params.epochs = 8;
+    params.rate = 0.08;
+    const auto trace = make_churn_trace(points, params, 77);
+
+    DynamicOptions options;
+    options.config = workload::mode_config(core::PowerMode::kGlobal);
+    DynamicPlanner planner(points, options);
+    const auto spec = core::spec_for_mode(options.config);
+
+    const auto check_epoch = [&](std::size_t epoch) {
+      const auto& links = planner.snapshot().links;
+      ASSERT_EQ(planner.conflict_index().size(), links.size())
+          << family << " epoch " << epoch;
+      std::vector<std::size_t> all(links.size());
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      const auto index_rows =
+          planner.conflict_index().neighbors(links, spec, all);
+      const auto scratch_rows = conflict::conflict_neighbors_bucketed(
+          links, spec, all);
+      EXPECT_EQ(index_rows, scratch_rows) << family << " epoch " << epoch;
+      const auto brute = conflict::build_conflict_graph(links, spec);
+      for (std::size_t u = 0; u < links.size(); ++u) {
+        const auto expected = brute.neighbors(u);
+        ASSERT_EQ(index_rows[u].size(), expected.size())
+            << family << " epoch " << epoch << " row " << u;
+        for (std::size_t a = 0; a < expected.size(); ++a) {
+          EXPECT_EQ(index_rows[u][a], expected[a])
+              << family << " epoch " << epoch << " row " << u;
+        }
+      }
+    };
+    check_epoch(0);
+    for (const auto& epoch : trace) {
+      (void)planner.apply(epoch);
+      check_epoch(planner.epoch());
+    }
+  }
+}
+
+TEST(DynamicPlanner, AuditChecksConflictIndex) {
+  const auto points = workload::make_family("uniform", 48, 9);
+  ChurnParams params;
+  params.epochs = 4;
+  params.rate = 0.1;
+  const auto trace = make_churn_trace(points, params, 21);
+
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.audit = true;
+  DynamicPlanner planner(points, options);
+  EXPECT_TRUE(planner.last_report().audit_index_match);
+  for (const auto& epoch : trace) {
+    const auto report = planner.apply(epoch);
+    EXPECT_TRUE(report.audit_index_match) << "epoch " << report.epoch;
+  }
+}
+
+/// The documented apply() contract: a throwing mutation mid-batch leaves
+/// the plan on the previous epoch, and the next successful epoch replans
+/// (and re-verifies) from scratch — including after partially applied
+/// prefixes on both the per-mutation and the bulk path.
+TEST(DynamicPlanner, BadMutationMidBatchThenGoodEpochRecovers) {
+  const auto points = workload::make_family("uniform", 40, 13);
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.audit = true;
+  DynamicPlanner planner(points, options);
+  const auto epoch_before = planner.epoch();
+  const auto slots_before = planner.snapshot().schedule.length();
+
+  // Per-mutation path: good prefix, then a dead-node removal.
+  std::vector<Mutation> batch;
+  batch.push_back({Mutation::Kind::kAdd, -1, {1.5, 2.5}});
+  batch.push_back({Mutation::Kind::kRemove, 7, {}});
+  batch.push_back({Mutation::Kind::kRemove, 7, {}});  // 7 is dead now
+  batch.push_back({Mutation::Kind::kAdd, -1, {2.5, 1.5}});
+  EXPECT_THROW((void)planner.apply(batch), std::invalid_argument);
+  EXPECT_EQ(planner.epoch(), epoch_before);  // plan stayed on the old epoch
+  EXPECT_EQ(planner.snapshot().schedule.length(), slots_before);
+
+  // Next good epoch must re-anchor from scratch and stay audit-clean.
+  const auto report =
+      planner.apply(Mutation{Mutation::Kind::kAdd, -1, {3.0, 3.0}});
+  EXPECT_TRUE(report.full_replan);  // carried state was invalidated
+  EXPECT_TRUE(report.valid);
+  EXPECT_TRUE(report.audit_valid);
+  EXPECT_TRUE(report.audit_tree_match);
+  EXPECT_TRUE(report.audit_store_match);
+  EXPECT_TRUE(report.audit_index_match);
+
+  // Bulk path: enough mutations to defer tree updates, with a bad one in
+  // the middle; the catch must rebuild the tree AND invalidate carry-over.
+  std::vector<Mutation> bulk;
+  for (int i = 0; i < 6; ++i) {
+    bulk.push_back({Mutation::Kind::kAdd, -1, {4.0 + 0.1 * i, 4.0}});
+  }
+  bulk.push_back({Mutation::Kind::kRemove, 0, {}});  // the sink
+  for (int i = 0; i < 6; ++i) {
+    bulk.push_back({Mutation::Kind::kAdd, -1, {5.0 + 0.1 * i, 5.0}});
+  }
+  EXPECT_THROW((void)planner.apply(bulk), std::invalid_argument);
+  const auto after_bulk =
+      planner.apply(Mutation{Mutation::Kind::kMove, 3, {0.5, 0.5}});
+  EXPECT_TRUE(after_bulk.full_replan);
+  EXPECT_TRUE(after_bulk.valid);
+  EXPECT_TRUE(after_bulk.audit_valid);
+  EXPECT_TRUE(after_bulk.audit_tree_match);
+  EXPECT_TRUE(after_bulk.audit_store_match);
+  EXPECT_TRUE(after_bulk.audit_index_match);
+}
+
+/// Regression: a FAILED epoch loses its touched-node list, and the recovery
+/// reconcile refreshes store lengths with set_length — which fires no event
+/// when the value is bit-identical. A node that rotated around its tree
+/// parent (length unchanged, position changed) would leave the conflict
+/// index holding its OLD endpoint position unless the reconcile re-seeds
+/// the index from scratch.
+TEST(DynamicPlanner, FailedEpochWithLengthPreservingMoveResyncsIndex) {
+  // Node 1 sits at distance exactly 5 from the sink; (5,0) -> (3,4) keeps
+  // hypot == 5.0 bit-for-bit. Nodes 2 and 3 form a second tree edge whose
+  // conflict relation to link 0-1 depends on node 1's actual position.
+  const geom::Pointset points = {{0, 0}, {5, 0}, {3, 12}, {3, 17}};
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.audit = true;
+  DynamicPlanner planner(points, options);
+
+  std::vector<Mutation> batch;
+  batch.push_back({Mutation::Kind::kMove, 1, {3, 4}});
+  batch.push_back({Mutation::Kind::kRemove, 42, {}});  // unknown node
+  EXPECT_THROW((void)planner.apply(batch), std::invalid_argument);
+
+  // The move stayed applied (documented prefix semantics); the next good
+  // epoch must see node 1 at (3, 4) in the conflict index too.
+  const auto report =
+      planner.apply(Mutation{Mutation::Kind::kAdd, -1, {20.0, 0.0}});
+  EXPECT_TRUE(report.valid);
+  EXPECT_TRUE(report.audit_valid);
+  EXPECT_TRUE(report.audit_index_match);
+}
+
 TEST(DynamicPlanner, FixedPowerModeStaysValid) {
   const auto points = workload::make_family("uniform", 60, 4);
   ChurnParams params;
@@ -345,6 +496,12 @@ TEST(PlanServiceSessions, ChurnRequestsRunThroughBatches) {
     EXPECT_EQ(outcome.epochs_valid, 5u) << outcome.tags;
     EXPECT_TRUE(outcome.verified);
     EXPECT_GT(outcome.rate, 0.0);
+    // Sessions split the conflict stage exactly into index maintenance +
+    // row queries.
+    EXPECT_NEAR(outcome.timings.conflict_ms,
+                outcome.conflict_maintain_ms + outcome.conflict_query_ms,
+                1e-9);
+    EXPECT_GT(outcome.conflict_maintain_ms, 0.0);
   }
 
   // Same digests at any worker count (sessions are deterministic).

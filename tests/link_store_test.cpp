@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dynamic/dynamic_planner.h"
@@ -59,6 +60,51 @@ TEST(LinkStore, IdStabilityAndGenerations) {
   EXPECT_THROW(store.add(2, 1, 1.0), std::invalid_argument);  // live pair
   EXPECT_THROW(store.add(3, 3, 1.0), std::invalid_argument);  // self loop
   EXPECT_THROW(store.add(4, 5, 0.0), std::invalid_argument);  // zero length
+}
+
+/// Records every listener callback as "<event>:<id>" for order-sensitive
+/// assertions.
+class RecordingListener final : public geom::LinkStoreListener {
+ public:
+  void on_add(geom::LinkId id) override { log("add", id); }
+  void on_remove(geom::LinkId id) override { log("remove", id); }
+  void on_flip(geom::LinkId id) override { log("flip", id); }
+  void on_set_length(geom::LinkId id) override { log("set_length", id); }
+  void on_touch(geom::LinkId id) override { log("touch", id); }
+
+  std::vector<std::string> events;
+
+ private:
+  void log(const char* what, geom::LinkId id) {
+    events.push_back(std::string(what) + ":" + std::to_string(id));
+  }
+};
+
+TEST(LinkStore, ListenerSeesEveryEffectiveMutation) {
+  geom::LinkStore store;
+  RecordingListener listener;
+  store.set_listener(&listener);
+
+  const auto a = store.add(0, 1, 1.0);
+  const auto b = store.add(1, 2, 2.0);
+  store.flip(a);
+  store.set_length(b, 2.0);  // bit-identical: must NOT fire
+  store.set_length(b, 2.5);
+  store.touch(a);
+  store.remove(a);
+  const std::vector<std::string> expected = {
+      "add:0", "add:1", "flip:0", "set_length:1", "touch:0", "remove:0"};
+  EXPECT_EQ(listener.events, expected);
+
+  // clear() notifies the removal of every still-live link.
+  listener.events.clear();
+  store.clear();
+  EXPECT_EQ(listener.events, std::vector<std::string>{"remove:1"});
+
+  // Detached listeners hear nothing.
+  store.set_listener(nullptr);
+  (void)store.add(3, 4, 1.0);
+  EXPECT_EQ(listener.events, std::vector<std::string>{"remove:1"});
 }
 
 TEST(LinkStore, SnapshotIsDenseIdOrderedAndFacadeAdoptsIt) {
