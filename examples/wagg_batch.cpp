@@ -62,6 +62,10 @@ void print_stage_table(const wagg::runtime::BatchStats& stats) {
     table.row().cell(name).cell(s.p50).cell(s.p95).cell(s.mean).cell(s.max);
   };
   add("tree", stats.tree);
+  // Session batches split the tree stage: dynamic-tree MST updates vs
+  // orientation-diff replay (all-static batches leave both rows at zero).
+  add("  mst-update", stats.mst_update);
+  add("  orient", stats.orient);
   add("conflict", stats.conflict);
   // Session batches split the conflict stage: persistent-index upkeep vs
   // dirty-row queries (all-static batches leave both rows at zero).

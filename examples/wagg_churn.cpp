@@ -6,6 +6,8 @@
 //   ./wagg_churn --family=cluster --n=512 --epochs=30 --rate=0.05
 //   ./wagg_churn --mode=uniform --audit             # cross-check each epoch
 //   ./wagg_churn --powers                           # materialize slot powers
+//   ./wagg_churn --grow=0.02                        # net growth schedule
+//   ./wagg_churn --shrink=0.02                      # net shrink schedule
 //   ./wagg_churn --full-frac=0.1 --seed=7 --csv
 //
 // Per epoch the driver prints the mutation count, the dirty-link set, how
@@ -35,6 +37,8 @@ int main(int argc, char** argv) {
     dynamic::ChurnParams params;
     params.epochs = epochs;
     params.rate = rate;
+    params.grow_rate = args.get_double("grow", 0.0);
+    params.shrink_rate = args.get_double("shrink", 0.0);
     params.hotspot_fraction = args.get_double("hotspot", 0.0);
     params.hotspot_radius = args.get_double("hradius", 0.0);
     params.waypoint_speed = args.get_double("speed", 0.0);
@@ -59,7 +63,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> columns = {"epoch", "muts",  "nodes",
                                         "links", "dirty", "slots",
                                         "reused", "patched", "oracle",
-                                        "rate",  "incr ms", "cfl ms"};
+                                        "rate",  "incr ms", "mst ms",
+                                        "cfl ms"};
     if (options.audit) {
       columns.push_back("full ms");
       columns.push_back("ok");
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
           .cell(report.oracle_calls)
           .cell(report.rate, 4)
           .cell(report.timings.incremental_ms(), 2)
+          .cell(report.timings.mst_ms(), 2)
           .cell(report.timings.conflict_ms, 2);
       if (options.audit) {
         row.cell(report.audit_full_ms, 2)
@@ -104,6 +110,8 @@ int main(int argc, char** argv) {
     add_row(planner.last_report());
     double incremental_ms = 0.0;
     double full_ms = 0.0;
+    double mst_update_ms = 0.0;
+    double orient_ms = 0.0;
     double conflict_maintain_ms = 0.0;
     double conflict_query_ms = 0.0;
     double power_ms = 0.0;
@@ -118,6 +126,8 @@ int main(int argc, char** argv) {
       add_row(report);
       incremental_ms += report.timings.incremental_ms();
       full_ms += report.audit_full_ms;
+      mst_update_ms += report.timings.mst_update_ms;
+      orient_ms += report.timings.orient_ms;
       conflict_maintain_ms += report.timings.conflict_maintain_ms;
       conflict_query_ms += report.timings.conflict_query_ms;
       power_ms += report.timings.power_ms;
@@ -148,6 +158,17 @@ int main(int argc, char** argv) {
                 << util::format_double(full_ms / incremental_ms, 1)
                 << "x speedup)";
     }
+    std::cout << ", mst "
+              << util::format_double(
+                     (mst_update_ms + orient_ms) / static_cast<double>(epochs),
+                     2)
+              << " ms/epoch ("
+              << util::format_double(
+                     mst_update_ms / static_cast<double>(epochs), 2)
+              << " update / "
+              << util::format_double(
+                     orient_ms / static_cast<double>(epochs), 2)
+              << " orient)";
     std::cout << ", conflict "
               << util::format_double(
                      (conflict_maintain_ms + conflict_query_ms) /

@@ -100,11 +100,14 @@ EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
   report.mutations_applied = mutations.size();
 
   const auto mst_start = Clock::now();
-  // Past ~n/16 mutations one batch Prim beats per-mutation maintenance
-  // (per-update cost is ~n log n against a single n^2/2 rebuild), so bulk
-  // epochs defer tree updates and rebuild once.
+  // Past ~n/8 mutations one batch Prim beats per-mutation maintenance, so
+  // bulk epochs defer tree updates and rebuild once. The threshold rose
+  // with the dynamic-tree engine: per-update cost is now polylog plus the
+  // occasional component walk, so localized patching stays ahead of the
+  // n^2/2 rebuild for much denser mutation batches than the merge-Kruskal
+  // engine could absorb.
   const bool bulk =
-      mutations.size() >= std::max<std::size_t>(8, mst_.num_alive() / 16);
+      mutations.size() >= std::max<std::size_t>(8, mst_.num_alive() / 8);
   std::vector<NodeId> touched;
   touched.reserve(mutations.size());
   try {
@@ -147,13 +150,15 @@ EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
     // even if the recovery rebuild below throws too — so the next epoch
     // reconciles the store and replans (and re-verifies) from scratch.
     invalidate_carried_state();
-    // The tree must still be consistent for the next epoch, which deferred
-    // updates postponed.
-    if (bulk) mst_.rebuild();
+    // The tree must still be consistent for the next epoch: bulk epochs
+    // postponed their updates entirely, and even a per-mutation update can
+    // die partway through its in-place dtree/adjacency/grid edits — so
+    // rebuild unconditionally (error path; the O(n^2) Prim is immaterial).
+    mst_.rebuild();
     throw;
   }
   if (bulk) mst_.rebuild();
-  report.timings.mst_ms = ms_since(mst_start);
+  report.timings.mst_update_ms = ms_since(mst_start);
 
   try {
     replan(touched, report);
@@ -430,8 +435,8 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
 
   // ---- bring the id-space store in line with the maintained tree ----
   // Conflict-index upkeep rides the store's listener hooks inside this
-  // stage; its accumulated-timer delta is carved out of mst_ms below so the
-  // conflict stage owns the full conflict-layer cost.
+  // stage; its accumulated-timer delta is carved out of orient_ms below so
+  // the conflict stage owns the full conflict-layer cost.
   const double maintain_mark = conflict_index_.stats().maintain_ms;
   auto stage_start = Clock::now();
   const auto delta = mst_.take_delta();
@@ -462,7 +467,7 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
       conflict_index_.stats().maintain_ms - maintain_mark;
   report.timings.conflict_maintain_ms += maintain_ms;
   report.timings.conflict_ms += maintain_ms;
-  report.timings.mst_ms += ms_since(stage_start) - maintain_ms;
+  report.timings.orient_ms += ms_since(stage_start) - maintain_ms;
 
   // ---- dirty detection via generation counters (no conflict graph
   // needed: the pairwise conflict relation of two geometrically unchanged

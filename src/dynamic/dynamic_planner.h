@@ -35,7 +35,15 @@ struct DynamicOptions {
 /// of the incremental engine. power_ms covers on-demand slot-power
 /// materialization (slot_powers()), which runs only when a consumer asks.
 struct EpochTimings {
-  double mst_ms = 0.0;      ///< incremental MST updates + orientation diffs
+  /// Tree-layer cost, split so a dynamic-tree regression is visible
+  /// separately from orientation-replay cost:
+  ///   mst_update_ms — IncrementalMst point updates (dynamic-tree
+  ///                   link/cut/path_max work, grid upkeep, bulk rebuilds);
+  ///   orient_ms     — replaying the journaled edge diff onto the
+  ///                   LinkStore (rehang flips, length refreshes) plus the
+  ///                   dense per-epoch snapshot build.
+  double mst_update_ms = 0.0;
+  double orient_ms = 0.0;
   /// Total conflict-layer cost: index maintenance + row queries. Split
   /// below so an index-upkeep regression is visible separately from query
   /// cost.
@@ -47,8 +55,12 @@ struct EpochTimings {
   double power_ms = 0.0;    ///< on-demand per-slot power materialization
   double audit_ms = 0.0;    ///< audit-mode full replan + full verification
 
+  /// The whole MST component of the epoch (tree updates + orientation).
+  [[nodiscard]] double mst_ms() const noexcept {
+    return mst_update_ms + orient_ms;
+  }
   [[nodiscard]] double incremental_ms() const noexcept {
-    return mst_ms + conflict_ms + recolor_ms + repair_ms;
+    return mst_ms() + conflict_ms + recolor_ms + repair_ms;
   }
 };
 

@@ -47,6 +47,10 @@ void ChurnParams::validate() const {
     throw std::invalid_argument(
         "ChurnParams: drift_sigma must be >= 0 (0 selects the auto default)");
   }
+  if (grow_rate < 0.0 || shrink_rate < 0.0) {
+    throw std::invalid_argument(
+        "ChurnParams: grow/shrink rates must be >= 0");
+  }
   if (min_nodes < 2) {
     throw std::invalid_argument("ChurnParams: min_nodes must be >= 2");
   }
@@ -122,6 +126,67 @@ ChurnTrace make_churn_trace(const geom::Pointset& initial,
                min_y == max_y ? min_y : rng.uniform(min_y, max_y)};
   }
 
+  // Event constructors shared by the mixed rate-driven draws and the
+  // grow/shrink tails, so both produce identical distributions (and the
+  // legacy stream stays byte-identical when grow/shrink are off).
+  const auto make_add = [&](bool in_hotspot) {
+    Mutation mutation;
+    mutation.kind = Mutation::Kind::kAdd;
+    if (in_hotspot) {
+      // Uniform in the hotspot disk (rejection-free: polar with
+      // sqrt-radius), clamped to the instance bounding box.
+      const double angle = rng.uniform(0.0, 6.283185307179586);
+      const double r = hotspot_radius * std::sqrt(rng.uniform());
+      mutation.position = {
+          std::clamp(hotspot.x + r * std::cos(angle), min_x, max_x),
+          min_y == max_y
+              ? min_y
+              : std::clamp(hotspot.y + r * std::sin(angle), min_y, max_y)};
+    } else {
+      mutation.position = {rng.uniform(min_x, max_x),
+                           min_y == max_y ? min_y
+                                          : rng.uniform(min_y, max_y)};
+    }
+    mutation.node = static_cast<NodeId>(position.size());
+    position.push_back(mutation.position);
+    alive.push_back(mutation.node);
+    waypoint.push_back({kNoWaypoint, 0.0});
+    return mutation;
+  };
+  const auto make_remove = [&](bool in_hotspot) {
+    Mutation mutation;
+    mutation.kind = Mutation::Kind::kRemove;
+    std::size_t slot;
+    if (in_hotspot) {
+      // The victim nearest the hotspot center (sink excepted) — a
+      // depletion front, the failure mode hotspot churn models.
+      slot = alive.size();
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < alive.size(); ++s) {
+        if (alive[s] == sink) continue;
+        const double d2 = geom::squared_distance(
+            position[static_cast<std::size_t>(alive[s])], hotspot);
+        if (d2 < best) {
+          best = d2;
+          slot = s;
+        }
+      }
+    } else {
+      // Uniform victim among alive non-sink nodes.
+      do {
+        slot = static_cast<std::size_t>(rng.below(alive.size()));
+      } while (alive[slot] == sink);
+    }
+    mutation.node = alive[slot];
+    alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(slot));
+    return mutation;
+  };
+  // Hotspot coin of one arrival/departure event (deterministic).
+  const auto hotspot_coin = [&] {
+    return params.hotspot_fraction > 0.0 &&
+           rng.uniform() < params.hotspot_fraction;
+  };
+
   ChurnTrace trace;
   trace.reserve(params.epochs);
   for (std::size_t epoch = 0; epoch < params.epochs; ++epoch) {
@@ -147,60 +212,18 @@ ChurnTrace make_churn_trace(const geom::Pointset& initial,
       // Arrival/departure hotspot: this event is hotspot-local when the
       // (deterministic) coin says so.
       const bool in_hotspot =
-          params.hotspot_fraction > 0.0 &&
           (kind == Mutation::Kind::kAdd || kind == Mutation::Kind::kRemove) &&
-          rng.uniform() < params.hotspot_fraction;
+          hotspot_coin();
 
       Mutation mutation;
       mutation.kind = kind;
       switch (kind) {
         case Mutation::Kind::kAdd: {
-          if (in_hotspot) {
-            // Uniform in the hotspot disk (rejection-free: polar with
-            // sqrt-radius), clamped to the instance bounding box.
-            const double angle = rng.uniform(0.0, 6.283185307179586);
-            const double r = hotspot_radius * std::sqrt(rng.uniform());
-            mutation.position = {
-                std::clamp(hotspot.x + r * std::cos(angle), min_x, max_x),
-                min_y == max_y
-                    ? min_y
-                    : std::clamp(hotspot.y + r * std::sin(angle), min_y,
-                                 max_y)};
-          } else {
-            mutation.position = {rng.uniform(min_x, max_x),
-                                 min_y == max_y ? min_y
-                                                : rng.uniform(min_y, max_y)};
-          }
-          mutation.node = static_cast<NodeId>(position.size());
-          position.push_back(mutation.position);
-          alive.push_back(mutation.node);
-          waypoint.push_back({kNoWaypoint, 0.0});
+          mutation = make_add(in_hotspot);
           break;
         }
         case Mutation::Kind::kRemove: {
-          std::size_t slot;
-          if (in_hotspot) {
-            // The victim nearest the hotspot center (sink excepted) — a
-            // depletion front, the failure mode hotspot churn models.
-            slot = alive.size();
-            double best = std::numeric_limits<double>::infinity();
-            for (std::size_t s = 0; s < alive.size(); ++s) {
-              if (alive[s] == sink) continue;
-              const double d2 = geom::squared_distance(
-                  position[static_cast<std::size_t>(alive[s])], hotspot);
-              if (d2 < best) {
-                best = d2;
-                slot = s;
-              }
-            }
-          } else {
-            // Uniform victim among alive non-sink nodes.
-            do {
-              slot = static_cast<std::size_t>(rng.below(alive.size()));
-            } while (alive[slot] == sink);
-          }
-          mutation.node = alive[slot];
-          alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(slot));
+          mutation = make_remove(in_hotspot);
           break;
         }
         case Mutation::Kind::kMove: {
@@ -236,6 +259,29 @@ ChurnTrace make_churn_trace(const geom::Pointset& initial,
         }
       }
       mutations.push_back(mutation);
+    }
+
+    // Size-varying schedules: net adds/removes appended AFTER the mixed
+    // draws, so a grow/shrink of 0 leaves the legacy random stream (and
+    // thus every historical trace) byte-identical. Counts track the alive
+    // set as it stood after the mixed draws of this epoch.
+    if (params.grow_rate > 0.0) {
+      const auto extra = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(
+                 params.grow_rate * static_cast<double>(alive.size()))));
+      for (std::size_t g = 0; g < extra; ++g) {
+        mutations.push_back(make_add(hotspot_coin()));
+      }
+    }
+    if (params.shrink_rate > 0.0) {
+      const auto extra = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(
+                 params.shrink_rate * static_cast<double>(alive.size()))));
+      for (std::size_t s = 0; s < extra; ++s) {
+        // A shrink schedule bottoms out instead of bouncing back into adds.
+        if (alive.size() <= params.min_nodes) break;
+        mutations.push_back(make_remove(hotspot_coin()));
+      }
     }
     trace.push_back(std::move(mutations));
   }

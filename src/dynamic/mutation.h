@@ -64,6 +64,18 @@ struct ChurnParams {
   /// Removes are converted to adds when alive count would drop below this.
   std::size_t min_nodes = 3;
 
+  // ---- size-varying schedules ----
+  /// Net growth: extra kAdd mutations per alive node per epoch, appended
+  /// AFTER the mixed rate-driven draws so legacy (grow == 0) traces keep
+  /// their historical random stream byte-identical. Each epoch appends
+  /// max(1, round(grow_rate * alive)) adds while grow_rate > 0 — the
+  /// instance trends upward even when the mixed draws balance out.
+  double grow_rate = 0.0;
+  /// Net shrink: extra kRemove mutations per alive node per epoch (same
+  /// convention). Shrink removals stop silently at min_nodes instead of
+  /// converting to adds — a shrink schedule must never grow the instance.
+  double shrink_rate = 0.0;
+
   // ---- churn realism knobs ----
   /// Fraction of arrivals/departures concentrated in a hotspot disk (0 =
   /// spatially uniform churn). The hotspot center is drawn once per trace
@@ -79,7 +91,8 @@ struct ChurnParams {
   double waypoint_speed = 0.0;
 
   /// Throws std::invalid_argument on non-positive epochs/rate, an all-zero
-  /// kind mix, or out-of-range hotspot/waypoint knobs.
+  /// kind mix, negative grow/shrink rates, or out-of-range hotspot/waypoint
+  /// knobs.
   void validate() const;
 
   friend bool operator==(const ChurnParams&, const ChurnParams&) = default;
@@ -87,9 +100,11 @@ struct ChurnParams {
 
 /// Expands a seeded, fully deterministic mutation trace against the initial
 /// pointset: adds are uniform in the initial bounding box, moves are
-/// Gaussian drifts, removes pick a uniform alive victim. The generator
-/// tracks id allocation and liveness exactly as DynamicPlanner will, and
-/// never removes `sink`. Same (initial, params, seed, sink) -> same trace.
+/// Gaussian drifts, removes pick a uniform alive victim; grow/shrink
+/// schedules append their net adds/removes after each epoch's mixed draws.
+/// The generator tracks id allocation and liveness exactly as
+/// DynamicPlanner will, and never removes `sink`. Same
+/// (initial, params, seed, sink) -> same trace.
 [[nodiscard]] ChurnTrace make_churn_trace(const geom::Pointset& initial,
                                           const ChurnParams& params,
                                           std::uint64_t seed,

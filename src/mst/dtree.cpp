@@ -1,0 +1,240 @@
+#include "mst/dtree.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wagg::mst {
+
+void DynamicTree::ensure_vertices(std::size_t n) {
+  while (vertex_node_.size() < n) {
+    vertex_node_.push_back(alloc_node(-1, -1, -1.0));
+  }
+}
+
+std::int32_t DynamicTree::vertex(std::int32_t v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= vertex_node_.size()) {
+    throw std::invalid_argument("DynamicTree: vertex id out of range");
+  }
+  return vertex_node_[static_cast<std::size_t>(v)];
+}
+
+std::int32_t DynamicTree::alloc_node(std::int32_t ea, std::int32_t eb,
+                                     double w2) {
+  std::int32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    nodes_[static_cast<std::size_t>(idx)] = Node{};
+  } else {
+    idx = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& n = nodes_[static_cast<std::size_t>(idx)];
+  n.ea = ea;
+  n.eb = eb;
+  n.w2 = w2;
+  n.mx = idx;
+  return idx;
+}
+
+bool DynamicTree::key_less(std::int32_t p, std::int32_t q) const {
+  const Node& a = nodes_[static_cast<std::size_t>(p)];
+  const Node& b = nodes_[static_cast<std::size_t>(q)];
+  if (a.w2 != b.w2) return a.w2 < b.w2;
+  if (a.ea != b.ea) return a.ea < b.ea;
+  return a.eb < b.eb;
+}
+
+bool DynamicTree::is_splay_root(std::int32_t x) const {
+  const std::int32_t p = nodes_[static_cast<std::size_t>(x)].parent;
+  return p < 0 || (nodes_[static_cast<std::size_t>(p)].ch[0] != x &&
+                   nodes_[static_cast<std::size_t>(p)].ch[1] != x);
+}
+
+void DynamicTree::push(std::int32_t x) {
+  Node& n = nodes_[static_cast<std::size_t>(x)];
+  if (!n.rev) return;
+  std::swap(n.ch[0], n.ch[1]);
+  for (const std::int32_t c : n.ch) {
+    if (c >= 0) {
+      Node& child = nodes_[static_cast<std::size_t>(c)];
+      child.rev = !child.rev;
+    }
+  }
+  n.rev = false;
+}
+
+void DynamicTree::pull(std::int32_t x) {
+  Node& n = nodes_[static_cast<std::size_t>(x)];
+  std::int32_t best = x;
+  for (const std::int32_t c : n.ch) {
+    if (c < 0) continue;
+    const std::int32_t cm = nodes_[static_cast<std::size_t>(c)].mx;
+    if (key_less(best, cm)) best = cm;
+  }
+  n.mx = best;
+}
+
+void DynamicTree::rotate(std::int32_t x) {
+  const std::int32_t p = nodes_[static_cast<std::size_t>(x)].parent;
+  const std::int32_t g = nodes_[static_cast<std::size_t>(p)].parent;
+  const bool p_root = is_splay_root(p);
+  const int side = nodes_[static_cast<std::size_t>(p)].ch[1] == x ? 1 : 0;
+  const std::int32_t b = nodes_[static_cast<std::size_t>(x)].ch[side ^ 1];
+  if (!p_root) {
+    Node& gp = nodes_[static_cast<std::size_t>(g)];
+    if (gp.ch[0] == p) {
+      gp.ch[0] = x;
+    } else if (gp.ch[1] == p) {
+      gp.ch[1] = x;
+    }
+  }
+  nodes_[static_cast<std::size_t>(x)].parent = g;
+  nodes_[static_cast<std::size_t>(x)].ch[side ^ 1] = p;
+  nodes_[static_cast<std::size_t>(p)].parent = x;
+  nodes_[static_cast<std::size_t>(p)].ch[side] = b;
+  if (b >= 0) nodes_[static_cast<std::size_t>(b)].parent = p;
+  pull(p);
+  pull(x);
+}
+
+void DynamicTree::splay(std::int32_t x) {
+  // Pending reversals must be resolved top-down before rotating bottom-up.
+  scratch_.clear();
+  for (std::int32_t y = x;;
+       y = nodes_[static_cast<std::size_t>(y)].parent) {
+    scratch_.push_back(y);
+    if (is_splay_root(y)) break;
+  }
+  for (std::size_t i = scratch_.size(); i-- > 0;) push(scratch_[i]);
+
+  while (!is_splay_root(x)) {
+    const std::int32_t p = nodes_[static_cast<std::size_t>(x)].parent;
+    if (!is_splay_root(p)) {
+      const std::int32_t g = nodes_[static_cast<std::size_t>(p)].parent;
+      const bool zigzig =
+          (nodes_[static_cast<std::size_t>(g)].ch[0] == p) ==
+          (nodes_[static_cast<std::size_t>(p)].ch[0] == x);
+      rotate(zigzig ? p : x);
+    }
+    rotate(x);
+  }
+}
+
+std::int32_t DynamicTree::access(std::int32_t x) {
+  std::int32_t last = -1;
+  for (std::int32_t y = x; y >= 0;
+       y = nodes_[static_cast<std::size_t>(y)].parent) {
+    splay(y);
+    nodes_[static_cast<std::size_t>(y)].ch[1] = last;
+    pull(y);
+    last = y;
+  }
+  splay(x);
+  return last;
+}
+
+void DynamicTree::make_root(std::int32_t x) {
+  access(x);
+  Node& n = nodes_[static_cast<std::size_t>(x)];
+  n.rev = !n.rev;
+  push(x);
+}
+
+std::int32_t DynamicTree::find_root(std::int32_t x) {
+  access(x);
+  std::int32_t r = x;
+  for (;;) {
+    push(r);
+    const std::int32_t left = nodes_[static_cast<std::size_t>(r)].ch[0];
+    if (left < 0) break;
+    r = left;
+  }
+  splay(r);  // keep the amortized bound — deep walks must be paid for
+  return r;
+}
+
+bool DynamicTree::connected(std::int32_t a, std::int32_t b) {
+  const std::int32_t va = vertex(a);
+  const std::int32_t vb = vertex(b);
+  if (a == b) return true;
+  return find_root(va) == find_root(vb);
+}
+
+EdgeHandle DynamicTree::link(std::int32_t a, std::int32_t b, double w2) {
+  const std::int32_t va = vertex(a);
+  const std::int32_t vb = vertex(b);
+  if (a == b) {
+    throw std::invalid_argument("DynamicTree::link: a self-loop is not a "
+                                "tree edge");
+  }
+  if (connected(a, b)) {
+    throw std::logic_error(
+        "DynamicTree::link: endpoints already connected (cycle)");
+  }
+  const std::int32_t e =
+      a < b ? alloc_node(a, b, w2) : alloc_node(b, a, w2);
+  // Standard link of a represented root under another tree, twice: a's
+  // whole tree hangs below the fresh edge node, the edge node below b.
+  make_root(va);
+  nodes_[static_cast<std::size_t>(va)].parent = e;
+  nodes_[static_cast<std::size_t>(e)].parent = vb;
+  ++num_edges_;
+  return e;
+}
+
+void DynamicTree::cut_adjacent(std::int32_t x, std::int32_t y) {
+  make_root(x);
+  access(y);
+  // The exposed splay tree now holds exactly the represented path x..y; for
+  // adjacent nodes that is the two of them, with x alone as y's left child.
+  Node& ny = nodes_[static_cast<std::size_t>(y)];
+  if (ny.ch[0] != x ||
+      nodes_[static_cast<std::size_t>(x)].ch[0] >= 0 ||
+      nodes_[static_cast<std::size_t>(x)].ch[1] >= 0) {
+    throw std::logic_error("DynamicTree::cut: nodes are not adjacent");
+  }
+  ny.ch[0] = -1;
+  nodes_[static_cast<std::size_t>(x)].parent = -1;
+  pull(y);
+}
+
+void DynamicTree::cut(EdgeHandle e) {
+  if (e < 0 || static_cast<std::size_t>(e) >= nodes_.size() ||
+      nodes_[static_cast<std::size_t>(e)].ea < 0) {
+    throw std::invalid_argument("DynamicTree::cut: not a live edge handle");
+  }
+  const std::int32_t va = vertex(nodes_[static_cast<std::size_t>(e)].ea);
+  const std::int32_t vb = vertex(nodes_[static_cast<std::size_t>(e)].eb);
+  cut_adjacent(e, va);
+  cut_adjacent(e, vb);
+  nodes_[static_cast<std::size_t>(e)] = Node{};  // ea = -1 marks it dead
+  free_.push_back(e);
+  --num_edges_;
+}
+
+EdgeHandle DynamicTree::path_max(std::int32_t a, std::int32_t b) {
+  const std::int32_t va = vertex(a);
+  const std::int32_t vb = vertex(b);
+  if (a == b || !connected(a, b)) {
+    throw std::invalid_argument(
+        "DynamicTree::path_max: endpoints must be distinct and connected");
+  }
+  make_root(va);
+  access(vb);
+  const std::int32_t m = nodes_[static_cast<std::size_t>(vb)].mx;
+  if (nodes_[static_cast<std::size_t>(m)].ea < 0) {
+    throw std::logic_error(
+        "DynamicTree::path_max: path aggregate returned a vertex");
+  }
+  return m;
+}
+
+void DynamicTree::clear() {
+  nodes_.clear();
+  vertex_node_.clear();
+  free_.clear();
+  num_edges_ = 0;
+}
+
+}  // namespace wagg::mst

@@ -1,0 +1,115 @@
+#ifndef WAGG_MST_DTREE_H
+#define WAGG_MST_DTREE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace wagg::mst {
+
+/// Handle of a tree edge inside a DynamicTree: an index into its node pool,
+/// stable from link() until the matching cut(), then recycled.
+using EdgeHandle = std::int32_t;
+inline constexpr EdgeHandle kNoEdgeHandle = -1;
+
+/// Fully dynamic forest over integer vertices with weighted edges:
+///
+///   link(a, b, w2)   joins two components with an edge of squared weight w2
+///   cut(e)           removes an edge by handle
+///   connected(a, b)  same-component test
+///   path_max(a, b)   the maximum-weight edge on the unique a-b tree path
+///
+/// each in O(log n) amortized. This is the structure that localizes
+/// IncrementalMst: an insertion candidate (p, q) improves the tree iff it
+/// beats path_max(p, q), and the repair is one cut + one link instead of a
+/// merge pass over the whole weight-ordered edge list.
+///
+/// The implementation is a splay-based path decomposition (the
+/// Sleator-Tarjan preferred-path forest). A sequence-aggregated Euler-tour
+/// treap was considered and rejected: tour intervals aggregate SUBTREES,
+/// while the query here is a PATH maximum, which the preferred-path splay
+/// forest answers directly — expose the a-b path as one splay tree and read
+/// its aggregate. Edges are materialized as their own splay nodes carrying
+/// (w2, a, b); vertices carry a sentinel key ordered below every real edge,
+/// so the subtree maximum of an exposed path is exactly its heaviest edge.
+///
+/// Keys compare by (w2, a, b) with a < b canonical — the same total order
+/// IncrementalMst applies to candidate edges — so path_max is deterministic
+/// under duplicate distances.
+///
+/// Not thread-safe (queries splay, so even connected() mutates).
+class DynamicTree {
+ public:
+  DynamicTree() = default;
+
+  /// Grows the vertex set to cover ids [0, n). Existing state is kept.
+  void ensure_vertices(std::size_t n);
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return vertex_node_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Joins the components of a and b. Throws std::invalid_argument for
+  /// out-of-range or equal endpoints, std::logic_error if already connected
+  /// (the caller would be creating a cycle).
+  EdgeHandle link(std::int32_t a, std::int32_t b, double w2);
+
+  /// Removes a linked edge; its handle becomes invalid (and recyclable).
+  void cut(EdgeHandle e);
+
+  [[nodiscard]] bool connected(std::int32_t a, std::int32_t b);
+
+  /// The maximum-key edge on the a-b path, by (w2, a, b). Throws
+  /// std::invalid_argument unless a != b and the endpoints are connected.
+  [[nodiscard]] EdgeHandle path_max(std::int32_t a, std::int32_t b);
+
+  // ---- edge payload access (valid between link and cut) ----
+  [[nodiscard]] double weight2(EdgeHandle e) const { return nodes_[e].w2; }
+  [[nodiscard]] std::int32_t edge_a(EdgeHandle e) const {
+    return nodes_[e].ea;
+  }
+  [[nodiscard]] std::int32_t edge_b(EdgeHandle e) const {
+    return nodes_[e].eb;
+  }
+
+  /// Drops every vertex and edge (handles become invalid).
+  void clear();
+
+ private:
+  /// One splay node: a vertex (ea == -1, w2 == -1 sentinel) or an edge.
+  struct Node {
+    std::int32_t ch[2] = {-1, -1};
+    std::int32_t parent = -1;  ///< splay parent or path-parent
+    std::int32_t mx = -1;      ///< max-key node of this splay subtree
+    std::int32_t ea = -1;      ///< edge endpoints, canonical ea < eb
+    std::int32_t eb = -1;
+    double w2 = -1.0;          ///< squared weight; -1 sorts below any edge
+    bool rev = false;          ///< lazy reversal of the represented path
+  };
+
+  [[nodiscard]] std::int32_t alloc_node(std::int32_t ea, std::int32_t eb,
+                                        double w2);
+  [[nodiscard]] bool key_less(std::int32_t p, std::int32_t q) const;
+  [[nodiscard]] bool is_splay_root(std::int32_t x) const;
+  void push(std::int32_t x);
+  void pull(std::int32_t x);
+  void rotate(std::int32_t x);
+  void splay(std::int32_t x);
+  /// Exposes the path from the represented root to x; returns the last
+  /// preferred-path root touched.
+  std::int32_t access(std::int32_t x);
+  void make_root(std::int32_t x);
+  [[nodiscard]] std::int32_t find_root(std::int32_t x);
+  /// Splits two nodes KNOWN to be adjacent in the represented tree.
+  void cut_adjacent(std::int32_t x, std::int32_t y);
+  [[nodiscard]] std::int32_t vertex(std::int32_t v) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> vertex_node_;  ///< vertex id -> node index
+  std::vector<std::int32_t> free_;         ///< recycled edge-node indices
+  std::vector<std::int32_t> scratch_;      ///< splay ancestor stack
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace wagg::mst
+
+#endif  // WAGG_MST_DTREE_H

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "geom/point.h"
+#include "mst/dtree.h"
 #include "mst/mst.h"
+#include "mst/point_grid.h"
 
 namespace wagg::mst {
 
@@ -43,23 +45,33 @@ struct MstDelta {
 
 /// Exact Euclidean MST maintained under point insertion, deletion, and
 /// motion, at a cost proportional to the disturbed neighborhood instead of
-/// the instance:
+/// the instance. The engine is a DynamicTree (splay path decomposition,
+/// O(log n) link/cut/path_max) plus a maintained detail::PointGrid spatial
+/// index that turns "the new point's star" into O(1)-ish candidates:
 ///
-///   add_point    new MST is a subset of (old edges + the new point's star);
-///                the maintained tree is kept in weight order, so one sort
-///                of the star plus a merge-Kruskal pass suffices.
-///   remove_point the old edges minus the removed point's incident ones stay
-///                in the new MST (cycle property: deleting a vertex only
-///                removes cycles); the <= 6 resulting components (Euclidean
-///                MSTs have max degree 6) are reconnected by the minimum
-///                cross edge per component pair, found by scanning member
-///                lists — O(n * size of the smaller components) in practice.
+///   add_point    the new MST is a subset of (old edges + the new point's
+///                star), and the star edges that can enter an MST connect
+///                the point to the NEAREST neighbor in each of its six
+///                60-degree cones (same-cone points are < 60 degrees apart,
+///                so the farther one is never needed — the classic Yao-graph
+///                argument). The grid yields those <= 6 candidates; each is
+///                applied as the textbook dynamic-MST insertion: skip it
+///                unless it beats path_max(p, q), else one cut + one link.
+///   remove_point the old edges minus the removed point's incident ones
+///                stay in the new MST (cycle property); the <= 6 resulting
+///                components (Euclidean MSTs have max degree 6) are
+///                reconnected Boruvka-style by each component's minimum
+///                outgoing edge, found by grid nearest-neighbor searches
+///                over the members of every component EXCEPT the largest —
+///                components are enumerated in lockstep so the big one is
+///                never walked.
 ///   move_point   remove + re-add under the same id.
 ///
-/// All updates are deterministic: candidate edges are compared by
-/// (squared weight, a, b). With distinct pairwise distances the maintained
-/// tree is THE Euclidean MST; under ties it is an MST of equal weight (tests
-/// compare weights against a from-scratch Prim run).
+/// All updates are deterministic: edges compare by (squared weight, a, b),
+/// in the maintained tree and among candidates alike. With distinct
+/// pairwise distances the maintained tree is THE Euclidean MST; under ties
+/// it is an MST of equal weight (tests compare weights against a
+/// from-scratch Prim run).
 ///
 /// Every structural change is journaled into an MstDelta that tree
 /// consumers (dynamic::DynamicPlanner's geom::LinkStore orientation) drain
@@ -82,8 +94,8 @@ class IncrementalMst {
   /// Deferred variants: apply the point change WITHOUT updating the tree.
   /// The maintained edges are stale until rebuild() runs; interleaving
   /// deferred and immediate updates without a rebuild in between is a bug.
-  /// Worth it for bulk epochs — once a batch mutates more than ~n/log n
-  /// points, one O(n^2) Prim beats per-mutation maintenance.
+  /// Worth it for bulk epochs — once a batch mutates a sizable fraction of
+  /// the instance, one O(n^2) Prim beats per-mutation maintenance.
   NodeId add_point_deferred(const geom::Point& position);
   void remove_point_deferred(NodeId id);
   void move_point_deferred(NodeId id, const geom::Point& position);
@@ -116,9 +128,9 @@ class IncrementalMst {
   [[nodiscard]] std::vector<Edge> compact_edges() const;
 
  private:
-  /// A maintained or candidate edge with its cached squared weight;
-  /// canonical a < b, ordered by (w2, a, b) — the same order as
-  /// (weight, a, b) since x -> x^2 is monotone on lengths.
+  /// A candidate edge with its cached squared weight; canonical a < b,
+  /// ordered by (w2, a, b) — the same order as (weight, a, b) since
+  /// x -> x^2 is monotone on lengths.
   struct WeightedEdge {
     double w2 = 0.0;
     NodeId a = -1;
@@ -130,22 +142,47 @@ class IncrementalMst {
       return b < other.b;
     }
   };
+  /// One adjacency entry of the maintained tree. Degree is <= 6 for
+  /// distinct positions (Euclidean MST bound), but coincident points can
+  /// exceed it — a hub of zero-weight twin edges — so the lists must stay
+  /// genuinely dynamic.
+  struct AdjEntry {
+    NodeId neighbor = -1;
+    EdgeHandle edge = kNoEdgeHandle;
+  };
 
   [[nodiscard]] double squared_weight(NodeId a, NodeId b) const;
-  /// Insertion update: merge-Kruskal over (weight-ordered tree + sorted
-  /// star of id).
+  /// Insertion update: cone candidates + path_max swaps.
   void attach(NodeId id);
-  /// Deletion update: drops id and its incident edges, then reconnects the
-  /// leftover components via their minimum cross edges.
+  /// Deletion update: cuts id's incident edges, then reconnects the
+  /// leftover components via their minimum outgoing edges (grid-pruned).
   void detach(NodeId id);
-  void reset_tree_from(const std::vector<Edge>& compact,
-                       const std::vector<NodeId>& ids);
+  void reconnect(std::vector<NodeId> seeds);
+  /// Adds a maintained tree edge (dtree link + adjacency on both sides).
+  void add_tree_edge(NodeId a, NodeId b, double w2);
+  /// Removes a maintained tree edge by one side's adjacency entry.
+  void remove_tree_edge(NodeId a, const AdjEntry& entry);
+  void seed_tree_from(const std::vector<Edge>& compact,
+                      const std::vector<NodeId>& ids);
+  /// Rebuilds the point grid from the alive set, re-tuning the cell size.
+  void rebuild_grid();
+  /// Grows dtree vertices / adjacency / stamps to cover `id`.
+  void ensure_node(NodeId id);
 
   std::vector<geom::Point> points_;  ///< indexed by id (dead slots stale)
   std::vector<bool> alive_;
   std::size_t num_alive_ = 0;
-  /// The maintained tree in (w2, a, b) order — Kruskal acceptance order.
-  std::vector<WeightedEdge> tree_;
+  /// The maintained tree: path-max structure + explicit adjacency (the
+  /// degree-<= 6 lists detach and edges() iterate).
+  DynamicTree dtree_;
+  std::vector<std::vector<AdjEntry>> adj_;
+  /// Maintained spatial candidate index over the alive points.
+  detail::PointGrid grid_;
+  std::size_t grid_built_points_ = 0;  ///< alive count at the last re-tune
+  /// Component marks for detach's lockstep enumeration (monotone stamps, so
+  /// stale marks never alias).
+  std::vector<std::uint64_t> comp_stamp_;
+  std::uint64_t stamp_clock_ = 0;
   /// Lazily materialized (a, b)-sorted view backing edges().
   mutable std::vector<IdEdge> edges_cache_;
   mutable bool edges_cache_stale_ = true;

@@ -90,7 +90,9 @@ void execute_session_request(const PlanRequest& request,
     if (report.epoch > 0 && report.full_replan) ++outcome.full_replans;
     // Fold epoch timings into the batch stage summaries: the incremental
     // stages map onto their closest static counterparts, audit onto verify.
-    outcome.timings.tree_ms += report.timings.mst_ms;
+    outcome.timings.tree_ms += report.timings.mst_ms();
+    outcome.mst_update_ms += report.timings.mst_update_ms;
+    outcome.orient_ms += report.timings.orient_ms;
     outcome.timings.conflict_ms += report.timings.conflict_ms;
     outcome.conflict_maintain_ms += report.timings.conflict_maintain_ms;
     outcome.conflict_query_ms += report.timings.conflict_query_ms;
@@ -171,6 +173,7 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
 
   util::Samples tree, conflict, coloring, repair, verify, power, queue, total;
   util::Samples conflict_maintain, conflict_query;
+  util::Samples mst_update, orient;
   for (const auto& outcome : outcomes) {
     // Queue wait is a service property, not a planning property: failed
     // requests waited too, so they count.
@@ -180,10 +183,12 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
       tree.add(outcome.timings.tree_ms);
       conflict.add(outcome.timings.conflict_ms);
       if (outcome.epochs > 0) {
-        // Only churn sessions maintain a conflict index; static plans would
-        // dilute the split with structural zeros.
+        // Only churn sessions maintain a conflict index / incremental MST;
+        // static plans would dilute the splits with structural zeros.
         conflict_maintain.add(outcome.conflict_maintain_ms);
         conflict_query.add(outcome.conflict_query_ms);
+        mst_update.add(outcome.mst_update_ms);
+        orient.add(outcome.orient_ms);
       }
       coloring.add(outcome.timings.coloring_ms);
       repair.add(outcome.timings.repair_ms);
@@ -195,6 +200,8 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
     }
   }
   stats.tree = summarize_stage(tree);
+  stats.mst_update = summarize_stage(mst_update);
+  stats.orient = summarize_stage(orient);
   stats.conflict = summarize_stage(conflict);
   stats.conflict_maintain = summarize_stage(conflict_maintain);
   stats.conflict_query = summarize_stage(conflict_query);

@@ -70,6 +70,11 @@ struct PlanOutcome {
   /// dirty-row queries (their sum is timings.conflict_ms for sessions).
   double conflict_maintain_ms = 0.0;
   double conflict_query_ms = 0.0;
+  /// Tree-layer split across the session: IncrementalMst dynamic-tree
+  /// updates vs orientation-diff replay + snapshot builds (their sum is
+  /// timings.tree_ms for sessions).
+  double mst_update_ms = 0.0;
+  double orient_ms = 0.0;
 
   core::StageTimings timings;
   double total_ms = 0.0;  ///< wall clock for the whole request
@@ -109,6 +114,11 @@ struct BatchStats {
   double wall_ms = 0.0;        ///< batch wall clock, queue to last completion
   double plans_per_sec = 0.0;  ///< succeeded + failed, over wall_ms
   StageSummary tree;
+  /// Session requests only: the tree stage split into dynamic-tree MST
+  /// updates vs orientation-diff replay (empty when the batch had no churn
+  /// sessions).
+  StageSummary mst_update;
+  StageSummary orient;
   StageSummary conflict;
   /// Session requests only: the conflict stage split into persistent-index
   /// maintenance vs row queries (empty when the batch had no churn

@@ -209,6 +209,10 @@ void parse_churn(const std::string& value, WorkloadSpec& spec) {
       spec.churn.remove_weight = parse_double(sub, "churn remove");
     } else if (key == "move") {
       spec.churn.move_weight = parse_double(sub, "churn move");
+    } else if (key == "grow") {
+      spec.churn.grow_rate = parse_double(sub, "churn grow");
+    } else if (key == "shrink") {
+      spec.churn.shrink_rate = parse_double(sub, "churn shrink");
     } else if (key == "sigma") {
       spec.churn.drift_sigma = parse_double(sub, "churn sigma");
     } else if (key == "hotspot") {
@@ -318,6 +322,8 @@ std::string WorkloadSpec::to_text() const {
     out << "churn=epochs:" << churn.epochs << ",rate:" << churn.rate
         << ",add:" << churn.add_weight << ",remove:" << churn.remove_weight
         << ",move:" << churn.move_weight;
+    if (churn.grow_rate > 0.0) out << ",grow:" << churn.grow_rate;
+    if (churn.shrink_rate > 0.0) out << ",shrink:" << churn.shrink_rate;
     if (churn.drift_sigma > 0.0) out << ",sigma:" << churn.drift_sigma;
     if (churn.hotspot_fraction > 0.0) {
       out << ",hotspot:" << churn.hotspot_fraction;

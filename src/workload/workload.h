@@ -74,17 +74,21 @@ class FamilyRegistry {
 ///   alpha=3.0 beta=1.0        # SINR parameters (defaults shown)
 ///   churn=epochs:40,rate:0.05,add:2,remove:1,move:2,audit:1
 ///   churn=epochs:40,rate:0.05,hotspot:0.8,hradius:2.5,drift:waypoint
+///   churn=epochs:40,rate:0.02,grow:0.01          # net growth schedule
+///   churn=epochs:40,rate:0.02,shrink:0.015       # net shrink schedule
 ///
 /// The churn key turns every request into a dynamic session: the instance
 /// is planned once, then `epochs` seeded mutation epochs are applied
 /// incrementally. Its value is comma-separated `key:value` pairs —
 /// epochs (required, > 0), rate (mutations per node per epoch),
-/// add/remove/move (kind-mix weights), sigma (move drift; 0 = auto),
-/// hotspot (fraction of arrivals/departures concentrated in a seeded
-/// hotspot disk), hradius (its radius; 0 = auto), drift (gauss | waypoint:
-/// memoryless Gaussian steps vs random-waypoint correlated walks), speed
-/// (waypoint step length; 0 = auto), audit (0/1: cross-check every epoch
-/// against a full replan).
+/// add/remove/move (kind-mix weights), grow/shrink (net adds/removes per
+/// node per epoch, appended after the mixed draws — size-varying
+/// schedules that drive the tree engine's attach/remove paths), sigma
+/// (move drift; 0 = auto), hotspot (fraction of arrivals/departures
+/// concentrated in a seeded hotspot disk), hradius (its radius; 0 = auto),
+/// drift (gauss | waypoint: memoryless Gaussian steps vs random-waypoint
+/// correlated walks), speed (waypoint step length; 0 = auto), audit (0/1:
+/// cross-check every epoch against a full replan).
 ///
 /// Expansion is deterministic: each request's seed depends only on the base
 /// seed and its (family, size, mode, replication) cell, never on the rest of

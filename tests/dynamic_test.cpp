@@ -95,6 +95,168 @@ TEST(IncrementalMst, DeferredBulkRebuildMatchesFromScratch) {
   expect_mst_exact(inc, "immediate after rebuild");
 }
 
+/// Replays a churn trace directly against an IncrementalMst, mirroring the
+/// planner's kind -> operation mapping.
+void apply_epoch_to_mst(mst::IncrementalMst& inc,
+                        const std::vector<Mutation>& epoch) {
+  for (const auto& m : epoch) {
+    switch (m.kind) {
+      case Mutation::Kind::kAdd:
+        (void)inc.add_point(m.position);
+        break;
+      case Mutation::Kind::kRemove:
+        inc.remove_point(m.node);
+        break;
+      case Mutation::Kind::kMove:
+        inc.move_point(m.node, m.position);
+        break;
+    }
+  }
+}
+
+/// The dynamic-tree engine's acceptance sweep: across several scales and
+/// families, mixed traces (moves + net growth + net shrink) must keep the
+/// maintained tree weight-equal to a from-scratch Prim run after EVERY
+/// epoch.
+TEST(IncrementalMst, MixedTraceSweepMatchesPrimAcrossScales) {
+  for (const std::size_t n : {24u, 72u, 160u}) {
+    for (const std::string family : {"uniform", "cluster"}) {
+      ChurnParams params;
+      params.epochs = 6;
+      params.rate = 0.08;
+      params.grow_rate = 0.05;
+      const auto points = workload::make_family(family, n, 29);
+      const auto grow_trace = dynamic::make_churn_trace(points, params, 51);
+      mst::IncrementalMst growing(points);
+      for (const auto& epoch : grow_trace) {
+        apply_epoch_to_mst(growing, epoch);
+        expect_mst_exact(growing, (family + " grow").c_str());
+      }
+      EXPECT_GT(growing.num_alive(), points.size())
+          << family << " n=" << n;
+
+      params.grow_rate = 0.0;
+      params.shrink_rate = 0.08;
+      const auto shrink_trace = dynamic::make_churn_trace(points, params, 52);
+      mst::IncrementalMst shrinking(points);
+      for (const auto& epoch : shrink_trace) {
+        apply_epoch_to_mst(shrinking, epoch);
+        expect_mst_exact(shrinking, (family + " shrink").c_str());
+      }
+      EXPECT_LT(shrinking.num_alive(), points.size())
+          << family << " n=" << n;
+    }
+  }
+}
+
+/// Duplicate-distance ties: coincident points (zero-length edges), nodes
+/// moved exactly onto other nodes, and the all-ties unit grid. Weight
+/// equality must survive every one of them — the (w2, a, b) total order is
+/// what keeps the swaps deterministic when w2 alone cannot decide.
+TEST(IncrementalMst, DuplicatePositionsAndTiedDistancesStayExact) {
+  // Unit grid: every adjacent distance ties with every other.
+  const auto grid_points = workload::make_family("grid", 25, 1);
+  mst::IncrementalMst inc(grid_points);
+  expect_mst_exact(inc, "unit grid seed");
+  // Duplicate of an existing point (distance 0 to its twin, ties beyond).
+  const auto dup = inc.add_point(grid_points[7]);
+  expect_mst_exact(inc, "coincident add");
+  // Another coincident pair on a different site.
+  (void)inc.add_point(grid_points[12]);
+  expect_mst_exact(inc, "second coincident add");
+  // Move a node exactly onto another node's position.
+  inc.move_point(3, grid_points[18]);
+  expect_mst_exact(inc, "move onto occupied site");
+  // Move a far node exactly onto a grid site adjacent to the duplicate.
+  inc.move_point(24, grid_points[8]);
+  expect_mst_exact(inc, "move onto adjacent site");
+  // Removing one of a coincident pair keeps the tree exact.
+  inc.remove_point(dup);
+  expect_mst_exact(inc, "remove twin");
+  inc.remove_point(7);
+  expect_mst_exact(inc, "remove the other twin");
+}
+
+TEST(ChurnTrace, GrowScheduleTrendsUpward) {
+  const auto points = workload::make_family("uniform", 40, 3);
+  ChurnParams plain;
+  plain.epochs = 10;
+  plain.rate = 0.05;
+  ChurnParams grow = plain;
+  grow.grow_rate = 0.1;
+  const auto base = make_churn_trace(points, plain, 42);
+  const auto grown = make_churn_trace(points, grow, 42);
+  ASSERT_EQ(base.size(), grown.size());
+  // The first epoch's mixed prefix is byte-identical: grow events are
+  // appended AFTER the rate-driven draws, so the legacy stream survives.
+  ASSERT_GE(grown[0].size(), base[0].size());
+  for (std::size_t m = 0; m < base[0].size(); ++m) {
+    EXPECT_EQ(grown[0][m], base[0][m]) << "mutation " << m;
+  }
+  // Net growth: final alive count strictly above the initial.
+  std::ptrdiff_t net = 0;
+  std::size_t extra_adds = 0;
+  for (std::size_t e = 0; e < grown.size(); ++e) {
+    for (const auto& m : grown[e]) {
+      if (m.kind == Mutation::Kind::kAdd) ++net;
+      if (m.kind == Mutation::Kind::kRemove) --net;
+    }
+    extra_adds += grown[e].size() - base[e].size();
+  }
+  EXPECT_GT(net, 0);
+  EXPECT_GE(extra_adds, grown.size());  // >= 1 appended add per epoch
+  // Determinism.
+  EXPECT_EQ(grown, make_churn_trace(points, grow, 42));
+}
+
+TEST(ChurnTrace, ShrinkScheduleBottomsOutAtMinNodes) {
+  const auto points = workload::make_family("uniform", 16, 5);
+  ChurnParams params;
+  params.epochs = 12;
+  params.rate = 0.05;
+  params.add_weight = 0.0;  // no arrivals at all
+  params.move_weight = 1.0;
+  params.remove_weight = 0.0;
+  params.shrink_rate = 0.3;
+  const auto trace = make_churn_trace(points, params, 9);
+  std::size_t alive = points.size();
+  for (const auto& epoch : trace) {
+    for (const auto& m : epoch) {
+      if (m.kind == Mutation::Kind::kAdd) ++alive;
+      if (m.kind == Mutation::Kind::kRemove) {
+        --alive;
+        EXPECT_NE(m.node, 0);  // the sink survives shrink schedules
+      }
+    }
+    EXPECT_GE(alive, params.min_nodes);
+  }
+  // The schedule actually bottomed out instead of oscillating via adds.
+  EXPECT_EQ(alive, params.min_nodes);
+  // A planner survives the whole shrink-to-the-floor session.
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.audit = true;
+  DynamicPlanner planner(points, options);
+  for (const auto& epoch : trace) {
+    const auto report = planner.apply(epoch);
+    EXPECT_TRUE(report.valid) << "epoch " << report.epoch;
+    EXPECT_TRUE(report.audit_tree_match) << "epoch " << report.epoch;
+  }
+  EXPECT_EQ(planner.num_nodes(), params.min_nodes);
+}
+
+TEST(ChurnParams, RejectsNegativeGrowShrink) {
+  ChurnParams params;
+  params.epochs = 4;
+  params.grow_rate = -0.1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.grow_rate = 0.0;
+  params.shrink_rate = -1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.shrink_rate = 0.5;
+  EXPECT_NO_THROW(params.validate());
+}
+
 TEST(DynamicPlanner, HighChurnBulkEpochsStayValid) {
   // rate 0.3 on n=64 -> ~19 mutations per epoch, well past the bulk-rebuild
   // threshold, and dirty fractions that exercise the fallback path.
@@ -497,11 +659,14 @@ TEST(PlanServiceSessions, ChurnRequestsRunThroughBatches) {
     EXPECT_TRUE(outcome.verified);
     EXPECT_GT(outcome.rate, 0.0);
     // Sessions split the conflict stage exactly into index maintenance +
-    // row queries.
+    // row queries, and the tree stage into MST updates + orientation.
     EXPECT_NEAR(outcome.timings.conflict_ms,
                 outcome.conflict_maintain_ms + outcome.conflict_query_ms,
                 1e-9);
     EXPECT_GT(outcome.conflict_maintain_ms, 0.0);
+    EXPECT_NEAR(outcome.timings.tree_ms,
+                outcome.mst_update_ms + outcome.orient_ms, 1e-9);
+    EXPECT_GT(outcome.orient_ms, 0.0);
   }
 
   // Same digests at any worker count (sessions are deterministic).

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <optional>
 #include <set>
+#include <tuple>
+#include <vector>
 
 #include "geom/point.h"
 #include "instance/basic.h"
+#include "mst/dtree.h"
 #include "mst/mst.h"
+#include "mst/point_grid.h"
 #include "mst/tree.h"
+#include "util/rng.h"
 
 namespace wagg::mst {
 namespace {
@@ -98,6 +105,183 @@ TEST(Mst, IsSpanningTreeRejectsCyclesAndForests) {
 TEST(Mst, Validation) {
   EXPECT_THROW(euclidean_mst({{0, 0}}), std::invalid_argument);
   EXPECT_THROW(k_fold_mst({{0, 0}, {1, 0}}, 0), std::invalid_argument);
+}
+
+TEST(DynamicTree, BasicLinkCutPathMax) {
+  DynamicTree dt;
+  dt.ensure_vertices(4);
+  EXPECT_FALSE(dt.connected(0, 3));
+  const auto e01 = dt.link(0, 1, 4.0);
+  const auto e12 = dt.link(1, 2, 9.0);
+  const auto e23 = dt.link(2, 3, 1.0);
+  EXPECT_EQ(dt.num_edges(), 3u);
+  EXPECT_TRUE(dt.connected(0, 3));
+  EXPECT_EQ(dt.path_max(0, 3), e12);
+  EXPECT_EQ(dt.path_max(0, 1), e01);
+  EXPECT_EQ(dt.path_max(2, 3), e23);
+  dt.cut(e12);
+  EXPECT_FALSE(dt.connected(0, 3));
+  EXPECT_TRUE(dt.connected(0, 1));
+  EXPECT_TRUE(dt.connected(2, 3));
+  // Relinking across the cut reroutes the path.
+  const auto e03 = dt.link(0, 3, 25.0);
+  EXPECT_EQ(dt.path_max(1, 2), e03);
+}
+
+TEST(DynamicTree, PathMaxBreaksWeightTiesByEndpoints) {
+  DynamicTree dt;
+  dt.ensure_vertices(3);
+  const auto e01 = dt.link(0, 1, 1.0);
+  const auto e12 = dt.link(1, 2, 1.0);
+  // Equal weights: the maximum under (w2, a, b) is the larger pair.
+  EXPECT_EQ(dt.path_max(0, 2), e12);
+  EXPECT_NE(dt.path_max(0, 1), e12);
+  EXPECT_EQ(dt.path_max(0, 1), e01);
+}
+
+TEST(DynamicTree, RejectsCyclesSelfLoopsAndDeadHandles) {
+  DynamicTree dt;
+  dt.ensure_vertices(3);
+  const auto e01 = dt.link(0, 1, 1.0);
+  (void)dt.link(1, 2, 2.0);
+  EXPECT_THROW((void)dt.link(0, 2, 3.0), std::logic_error);       // cycle
+  EXPECT_THROW((void)dt.link(1, 1, 1.0), std::invalid_argument);  // loop
+  EXPECT_THROW((void)dt.connected(0, 9), std::invalid_argument);
+  EXPECT_THROW((void)dt.path_max(0, 0), std::invalid_argument);
+  dt.cut(e01);
+  EXPECT_THROW(dt.cut(e01), std::invalid_argument);  // already dead
+  EXPECT_THROW((void)dt.path_max(0, 2), std::invalid_argument);  // split
+}
+
+/// The tentpole acceptance harness: randomized link/cut churn with every
+/// path_max and connected answer checked against brute-force path scans
+/// over an explicitly maintained edge list.
+TEST(DynamicTree, RandomizedLinkCutMatchesBruteForce) {
+  constexpr std::int32_t kN = 40;
+  struct BruteEdge {
+    std::int32_t a = -1;
+    std::int32_t b = -1;
+    double w2 = 0.0;
+  };
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    DynamicTree dt;
+    dt.ensure_vertices(kN);
+    util::Rng rng(seed);
+    std::map<EdgeHandle, BruteEdge> live;
+
+    // Brute-force reference: the handle sequence of the a..b path, or
+    // nullopt when disconnected (BFS over the live edge list).
+    const auto brute_path =
+        [&](std::int32_t from,
+            std::int32_t to) -> std::optional<std::vector<EdgeHandle>> {
+      std::vector<std::vector<std::pair<std::int32_t, EdgeHandle>>> adj(kN);
+      for (const auto& [handle, e] : live) {
+        adj[static_cast<std::size_t>(e.a)].emplace_back(e.b, handle);
+        adj[static_cast<std::size_t>(e.b)].emplace_back(e.a, handle);
+      }
+      std::vector<std::int32_t> parent(kN, -1);
+      std::vector<EdgeHandle> via(kN, kNoEdgeHandle);
+      parent[static_cast<std::size_t>(from)] = from;
+      std::vector<std::int32_t> frontier{from};
+      for (std::size_t head = 0; head < frontier.size(); ++head) {
+        const auto v = frontier[head];
+        for (const auto& [w, handle] : adj[static_cast<std::size_t>(v)]) {
+          if (parent[static_cast<std::size_t>(w)] >= 0) continue;
+          parent[static_cast<std::size_t>(w)] = v;
+          via[static_cast<std::size_t>(w)] = handle;
+          frontier.push_back(w);
+        }
+      }
+      if (parent[static_cast<std::size_t>(to)] < 0) return std::nullopt;
+      std::vector<EdgeHandle> path;
+      for (std::int32_t v = to; v != from;
+           v = parent[static_cast<std::size_t>(v)]) {
+        path.push_back(via[static_cast<std::size_t>(v)]);
+      }
+      return path;
+    };
+
+    for (int step = 0; step < 400; ++step) {
+      // Mutate: link a random disconnected pair, else cut a random edge.
+      const auto a = static_cast<std::int32_t>(rng.below(kN));
+      const auto b = static_cast<std::int32_t>(rng.below(kN));
+      if (a != b && !brute_path(a, b).has_value()) {
+        // A 30% chance of weight 1.0 forces duplicate-weight ties through
+        // the (w2, a, b) ordering.
+        const double w2 = rng.chance(0.3) ? 1.0 : rng.uniform(0.0, 4.0);
+        const auto handle = dt.link(a, b, w2);
+        live.emplace(handle,
+                     BruteEdge{std::min(a, b), std::max(a, b), w2});
+      } else if (!live.empty()) {
+        auto it = live.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             rng.below(live.size())));
+        dt.cut(it->first);
+        live.erase(it);
+      }
+
+      // Verify: connectivity and path_max of random probes after EVERY op.
+      for (int probe = 0; probe < 6; ++probe) {
+        const auto x = static_cast<std::int32_t>(rng.below(kN));
+        const auto y = static_cast<std::int32_t>(rng.below(kN));
+        const auto path = brute_path(x, y);
+        ASSERT_EQ(dt.connected(x, y), path.has_value())
+            << "seed " << seed << " step " << step;
+        if (x == y || !path.has_value() || path->empty()) continue;
+        std::tuple<double, std::int32_t, std::int32_t> expected{-1.0, -1,
+                                                                -1};
+        for (const auto handle : *path) {
+          const auto& e = live.at(handle);
+          expected = std::max(expected, std::tuple{e.w2, e.a, e.b});
+        }
+        const auto got = dt.path_max(x, y);
+        EXPECT_EQ((std::tuple{dt.weight2(got), dt.edge_a(got),
+                              dt.edge_b(got)}),
+                  expected)
+            << "seed " << seed << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(PointGrid, NearestAndConeQueriesAreExact) {
+  detail::PointGrid grid;
+  grid.reset(1.0);
+  util::Rng rng(7);
+  std::vector<geom::Point> pts;
+  for (std::int32_t id = 0; id < 80; ++id) {
+    pts.push_back({rng.uniform(0.0, 9.0), rng.uniform(0.0, 9.0)});
+    grid.insert(id, pts.back());
+  }
+  const auto none = [](std::int32_t) { return false; };
+  for (int probe = 0; probe < 40; ++probe) {
+    const geom::Point q{rng.uniform(-2.0, 11.0), rng.uniform(-2.0, 11.0)};
+    // Brute-force nearest and per-cone nearest by (w2, id).
+    detail::NearCandidate want;
+    std::array<detail::NearCandidate, 6> want_cones{};
+    for (std::int32_t id = 0; id < 80; ++id) {
+      const double dx = pts[static_cast<std::size_t>(id)].x - q.x;
+      const double dy = pts[static_cast<std::size_t>(id)].y - q.y;
+      const double w2 = dx * dx + dy * dy;
+      const auto cone =
+          static_cast<std::size_t>(detail::PointGrid::cone_of(dx, dy));
+      if (w2 < want.w2 || (w2 == want.w2 && id < want.id)) {
+        want = {id, w2};
+      }
+      auto& slot = want_cones[cone];
+      if (w2 < slot.w2 || (w2 == slot.w2 && id < slot.id)) slot = {id, w2};
+    }
+    const auto got = grid.nearest(q, none);
+    EXPECT_EQ(got.id, want.id);
+    const auto got_cones = grid.cone_nearest(q, none);
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_EQ(got_cones[c].id, want_cones[c].id) << "cone " << c;
+    }
+  }
+  // The limit contract: candidates at or below the cap are still found.
+  const auto capped = grid.nearest({4.5, 4.5}, none,
+                                   grid.nearest({4.5, 4.5}, none).w2);
+  EXPECT_EQ(capped.id, grid.nearest({4.5, 4.5}, none).id);
 }
 
 TEST(Tree, OrientationBasics) {

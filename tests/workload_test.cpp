@@ -131,6 +131,43 @@ TEST(WorkloadSpec, ParsesChurnGrammar) {
   EXPECT_FALSE(plain.churn_audit);
 }
 
+TEST(WorkloadSpec, ParsesGrowShrinkChurnKeys) {
+  const auto spec = WorkloadSpec::parse(
+      "families=uniform sizes=32 modes=global "
+      "churn=epochs:10,rate:0.02,grow:0.015,shrink:0.01");
+  EXPECT_DOUBLE_EQ(spec.churn.grow_rate, 0.015);
+  EXPECT_DOUBLE_EQ(spec.churn.shrink_rate, 0.01);
+  EXPECT_EQ(spec, WorkloadSpec::parse(spec.to_text()));
+
+  // Negative rates are rejected by validation at expansion time.
+  EXPECT_THROW((void)WorkloadSpec::parse("families=uniform sizes=16 "
+                                         "modes=global "
+                                         "churn=epochs:3,grow:-0.5")
+                   .expand(),
+               std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse("families=uniform sizes=16 "
+                                         "modes=global "
+                                         "churn=epochs:3,shrink:-1")
+                   .expand(),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSpec, GrowChurnExpandsGrowingTraces) {
+  const auto requests = WorkloadSpec::parse(
+                            "families=uniform sizes=32 modes=global seed=4 "
+                            "churn=epochs:6,rate:0.03,grow:0.1")
+                            .expand();
+  ASSERT_EQ(requests.size(), 1u);
+  std::ptrdiff_t net = 0;
+  for (const auto& epoch : requests[0].trace) {
+    for (const auto& m : epoch) {
+      if (m.kind == dynamic::Mutation::Kind::kAdd) ++net;
+      if (m.kind == dynamic::Mutation::Kind::kRemove) --net;
+    }
+  }
+  EXPECT_GT(net, 0);
+}
+
 TEST(WorkloadSpec, ChurnRoundTripsThroughText) {
   const auto spec = WorkloadSpec::parse(
       "families=uniform sizes=24 modes=uniform "
