@@ -8,13 +8,19 @@
 
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "conflict/fgraph.h"
 #include "dynamic/dynamic_planner.h"
 #include "dynamic/mutation.h"
 #include "mst/mst.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
+#include "util/stats.h"
 
 namespace wagg {
 namespace {
@@ -250,7 +256,16 @@ BENCHMARK(BM_FullReplanEpoch)->Arg(512)->Arg(2048)->Unit(
 /// same machine in the same process keeps the gate hardware-relative, so a
 /// regression that quietly reintroduces per-epoch rebuild work fails CI
 /// without the flakiness of an absolute-milliseconds threshold.
-int run_smoke() {
+///
+/// The per-epoch budget numbers (mst_ms, conflict_ms, epoch_ms) are read
+/// from the obs::Registry metrics JSON — serialized and re-parsed through
+/// the same schema the CLIs export — so the gate certifies the
+/// machine-readable telemetry end-to-end, not a private accumulator. The
+/// legacy EpochTimings accumulation is kept alongside as a cross-check: the
+/// two must agree, or the "thin view" contract broke. A final gate bounds
+/// the tracing-DISABLED overhead at <= 2% of the measured epoch cost.
+int run_smoke(const std::string& trace_path,
+              const std::string& metrics_path) {
   constexpr double kMinSpeedup = 1.4;
   // A healthy index runs at ~0.5x the baseline on a quiet machine; a
   // regression that reinstates the O(n) rebuild lands at >= 1.5x (rebuild
@@ -273,16 +288,41 @@ int run_smoke() {
   options.config = workload::mode_config(core::PowerMode::kGlobal);
   options.audit = true;
   dynamic::DynamicPlanner planner(points, options);
+  // Window the registry on the gated epochs: the construction full plan
+  // would otherwise dominate the histograms (same convention as wagg_churn).
+  obs::Registry::global().reset();
+  if (!trace_path.empty()) obs::Tracer::global().enable();
 
   SessionCost cost;
+  std::vector<double> epoch_times;  // legacy per-epoch samples (cross-check)
+  epoch_times.reserve(trace.size());
   for (const auto& epoch : trace) {
-    accumulate(cost, planner.apply(epoch));
+    const auto report = planner.apply(epoch);
+    accumulate(cost, report);
+    epoch_times.push_back(report.timings.incremental_ms());
   }
   const auto epochs = static_cast<double>(cost.epochs);
   const double incr = cost.incremental_ms / epochs;
   const double full = cost.full_ms / epochs;
   const double speedup = incr > 0.0 ? full / incr : 0.0;
-  const double conflict = cost.conflict_ms / epochs;
+
+  // ---- machine-readable gate inputs: serialize the registry to the same
+  // JSON the CLIs export, re-parse it, and gate on the PARSED numbers ----
+  const std::string metrics_json =
+      obs::Registry::global().snapshot().to_json();
+  if (!metrics_path.empty()) obs::write_text_file(metrics_path, metrics_json);
+  if (!trace_path.empty()) {
+    obs::Tracer::global().disable();
+    obs::export_trace(trace_path);
+  }
+  const auto parsed = obs::MetricsSnapshot::from_json(metrics_json);
+  const auto& epoch_hist = parsed.histograms.at("dynamic.epoch_ms");
+  const auto& mst_hist = parsed.histograms.at("dynamic.mst_ms");
+  const auto& conflict_hist = parsed.histograms.at("dynamic.conflict_ms");
+  const std::uint64_t json_fallbacks =
+      parsed.counters.at("dynamic.full_replans");
+  const double conflict = conflict_hist.mean();
+  const obs::SummaryRow lat = epoch_hist.row();
 
   // Rebuild baseline: answer the session's average dirty set from scratch
   // against the final snapshot (pays the per-call grid build the index
@@ -307,7 +347,7 @@ int run_smoke() {
   // Tree-layer budget: per-epoch MST cost against a from-scratch Prim on
   // the same final instance (the per-epoch tree bill of a non-incremental
   // engine).
-  const double mst = cost.mst_ms / epochs;
+  const double mst = mst_hist.mean();
   const double prim_baseline = prim_baseline_ms(planner.snapshot().points);
 
   std::cout << "smoke: uniform n=" << n << " rate=0.01 epochs=" << cost.epochs
@@ -321,6 +361,42 @@ int run_smoke() {
             << cost.orient_ms / epochs << " orient, Prim baseline "
             << prim_baseline << ") fallbacks=" << cost.full_replans
             << " valid=" << (cost.all_valid ? "yes" : "NO") << "\n";
+  std::cout << "smoke: epoch latency (metrics JSON) p50=" << lat.p50
+            << " p95=" << lat.p95 << " mean=" << lat.mean
+            << " max=" << lat.max << " ms\n";
+
+  // ---- thin-view cross-checks: the parsed JSON must describe the same
+  // session the legacy EpochTimings accumulation saw ----
+  const auto rel_diff = [](double a, double b) {
+    return std::abs(a - b) / std::max({1e-12, std::abs(a), std::abs(b)});
+  };
+  if (epoch_hist.count() != cost.epochs ||
+      json_fallbacks != cost.full_replans ||
+      rel_diff(mst, cost.mst_ms / epochs) > 1e-9 ||
+      rel_diff(conflict, cost.conflict_ms / epochs) > 1e-9 ||
+      rel_diff(epoch_hist.mean(), incr) > 1e-9) {
+    std::cout << "smoke FAILED: metrics JSON disagrees with EpochTimings "
+                 "(count/mean/fallback mismatch) — the registry is no "
+                 "longer a faithful view of the pipeline\n";
+    return 1;
+  }
+  // Quantiles: log-bucketed values must sit within the documented relative
+  // error of the exact order statistic at the same rank.
+  std::sort(epoch_times.begin(), epoch_times.end());
+  for (const double p : {50.0, 95.0}) {
+    const auto rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(epoch_times.size() - 1));
+    const double exact = epoch_times[rank];
+    if (rel_diff(epoch_hist.quantile(p), exact) >
+        obs::Histogram::kMaxRelativeError + 1e-12) {
+      std::cout << "smoke FAILED: histogram p" << p << " "
+                << epoch_hist.quantile(p) << " strays more than "
+                << obs::Histogram::kMaxRelativeError
+                << " from the exact order statistic " << exact << "\n";
+      return 1;
+    }
+  }
+
   if (!cost.all_valid) {
     std::cout << "smoke FAILED: an epoch lost validity or audit "
                  "equivalence\n";
@@ -350,6 +426,46 @@ int run_smoke() {
               << " ms) — tree updates are no longer localized\n";
     return 1;
   }
+
+  // ---- tracing-disabled overhead gate: instrumentation left in the hot
+  // path must cost <= 2% of an epoch when nobody is tracing ----
+  // Count the spans one epoch actually opens (briefly enabled replay on a
+  // fresh session), then price them at the measured disabled-span cost.
+  // The product, not a full timed rerun, is what's asserted: epoch wall
+  // clocks on shared runners are far noisier than 2%.
+  obs::Tracer::global().enable();
+  std::uint64_t spans_per_epoch = 0;
+  {
+    dynamic::DynamicOptions probe_options = options;
+    probe_options.audit = false;  // gate the steady-state epoch, not audit
+    dynamic::DynamicPlanner probe(points, probe_options);
+    const std::uint64_t before = obs::Tracer::global().recorded_events();
+    (void)probe.apply(trace.front());
+    spans_per_epoch = obs::Tracer::global().recorded_events() - before;
+  }
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear();
+
+  constexpr int kSpanReps = 1'000'000;
+  const auto span_start = util::Clock::now();
+  for (int i = 0; i < kSpanReps; ++i) {
+    obs::Span probe_span("overhead-probe");
+    benchmark::DoNotOptimize(&probe_span);
+  }
+  const double per_span_ms = util::ms_since(span_start) / kSpanReps;
+  const double overhead_ms =
+      per_span_ms * static_cast<double>(spans_per_epoch);
+  const double overhead_budget_ms = 0.02 * epoch_hist.mean();
+  std::cout << "smoke: tracing-disabled overhead " << overhead_ms
+            << " ms/epoch (" << spans_per_epoch << " spans x " << per_span_ms
+            << " ms), budget " << overhead_budget_ms << " (2% of epoch)\n";
+  if (overhead_ms > overhead_budget_ms) {
+    std::cout << "smoke FAILED: disabled tracing costs " << overhead_ms
+              << " ms/epoch > 2% of the " << epoch_hist.mean()
+              << " ms epoch — the disabled span path is no longer one "
+                 "relaxed load\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -360,18 +476,34 @@ int main(int argc, char** argv) {
   // --smoke: skip the (slow) study table, run the CI gate, then whatever
   // benchmarks the remaining flags select (CI passes a tiny
   // --benchmark_min_time so regressions surface without burning minutes).
+  // --trace= / --metrics-json= write the smoke session's Perfetto trace and
+  // registry snapshot (uploaded as CI artifacts). All three are consumed
+  // here — google-benchmark rejects flags it does not know.
   bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc;) {
+    const std::string arg(argv[i]);
+    bool consumed = true;
+    if (arg == "--smoke") {
       smoke = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(15);
+    } else {
+      consumed = false;
+    }
+    if (consumed) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
-      break;
+    } else {
+      ++i;
     }
   }
   int gate = 0;
   if (smoke) {
-    gate = wagg::run_smoke();
+    gate = wagg::run_smoke(trace_path, metrics_path);
     if (gate != 0) return gate;
   } else {
     wagg::print_table();

@@ -5,6 +5,7 @@
 //   ./wagg_batch --spec=sweep.txt         # run a spec file
 //   ./wagg_batch --workers=8 --csv        # pool size; CSV per-cell output
 //   ./wagg_batch --keep-failures          # print every failed request
+//   ./wagg_batch --trace=out.json --metrics-json=out-metrics.json
 //
 // Spec grammar (whitespace-separated key=value, '#' comments):
 //   name=demo families=uniform,annulus sizes=64..256x2 modes=global
@@ -16,6 +17,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "runtime/plan_service.h"
 #include "util/args.h"
 #include "util/stats.h"
@@ -91,6 +94,10 @@ int main(int argc, char** argv) {
     const auto spec = wagg::workload::WorkloadSpec::parse(spec_text);
     const auto requests = spec.expand();
 
+    const std::string trace_path = args.get("trace", "");
+    const std::string metrics_path = args.get("metrics-json", "");
+    if (!trace_path.empty()) wagg::obs::Tracer::global().enable();
+
     wagg::runtime::ServiceOptions options;
     options.num_workers =
         static_cast<std::size_t>(args.get_int("workers", 0));
@@ -133,8 +140,8 @@ int main(int argc, char** argv) {
           .cell(cell.failed)
           .cell(cell.slots.empty() ? 0.0 : cell.slots.mean())
           .cell(cell.rate.empty() ? 0.0 : cell.rate.mean())
-          .cell(cell.total_ms.empty() ? 0.0 : cell.total_ms.percentile(50.0))
-          .cell(cell.total_ms.empty() ? 0.0 : cell.total_ms.percentile(95.0));
+          .cell(wagg::util::percentile_or(cell.total_ms.values(), 50.0, 0.0))
+          .cell(wagg::util::percentile_or(cell.total_ms.values(), 95.0, 0.0));
     }
     if (args.has("csv")) {
       table.print_csv(std::cout);
@@ -149,6 +156,21 @@ int main(int argc, char** argv) {
               << wagg::util::format_double(result.stats.plans_per_sec, 1)
               << " plans/sec\n\nstage latencies (successful plans):\n";
     print_stage_table(result.stats);
+
+    // Workers are idle once run() returned (completion synchronized through
+    // the batch condition variable), so the export sees complete buffers.
+    if (!trace_path.empty()) {
+      wagg::obs::Tracer::global().disable();
+      wagg::obs::export_trace(trace_path);
+      std::cout << "trace: " << trace_path << " ("
+                << wagg::obs::Tracer::global().recorded_events() << " spans, "
+                << wagg::obs::Tracer::global().dropped_events()
+                << " dropped)\n";
+    }
+    if (!metrics_path.empty()) {
+      wagg::obs::export_metrics(metrics_path);
+      std::cout << "metrics: " << metrics_path << "\n";
+    }
 
     return result.stats.failed == 0 ? 0 : 2;
   } catch (const std::exception& e) {

@@ -9,17 +9,29 @@
 //   ./wagg_churn --grow=0.02                        # net growth schedule
 //   ./wagg_churn --shrink=0.02                      # net shrink schedule
 //   ./wagg_churn --full-frac=0.1 --seed=7 --csv
+//   ./wagg_churn --trace=out.json --metrics-json=out-metrics.json
 //
 // Per epoch the driver prints the mutation count, the dirty-link set, how
 // many slots were reused untouched vs patched, oracle calls spent, the rate,
 // and the incremental wall clock — with --audit also the from-scratch
 // replan's wall clock and the validity cross-check.
+//
+// --trace writes a Chrome trace-event / Perfetto JSON of the session's span
+// tree (per-epoch stage slices); --metrics-json writes the obs::Registry
+// snapshot (counters + log-bucketed latency histograms). Both metric windows
+// cover the mutation epochs — the construction full plan is excluded so the
+// histograms describe steady-state incremental cost.
 
+#include <cmath>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "dynamic/dynamic_planner.h"
 #include "dynamic/mutation.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/args.h"
 #include "util/table.h"
 #include "workload/workload.h"
@@ -54,7 +66,15 @@ int main(int argc, char** argv) {
     options.audit = args.has("audit");
     options.full_replan_fraction = args.get_double("full-frac", 0.35);
 
+    const std::string trace_path = args.get("trace", "");
+    const std::string metrics_path = args.get("metrics-json", "");
+    if (!trace_path.empty()) obs::Tracer::global().enable();
+
     dynamic::DynamicPlanner planner(points, options);
+    // Window the registry on the mutation epochs: the construction full plan
+    // would otherwise dominate every latency histogram. The trace keeps the
+    // construction spans — seeing the initial plan there is useful.
+    obs::Registry::global().reset();
     std::cout << "churn session: family=" << family << " n=" << n
               << " rate=" << rate << " epochs=" << epochs
               << " mode=" << core::to_string(options.config.power_mode)
@@ -108,6 +128,8 @@ int main(int argc, char** argv) {
     if (powers) (void)planner.slot_powers();
 
     add_row(planner.last_report());
+    std::vector<double> epoch_times;  // per-epoch incremental_ms
+    epoch_times.reserve(trace.size());
     double incremental_ms = 0.0;
     double full_ms = 0.0;
     double mst_update_ms = 0.0;
@@ -124,6 +146,7 @@ int main(int argc, char** argv) {
       if (powers) (void)planner.slot_powers();
       const auto report = planner.last_report();
       add_row(report);
+      epoch_times.push_back(report.timings.incremental_ms());
       incremental_ms += report.timings.incremental_ms();
       full_ms += report.audit_full_ms;
       mst_update_ms += report.timings.mst_update_ms;
@@ -158,28 +181,26 @@ int main(int argc, char** argv) {
                 << util::format_double(full_ms / incremental_ms, 1)
                 << "x speedup)";
     }
+    // Round the split cells FIRST and derive each printed total from the
+    // rounded parts — formatting the raw sum independently can disagree with
+    // the printed parts by the last digit.
+    const auto round2 = [](double v) { return std::round(v * 100.0) / 100.0; };
+    const double mst_update_cell =
+        round2(mst_update_ms / static_cast<double>(epochs));
+    const double orient_cell = round2(orient_ms / static_cast<double>(epochs));
     std::cout << ", mst "
-              << util::format_double(
-                     (mst_update_ms + orient_ms) / static_cast<double>(epochs),
-                     2)
-              << " ms/epoch ("
-              << util::format_double(
-                     mst_update_ms / static_cast<double>(epochs), 2)
-              << " update / "
-              << util::format_double(
-                     orient_ms / static_cast<double>(epochs), 2)
+              << util::format_double(mst_update_cell + orient_cell, 2)
+              << " ms/epoch (" << util::format_double(mst_update_cell, 2)
+              << " update / " << util::format_double(orient_cell, 2)
               << " orient)";
+    const double maintain_cell =
+        round2(conflict_maintain_ms / static_cast<double>(epochs));
+    const double query_cell =
+        round2(conflict_query_ms / static_cast<double>(epochs));
     std::cout << ", conflict "
-              << util::format_double(
-                     (conflict_maintain_ms + conflict_query_ms) /
-                         static_cast<double>(epochs),
-                     2)
-              << " ms/epoch ("
-              << util::format_double(
-                     conflict_maintain_ms / static_cast<double>(epochs), 2)
-              << " maintain / "
-              << util::format_double(
-                     conflict_query_ms / static_cast<double>(epochs), 2)
+              << util::format_double(maintain_cell + query_cell, 2)
+              << " ms/epoch (" << util::format_double(maintain_cell, 2)
+              << " maintain / " << util::format_double(query_cell, 2)
               << " query)";
     if (powers) {
       std::cout << ", powers "
@@ -190,6 +211,28 @@ int main(int argc, char** argv) {
     }
     std::cout << ", " << fallbacks << " fallbacks, "
               << (all_valid ? "all epochs valid" : "INVALID EPOCHS") << "\n";
+
+    if (!epoch_times.empty()) {
+      // The one summary-row implementation of the repo (satellite of the
+      // telemetry spine): log-bucketed p50/p95, exact mean/max.
+      const obs::SummaryRow lat =
+          obs::HistogramSnapshot::of(epoch_times).row();
+      std::cout << "epoch latency: p50 " << util::format_double(lat.p50, 2)
+                << " ms, p95 " << util::format_double(lat.p95, 2)
+                << " ms, mean " << util::format_double(lat.mean, 2)
+                << " ms, max " << util::format_double(lat.max, 2) << " ms\n";
+    }
+    if (!trace_path.empty()) {
+      obs::Tracer::global().disable();
+      obs::export_trace(trace_path);
+      std::cout << "trace: " << trace_path << " ("
+                << obs::Tracer::global().recorded_events() << " spans, "
+                << obs::Tracer::global().dropped_events() << " dropped)\n";
+    }
+    if (!metrics_path.empty()) {
+      obs::export_metrics(metrics_path);
+      std::cout << "metrics: " << metrics_path << "\n";
+    }
     return all_valid ? 0 : 2;
   } catch (const std::exception& e) {
     std::cerr << "wagg_churn: " << e.what() << "\n";

@@ -149,6 +149,7 @@ std::vector<std::vector<std::int32_t>> ConflictIndex::neighbors(
 
   if (stamp_.size() < entries_.size()) stamp_.resize(entries_.size(), 0);
   std::vector<geom::LinkId> candidates;
+  stats_.rows_queried += queries.size();
   for (std::size_t k = 0; k < queries.size(); ++k) {
     const std::size_t q = queries[k];
     const double lq = links.length(q);
@@ -182,7 +183,10 @@ std::vector<std::vector<std::int32_t>> ConflictIndex::neighbors(
       grid.collect(qs, qr, radius, candidates);
       for (const geom::LinkId id : candidates) {
         const auto slot = static_cast<std::size_t>(id);
-        if (stamp_[slot] == serial) continue;  // seen via the other endpoint
+        if (stamp_[slot] == serial) {  // seen via the other endpoint
+          ++stats_.dedupe_hits;
+          continue;
+        }
         stamp_[slot] = serial;
         // Cheap squared-distance prune before the exact predicate: the
         // radius over-approximates every conflict distance for this class,
@@ -195,7 +199,10 @@ std::vector<std::vector<std::int32_t>> ConflictIndex::neighbors(
                               geom::squared_distance(qs, entry.receiver)),
                      std::min(geom::squared_distance(qr, entry.sender),
                               geom::squared_distance(qr, entry.receiver)));
-        if (d2 > radius2) continue;
+        if (d2 > radius2) {
+          ++stats_.cells_pruned;
+          continue;
+        }
         const auto j = static_cast<std::size_t>(dense_of(id));
         if (spec.conflicting(links, q, j)) {
           row.push_back(static_cast<std::int32_t>(j));

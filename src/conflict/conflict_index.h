@@ -24,6 +24,15 @@ struct ConflictIndexStats {
   /// Updates that moved a link to a different length class.
   std::size_t reclasses = 0;
   double maintain_ms = 0.0;
+  /// Query-side shape counters (neighbors() is const; these are telemetry).
+  /// Rows answered — one per query index across all neighbors() calls.
+  std::uint64_t rows_queried = 0;
+  /// Grid candidates skipped because the visit stamp already saw them via
+  /// the other endpoint bucket of the same query.
+  std::uint64_t dedupe_hits = 0;
+  /// Candidates rejected by the squared-distance prune before the exact
+  /// conflict predicate ran.
+  std::uint64_t cells_pruned = 0;
 };
 
 /// A persistent, mutation-aware version of the per-length-class bucket grids
@@ -128,7 +137,8 @@ class ConflictIndex {
   bool have_origin_ = false;
   double origin_x_ = 0.0;
   double origin_y_ = 0.0;
-  ConflictIndexStats stats_;
+  /// Mutable for the query-side counters: neighbors() is logically const.
+  mutable ConflictIndexStats stats_;
 };
 
 }  // namespace wagg::conflict

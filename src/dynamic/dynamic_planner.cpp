@@ -8,6 +8,8 @@
 
 #include "conflict/fgraph.h"
 #include "mst/tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schedule/repair.h"
 #include "schedule/verify.h"
 #include "sinr/feasibility.h"
@@ -32,6 +34,46 @@ std::uint64_t membership_key(std::span<const geom::LinkId> ids) noexcept {
     }
   }
   return h;
+}
+
+/// The planner's registry handles, resolved once (registration takes the
+/// registry mutex; after that every epoch publishes against stable
+/// references — no lookups, no locks). Registry::reset() zeroes values but
+/// keeps registrations, so the references stay valid across metric windows.
+struct PlannerMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& epochs = reg.counter("dynamic.epochs");
+  obs::Counter& mutations = reg.counter("dynamic.mutations");
+  obs::Counter& dirty_links = reg.counter("dynamic.dirty_links");
+  obs::Counter& full_replans = reg.counter("dynamic.full_replans");
+  obs::Counter& oracle_calls = reg.counter("dynamic.oracle_calls");
+  obs::Counter& reused_slots = reg.counter("dynamic.reused_slots");
+  obs::Counter& touched_slots = reg.counter("dynamic.touched_slots");
+  obs::Counter& audit_failures = reg.counter("dynamic.audit_failures");
+  obs::Counter& delta_added = reg.counter("mst.delta_added");
+  obs::Counter& delta_removed = reg.counter("mst.delta_removed");
+  obs::Counter& rebuilds = reg.counter("mst.rebuilds");
+  obs::Counter& path_max_swaps = reg.counter("mst.path_max_swaps");
+  obs::Counter& boruvka_rounds = reg.counter("mst.boruvka_rounds");
+  obs::Counter& grid_fallbacks = reg.counter("mst.grid_fallback_sweeps");
+  obs::Counter& rows_queried = reg.counter("conflict.rows_queried");
+  obs::Counter& dedupe_hits = reg.counter("conflict.dedupe_hits");
+  obs::Counter& cells_pruned = reg.counter("conflict.cells_pruned");
+  obs::Counter& power_hits = reg.counter("power.slot_cache_hits");
+  obs::Counter& power_misses = reg.counter("power.slot_cache_misses");
+  obs::Histogram& epoch_ms = reg.histogram("dynamic.epoch_ms");
+  obs::Histogram& mst_ms = reg.histogram("dynamic.mst_ms");
+  obs::Histogram& conflict_ms = reg.histogram("dynamic.conflict_ms");
+  obs::Histogram& recolor_ms = reg.histogram("dynamic.recolor_ms");
+  obs::Histogram& repair_ms = reg.histogram("dynamic.repair_ms");
+  obs::Histogram& power_ms = reg.histogram("dynamic.power_ms");
+  obs::Histogram& dirty_per_epoch =
+      reg.histogram("dynamic.dirty_links_per_epoch");
+};
+
+PlannerMetrics& planner_metrics() {
+  static PlannerMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
@@ -89,8 +131,12 @@ DynamicPlanner::DynamicPlanner(const geom::Pointset& initial,
 
   EpochReport report;
   report.epoch = 0;
-  replan({}, report);
-  if (options_.audit) run_audit(report);
+  {
+    obs::Span epoch_span("epoch");
+    replan({}, report);
+    if (options_.audit) run_audit(report);
+  }
+  publish_epoch_metrics(report);
   report_ = report;
 }
 
@@ -99,6 +145,8 @@ EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
   report.epoch = report_.epoch + 1;
   report.mutations_applied = mutations.size();
 
+  obs::Span epoch_span("epoch");
+  obs::StageSpan mst_span("mst_update");
   const auto mst_start = Clock::now();
   // Past ~n/8 mutations one batch Prim beats per-mutation maintenance, so
   // bulk epochs defer tree updates and rebuild once. The threshold rose
@@ -158,6 +206,7 @@ EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
     throw;
   }
   if (bulk) mst_.rebuild();
+  mst_span.close();
   report.timings.mst_update_ms = ms_since(mst_start);
 
   try {
@@ -171,6 +220,7 @@ EpochReport DynamicPlanner::apply(std::span<const Mutation> mutations) {
     invalidate_carried_state();
     throw;
   }
+  publish_epoch_metrics(report);
   report_ = report;
   return report;
 }
@@ -438,8 +488,15 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
   // stage; its accumulated-timer delta is carved out of orient_ms below so
   // the conflict stage owns the full conflict-layer cost.
   const double maintain_mark = conflict_index_.stats().maintain_ms;
+  obs::StageSpan stage_span("orient");
   auto stage_start = Clock::now();
   const auto delta = mst_.take_delta();
+  {
+    auto& metrics = planner_metrics();
+    metrics.delta_added.add(delta.added.size());
+    metrics.delta_removed.add(delta.removed.size());
+    if (delta.rebuilt) metrics.rebuilds.add();
+  }
   if (force_reconcile_ || delta.rebuilt) {
     reconcile_full();
     force_reconcile_ = false;
@@ -468,6 +525,7 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
   report.timings.conflict_maintain_ms += maintain_ms;
   report.timings.conflict_ms += maintain_ms;
   report.timings.orient_ms += ms_since(stage_start) - maintain_ms;
+  stage_span.next("dirty_detect");
 
   // ---- dirty detection via generation counters (no conflict graph
   // needed: the pairwise conflict relation of two geometrically unchanged
@@ -505,6 +563,7 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     // ---- fallback: full replan, warm-started from the surviving slots so
     // the coloring stays stable; repair + verification run from scratch and
     // re-anchor the carried-over validity chain ----
+    stage_span.next("full_replan");
     stage_start = Clock::now();
     core::StageTimings stage_timings;
     core::WarmStart warm;
@@ -535,6 +594,7 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     // per-class grids — output-sensitive queries with ZERO per-epoch
     // rebuild (the O(n) grid construction the from-scratch subset query
     // pays every call).
+    stage_span.next("conflict_query");
     stage_start = Clock::now();
     std::vector<std::size_t> dirty_indices;
     dirty_indices.reserve(dirty_count);
@@ -562,6 +622,7 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     // Seeded recolor: surviving links keep their final slot (final slots
     // are independent sets, so the seed is proper); only dirty links are
     // first-fit colored against their conflict rows.
+    stage_span.next("recolor");
     stage_start = Clock::now();
     std::vector<int> seed(n, -1);
     for (std::size_t i = 0; i < n; ++i) {
@@ -578,6 +639,7 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     // oracle is deterministic, so the old certificate applies verbatim);
     // any class that shrank is re-checked — and repacked if the oracle now
     // rejects it — before serving as a kept sub-slot or a final slot.
+    stage_span.next("repair");
     stage_start = Clock::now();
     const auto oracle = core::oracle_for_mode(links, config);
     std::vector<std::vector<std::size_t>> classes(
@@ -618,6 +680,7 @@ void DynamicPlanner::replan(const std::vector<NodeId>& touched,
     report.timings.repair_ms += ms_since(stage_start);
   }
 
+  stage_span.close();
   report.slots = final_schedule.length();
   report.rate = final_schedule.empty() ? 0.0 : final_schedule.coloring_rate();
 
@@ -648,6 +711,7 @@ const std::vector<sinr::PowerAssignment>& DynamicPlanner::slot_powers() {
         "not per-slot Perron vectors");
   }
   if (slot_powers_current_) return slot_powers_;
+  obs::Span span("power");
   const auto start = Clock::now();
   const auto& links = current_.links;
   const auto link_ids = links.ids();  // increasing (store snapshot order)
@@ -699,8 +763,10 @@ const std::vector<sinr::PowerAssignment>& DynamicPlanner::slot_powers() {
       }
       it = power_cache_.insert_or_assign(key, std::move(entry)).first;
       ++report_.power_slots_computed;
+      planner_metrics().power_misses.add();
     } else {
       ++report_.power_slots_cached;
+      planner_metrics().power_hits.add();
     }
 
     const auto& entry = it->second;
@@ -724,11 +790,14 @@ const std::vector<sinr::PowerAssignment>& DynamicPlanner::slot_powers() {
   });
 
   slot_powers_current_ = true;
-  report_.timings.power_ms += ms_since(start);
+  const double elapsed = ms_since(start);
+  report_.timings.power_ms += elapsed;
+  planner_metrics().power_ms.record(elapsed);
   return slot_powers_;
 }
 
 void DynamicPlanner::run_audit(EpochReport& report) {
+  obs::Span span("audit");
   const auto audit_start = Clock::now();
   auto config = options_.config;
   config.sink = current_.sink;  // compact index of the stable sink id
@@ -791,6 +860,47 @@ void DynamicPlanner::run_audit(EpochReport& report) {
 
   report.audited = true;
   report.timings.audit_ms = ms_since(audit_start);
+  if (!(report.audit_valid && report.audit_tree_match &&
+        report.audit_store_match && report.audit_index_match)) {
+    planner_metrics().audit_failures.add();
+  }
+}
+
+void DynamicPlanner::publish_epoch_metrics(const EpochReport& report) {
+  auto& metrics = planner_metrics();
+  metrics.epochs.add();
+  metrics.mutations.add(report.mutations_applied);
+  metrics.dirty_links.add(report.dirty_links);
+  if (report.full_replan) metrics.full_replans.add();
+  metrics.oracle_calls.add(report.oracle_calls);
+  metrics.reused_slots.add(report.reused_slots);
+  metrics.touched_slots.add(report.touched_slots);
+
+  const auto mst_stats = mst_.stats();
+  metrics.path_max_swaps.add(mst_stats.path_max_swaps -
+                             mst_stats_mark_.path_max_swaps);
+  metrics.boruvka_rounds.add(mst_stats.boruvka_rounds -
+                             mst_stats_mark_.boruvka_rounds);
+  metrics.grid_fallbacks.add(mst_stats.grid_fallback_sweeps -
+                             mst_stats_mark_.grid_fallback_sweeps);
+  mst_stats_mark_ = mst_stats;
+
+  const auto& conflict_stats = conflict_index_.stats();
+  metrics.rows_queried.add(conflict_stats.rows_queried -
+                           conflict_stats_mark_.rows_queried);
+  metrics.dedupe_hits.add(conflict_stats.dedupe_hits -
+                          conflict_stats_mark_.dedupe_hits);
+  metrics.cells_pruned.add(conflict_stats.cells_pruned -
+                           conflict_stats_mark_.cells_pruned);
+  conflict_stats_mark_ = conflict_stats;
+
+  const EpochTimings& t = report.timings;
+  metrics.epoch_ms.record(t.incremental_ms());
+  metrics.mst_ms.record(t.mst_ms());
+  metrics.conflict_ms.record(t.conflict_ms);
+  metrics.recolor_ms.record(t.recolor_ms);
+  metrics.repair_ms.record(t.repair_ms);
+  metrics.dirty_per_epoch.record(static_cast<double>(report.dirty_links));
 }
 
 }  // namespace wagg::dynamic

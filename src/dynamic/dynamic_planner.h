@@ -273,6 +273,10 @@ class DynamicPlanner : private geom::LinkStoreListener {
   /// Drops all carried plan state (slot seeds, caches) and forces the next
   /// epoch through reconcile_full + full replan.
   void invalidate_carried_state();
+  /// Pushes the finished epoch into the global obs::Registry: report
+  /// counters verbatim, engine lifetime counters as deltas against the
+  /// marks below, stage timings into per-epoch histograms.
+  void publish_epoch_metrics(const EpochReport& report);
 
   DynamicOptions options_;
   NodeId sink_id_ = 0;
@@ -317,6 +321,12 @@ class DynamicPlanner : private geom::LinkStoreListener {
 
   Snapshot current_;
   EpochReport report_;
+
+  /// Telemetry marks: the engines' lifetime counters as of the last
+  /// publish_epoch_metrics — diffing against them attributes work per epoch
+  /// without putting a single atomic in the engines' hot loops.
+  mst::IncrementalMstStats mst_stats_mark_;
+  conflict::ConflictIndexStats conflict_stats_mark_;
 };
 
 }  // namespace wagg::dynamic

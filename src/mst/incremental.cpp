@@ -312,6 +312,7 @@ void IncrementalMst::attach(NodeId id) {
     const WeightedEdge heaviest{dtree_.weight2(m), dtree_.edge_a(m),
                                 dtree_.edge_b(m)};
     if (cand < heaviest) {
+      ++stats_.path_max_swaps;
       delta_.removed.push_back(IdEdge{heaviest.a, heaviest.b});
       remove_tree_edge(heaviest.a,
                        AdjEntry{heaviest.b, static_cast<EdgeHandle>(m)});
@@ -362,6 +363,7 @@ void IncrementalMst::reconnect(std::vector<NodeId> seeds) {
       if (!known) reps.push_back(s);
     }
     if (reps.size() <= 1) return;
+    ++stats_.boruvka_rounds;
 
     struct Walk {
       std::vector<NodeId> stack;

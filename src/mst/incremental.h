@@ -43,6 +43,23 @@ struct MstDelta {
   }
 };
 
+/// Work counters of an IncrementalMst, accumulated since construction.
+/// Consumers (the dynamic planner's telemetry publisher) diff successive
+/// reads to attribute work per epoch; none of these affect results.
+struct IncrementalMstStats {
+  /// attach() exchanges: a cone candidate beat path_max and cost one
+  /// cut + one link. The per-insert count is the real "how disturbed was
+  /// the tree" signal (inserts that merely connect don't swap).
+  std::uint64_t path_max_swaps = 0;
+  /// reconnect() rounds: each Boruvka round links every leftover
+  /// component's minimum outgoing edge. Bounded by log(components) <= 3
+  /// per removal; climbing counts mean removals keep splitting badly.
+  std::uint64_t boruvka_rounds = 0;
+  /// Ring searches that blew kRingBudget and swept every occupied cell —
+  /// the grid's exact-but-linear escape hatch (see PointGrid).
+  std::uint64_t grid_fallback_sweeps = 0;
+};
+
 /// Exact Euclidean MST maintained under point insertion, deletion, and
 /// motion, at a cost proportional to the disturbed neighborhood instead of
 /// the instance. The engine is a DynamicTree (splay path decomposition,
@@ -127,6 +144,13 @@ class IncrementalMst {
   /// following alive_ids() order — ready for orient_toward_sink.
   [[nodiscard]] std::vector<Edge> compact_edges() const;
 
+  /// Accumulated work counters (telemetry; see IncrementalMstStats).
+  [[nodiscard]] IncrementalMstStats stats() const noexcept {
+    IncrementalMstStats out = stats_;
+    out.grid_fallback_sweeps = grid_.fallback_sweeps();
+    return out;
+  }
+
  private:
   /// A candidate edge with its cached squared weight; canonical a < b,
   /// ordered by (w2, a, b) — the same order as (weight, a, b) since
@@ -187,6 +211,8 @@ class IncrementalMst {
   mutable std::vector<IdEdge> edges_cache_;
   mutable bool edges_cache_stale_ = true;
   MstDelta delta_;
+  /// Work counters (grid_fallback_sweeps lives on the grid; stats() merges).
+  IncrementalMstStats stats_;
 };
 
 }  // namespace wagg::mst

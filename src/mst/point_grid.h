@@ -56,6 +56,15 @@ class PointGrid {
   [[nodiscard]] std::size_t size() const noexcept { return num_points_; }
   [[nodiscard]] double cell_size() const noexcept { return cell_; }
 
+  /// Lifetime count of budget-exceeded ring searches that fell back to the
+  /// exact occupied-cell sweep (survives reset(): it tracks the engine, not
+  /// one grid generation). The telemetry layer surfaces it as
+  /// mst.grid_fallback_sweeps — a sudden climb means the cell tuning no
+  /// longer matches the instance's density spread.
+  [[nodiscard]] std::uint64_t fallback_sweeps() const noexcept {
+    return fallback_sweeps_;
+  }
+
   void insert(std::int32_t id, const geom::Point& p) {
     const auto [cx, cy] = coords(p);
     auto& cell = cells_[conflict::detail::cell_key(cx, cy)];
@@ -216,6 +225,7 @@ class PointGrid {
         return;
       }
       if (probed > kRingBudget) {
+        ++fallback_sweeps_;
         sweep_all(from, excluded, best);
         return;
       }
@@ -241,6 +251,8 @@ class PointGrid {
   std::size_t num_points_ = 0;
   std::int64_t min_cx_ = 0, max_cx_ = 0, min_cy_ = 0, max_cy_ = 0;
   std::unordered_map<std::uint64_t, Cell> cells_;
+  /// Queries are const; the fallback tally is telemetry, not state.
+  mutable std::uint64_t fallback_sweeps_ = 0;
 };
 
 }  // namespace wagg::mst::detail

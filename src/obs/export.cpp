@@ -1,0 +1,30 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wagg::obs {
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("obs: cannot open " + path + " for writing");
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("obs: short write to " + path);
+  }
+}
+
+void export_metrics(const std::string& path) {
+  write_text_file(path, Registry::global().snapshot().to_json());
+}
+
+void export_trace(const std::string& path) {
+  write_text_file(path, Tracer::global().chrome_trace_json());
+}
+
+}  // namespace wagg::obs

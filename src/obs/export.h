@@ -1,0 +1,22 @@
+#ifndef WAGG_OBS_EXPORT_H
+#define WAGG_OBS_EXPORT_H
+
+#include <string>
+
+namespace wagg::obs {
+
+/// Writes `content` to `path`, throwing std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Writes Registry::global().snapshot().to_json() to `path` (the
+/// machine-readable metrics snapshot CLIs expose via --metrics-json).
+void export_metrics(const std::string& path);
+
+/// Writes Tracer::global().chrome_trace_json() to `path` (the Perfetto /
+/// chrome://tracing file CLIs expose via --trace). Call once recording
+/// threads are quiescent.
+void export_trace(const std::string& path);
+
+}  // namespace wagg::obs
+
+#endif  // WAGG_OBS_EXPORT_H

@@ -1,0 +1,282 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace wagg::obs::json {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, std::size_t pos) {
+  throw std::invalid_argument("json: " + std::string(what) + " at offset " +
+                              std::to_string(pos));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage", pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character", pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Value(string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal", pos_);
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal", pos_);
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal", pos_);
+        return Value();
+      default:
+        return Value(parse_number());
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double out = 0.0;
+    const auto* begin = text_.data() + start;
+    const auto* end = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr != end || begin == end) {
+      fail("malformed number", start);
+    }
+    return out;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string", pos_);
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape", pos_);
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape", pos_);
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape", pos_ - 1);
+          }
+          // The obs writers only ever escape control characters; decode the
+          // ASCII range and reject the rest rather than mis-decode UTF-16.
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported", pos_);
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          fail("unknown escape", pos_ - 1);
+      }
+    }
+  }
+
+  Value array() {
+    expect('[');
+    std::vector<Value> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value::array(std::move(items));
+      if (c != ',') fail("expected ',' or ']'", pos_ - 1);
+    }
+  }
+
+  Value object() {
+    expect('{');
+    std::map<std::string, Value> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value::object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      members.insert_or_assign(std::move(key), value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value::object(std::move(members));
+      if (c != ',') fail("expected ',' or '}'", pos_ - 1);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::invalid_argument("json: not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::invalid_argument("json: not a number");
+  }
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) {
+    throw std::invalid_argument("json: not a string");
+  }
+  return string_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (kind_ != Kind::kArray) throw std::invalid_argument("json: not an array");
+  return array_;
+}
+
+const std::map<std::string, Value>& Value::as_object() const {
+  if (kind_ != Kind::kObject) {
+    throw std::invalid_argument("json: not an object");
+  }
+  return object_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto& members = as_object();
+  const auto it = members.find(key);
+  if (it == members.end()) {
+    throw std::out_of_range("json: missing key \"" + key + "\"");
+  }
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  const auto& members = as_object();
+  return members.find(key) != members.end();
+}
+
+Value Value::array(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::object(std::map<std::string, Value> members) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+Value parse(std::string_view text) { return Parser(text).document(); }
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double d) {
+  if (!std::isfinite(d)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+}  // namespace wagg::obs::json

@@ -1,0 +1,64 @@
+#ifndef WAGG_OBS_JSON_H
+#define WAGG_OBS_JSON_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wagg::obs::json {
+
+/// Minimal JSON document model: just enough for the telemetry snapshots the
+/// obs layer writes and the CI perf gates read back. Numbers are doubles
+/// (every metric the registry exports fits without precision loss at the
+/// magnitudes gates compare), objects preserve key lookup via std::map.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& as_array() const;
+  [[nodiscard]] const std::map<std::string, Value>& as_object() const;
+
+  /// Object member access; throws std::out_of_range when absent (gates want
+  /// a loud failure on a missing metric, not a silent zero).
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  static Value array(std::vector<Value> items);
+  static Value object(std::map<std::string, Value> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parses one JSON document (recursive descent, UTF-8 passthrough, \uXXXX
+/// escapes decoded only for the ASCII range the obs layer ever emits).
+/// Throws std::invalid_argument on malformed input or trailing garbage.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes excluded).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Serializes a double the way the obs writers do: shortest round-trippable
+/// form, with non-finite values mapped to null (JSON has no inf/nan).
+[[nodiscard]] std::string number(double d);
+
+}  // namespace wagg::obs::json
+
+#endif  // WAGG_OBS_JSON_H

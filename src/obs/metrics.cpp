@@ -1,0 +1,309 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace wagg::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+std::size_t Histogram::bucket_index(double v) noexcept {
+  // Zero, negative, and NaN samples clamp to 0 first (fmax maps NaN to 0),
+  // then land in bucket 0 alongside every value below 2^kMinExponent.
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(std::fmax(v, 0.0));
+  // One shift turns the IEEE-754 pattern into
+  //   (biased exponent << kSubBits) | (top kSubBits mantissa bits),
+  // which IS the bucket index up to an offset: consecutive indices cover
+  // consecutive equal-width slices of each octave. +inf saturates high.
+  const std::uint64_t raw = bits >> (52 - kSubBits);
+  constexpr std::uint64_t kBase =
+      static_cast<std::uint64_t>(kMinExponent + 1023) << kSubBits;
+  constexpr std::uint64_t kTop = kBase + kNumBuckets - 1;
+  return static_cast<std::size_t>(std::clamp(raw, kBase, kTop) - kBase);
+}
+
+double Histogram::bucket_midpoint(std::size_t index) noexcept {
+  constexpr std::uint64_t kSubMask = (1u << kSubBits) - 1;
+  const int exponent =
+      kMinExponent + static_cast<int>(index >> kSubBits);
+  const auto sub = static_cast<double>(index & kSubMask);
+  const double octave = std::exp2(static_cast<double>(exponent));
+  const double width = octave / static_cast<double>(1u << kSubBits);
+  return octave + sub * width + width * 0.5;
+}
+
+void Histogram::record(double v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First sample seeds min/max; racing recorders converge via the CAS
+    // loops below (a second thread's sample is still folded in).
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count_ = count_.load(std::memory_order_relaxed);
+  snap.sum_ = sum_.load(std::memory_order_relaxed);
+  snap.min_ = min_.load(std::memory_order_relaxed);
+  snap.max_ = max_.load(std::memory_order_relaxed);
+  snap.buckets_.resize(kNumBuckets);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets_[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- HistogramSnapshot
+
+double HistogramSnapshot::quantile(double p) const noexcept {
+  if (count_ == 0 || buckets_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the order statistic a linear-interpolation percentile
+  // centers on; the bucket holding it answers with its midpoint, clamped to
+  // the exact observed range.
+  const double target = p / 100.0 * static_cast<double>(count_ - 1);
+  const auto needed = static_cast<std::uint64_t>(std::floor(target)) + 1;
+  // The extreme ranks are tracked exactly; answer with them rather than a
+  // bucket midpoint (which can undershoot max, as the clamp only caps).
+  if (needed >= count_) return max_;
+  if (needed <= 1) return min_;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= needed) {
+      return std::clamp(Histogram::bucket_midpoint(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+SummaryRow HistogramSnapshot::row() const noexcept {
+  SummaryRow row;
+  row.p50 = quantile(50.0);
+  row.p95 = quantile(95.0);
+  row.mean = mean();
+  row.max = max();
+  return row;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+HistogramSnapshot::nonzero_buckets() const {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      out.emplace_back(static_cast<std::uint32_t>(i), buckets_[i]);
+    }
+  }
+  return out;
+}
+
+HistogramSnapshot HistogramSnapshot::of(std::span<const double> values) {
+  HistogramSnapshot snap;
+  if (values.empty()) return snap;
+  snap.buckets_.resize(Histogram::kNumBuckets);
+  snap.min_ = values.front();
+  snap.max_ = values.front();
+  for (const double v : values) {
+    ++snap.buckets_[Histogram::bucket_index(v)];
+    ++snap.count_;
+    snap.sum_ += v;
+    snap.min_ = std::min(snap.min_, v);
+    snap.max_ = std::max(snap.max_, v);
+  }
+  return snap;
+}
+
+HistogramSnapshot HistogramSnapshot::from_parts(
+    std::uint64_t count, double sum, double min, double max,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> buckets) {
+  HistogramSnapshot snap;
+  snap.count_ = count;
+  snap.sum_ = sum;
+  snap.min_ = min;
+  snap.max_ = max;
+  snap.buckets_.resize(Histogram::kNumBuckets);
+  for (const auto& [index, bucket_count] : buckets) {
+    if (index >= Histogram::kNumBuckets) {
+      throw std::invalid_argument(
+          "HistogramSnapshot::from_parts: bucket index out of range");
+    }
+    snap.buckets_[index] += bucket_count;
+  }
+  return snap;
+}
+
+// --------------------------------------------------------- MetricsSnapshot
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"wagg-metrics-v1\"";
+  out << ",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << json::escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }");
+  out << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << json::escape(name)
+        << "\": " << json::number(value);
+    first = false;
+  }
+  out << (first ? "}" : "\n  }");
+  out << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : histograms) {
+    const auto row = snap.row();
+    out << (first ? "\n" : ",\n") << "    \"" << json::escape(name)
+        << "\": {\"count\": " << snap.count()
+        << ", \"sum\": " << json::number(snap.sum())
+        << ", \"min\": " << json::number(snap.min())
+        << ", \"max\": " << json::number(snap.max())
+        << ", \"mean\": " << json::number(row.mean)
+        << ", \"p50\": " << json::number(row.p50)
+        << ", \"p95\": " << json::number(row.p95) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [index, bucket_count] : snap.nonzero_buckets()) {
+      out << (first_bucket ? "" : ", ") << "[" << index << ", "
+          << bucket_count << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }");
+  out << "\n}\n";
+  return out.str();
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(std::string_view text) {
+  const auto doc = json::parse(text);
+  if (!doc.contains("schema") ||
+      doc.at("schema").as_string() != "wagg-metrics-v1") {
+    throw std::invalid_argument(
+        "MetricsSnapshot::from_json: missing or unknown schema marker");
+  }
+  MetricsSnapshot snap;
+  for (const auto& [name, value] : doc.at("counters").as_object()) {
+    snap.counters[name] = static_cast<std::uint64_t>(value.as_number());
+  }
+  for (const auto& [name, value] : doc.at("gauges").as_object()) {
+    snap.gauges[name] = value.as_number();
+  }
+  for (const auto& [name, value] : doc.at("histograms").as_object()) {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+    for (const auto& pair : value.at("buckets").as_array()) {
+      const auto& entry = pair.as_array();
+      if (entry.size() != 2) {
+        throw std::invalid_argument(
+            "MetricsSnapshot::from_json: malformed bucket pair");
+      }
+      buckets.emplace_back(
+          static_cast<std::uint32_t>(entry[0].as_number()),
+          static_cast<std::uint64_t>(entry[1].as_number()));
+    }
+    snap.histograms[name] = HistogramSnapshot::from_parts(
+        static_cast<std::uint64_t>(value.at("count").as_number()),
+        value.at("sum").as_number(), value.at("min").as_number(),
+        value.at("max").as_number(), buckets);
+  }
+  return snap;
+}
+
+// ------------------------------------------------------------------ Registry
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace wagg::obs

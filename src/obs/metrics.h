@@ -1,0 +1,211 @@
+#ifndef WAGG_OBS_METRICS_H
+#define WAGG_OBS_METRICS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wagg::obs {
+
+/// Monotone event count. All operations are lock-free relaxed atomics: the
+/// hot path is one fetch_add, and cross-thread ordering is irrelevant for a
+/// telemetry total (the exporter reads whatever has landed).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (worker utilization, live sessions...).
+/// add() exists for up/down tracking (busy-worker counts); set() for
+/// sampled values.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    // CAS loop rather than C++20 floating fetch_add: lock-free on every
+    // toolchain this builds with.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One p50/p95/mean/max summary line — the single formatting currency for
+/// every latency table in the repo (BatchStats stages, wagg_churn's session
+/// summary, the bench gates). All values are in the recorded unit.
+struct SummaryRow {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Immutable copy of a Histogram's state (or of a raw sample set squeezed
+/// through the same buckets — `of()` — so every summary in the repo shares
+/// ONE quantile implementation). quantile() answers from the log buckets
+/// with the relative error documented on Histogram; mean and max are exact.
+class HistogramSnapshot {
+ public:
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Approximate quantile, p in [0, 100]. Non-throwing: empty snapshots
+  /// answer 0 (batches with no churn sessions produce empty summaries), out
+  /// of range p clamps. Monotone in p, and clamped to the exact observed
+  /// [min, max]; the extreme ranks answer exactly (quantile(0) == min(),
+  /// quantile(100) == max()).
+  [[nodiscard]] double quantile(double p) const noexcept;
+
+  /// The shared p50/p95/mean/max summary of this distribution.
+  [[nodiscard]] SummaryRow row() const noexcept;
+
+  /// Buckets with non-zero counts as (bucket index, count) pairs — the
+  /// sparse wire form of the metrics JSON.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint64_t>>
+  nonzero_buckets() const;
+
+  /// Builds a snapshot from raw samples through the same bucket layout.
+  static HistogramSnapshot of(std::span<const double> values);
+
+  /// Reassembles a snapshot from wire parts (the metrics-JSON reader).
+  /// Bucket indices out of range throw std::invalid_argument.
+  static HistogramSnapshot from_parts(
+      std::uint64_t count, double sum, double min, double max,
+      std::span<const std::pair<std::uint32_t, std::uint64_t>> buckets);
+
+ private:
+  friend class Histogram;
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::uint64_t> buckets_;  ///< dense, kNumBuckets when non-empty
+};
+
+/// Log-bucketed latency/size histogram, mergeable across threads.
+///
+/// Bucket layout: each power-of-two octave [2^e, 2^(e+1)) is split into
+/// 2^kSubBits = 32 equal-width sub-buckets, for exponents e in
+/// [kMinExponent, kMaxExponent]. The bucket index is computed branch-free
+/// from the IEEE-754 bit pattern — exponent and top mantissa bits fall out
+/// of one shift — plus a clamp into range (compiled as conditional moves).
+/// Reported quantiles use the bucket midpoint, so the relative quantile
+/// error is bounded by half a bucket width: 2^-(kSubBits+1) = 1/64 ≈ 1.6%
+/// of the true value (values outside [2^kMinExponent, 2^(kMaxExponent+1))
+/// saturate into the edge buckets; zero and negative samples land in
+/// bucket 0 and report as ~0).
+///
+/// record() is wait-free: one relaxed fetch_add on the bucket plus relaxed
+/// count/sum updates and CAS min/max — no locks, safe from any thread.
+/// Unlike util::Samples it keeps O(1) state per histogram instead of every
+/// sample, so hot loops can record unconditionally.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr int kMinExponent = -32;  ///< bucket 0 starts at 2^-32
+  static constexpr int kMaxExponent = 31;   ///< top octave [2^31, 2^32)
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExponent - kMinExponent + 1) << kSubBits;
+
+  /// Maximum relative error of a reported quantile vs the true sample.
+  static constexpr double kMaxRelativeError = 1.0 / 64.0;
+
+  /// Branch-free bucket index of a sample (exposed for tests).
+  [[nodiscard]] static std::size_t bucket_index(double v) noexcept;
+  /// The representative (midpoint) value reported for a bucket.
+  [[nodiscard]] static double bucket_midpoint(std::size_t index) noexcept;
+
+  void record(double v) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the live state. Safe to call concurrently with record(); the
+  /// copy is a telemetry-grade snapshot (fields may straddle an in-flight
+  /// record), exact once writers are quiescent.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Everything the registry knew at one instant, decoupled from the live
+/// atomics. to_json() emits the machine-readable snapshot the CLIs write
+/// and the CI perf gates parse back with from_json() — see README
+/// "Observability" for the schema.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] std::string to_json() const;
+  static MetricsSnapshot from_json(std::string_view text);
+};
+
+/// Named metric registry. Registration (the first lookup of a name) takes a
+/// mutex; the returned references are stable for the registry's lifetime,
+/// so instrumented code resolves its metrics once and then touches only
+/// lock-free atomics. Re-looking up a name returns the same instance —
+/// counters are process-wide totals, the way a scrape endpoint would see
+/// them.
+class Registry {
+ public:
+  /// The process-wide registry every built-in instrumentation site uses.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (registrations survive, references stay
+  /// valid). For CLIs and gates that want a run-scoped window over the
+  /// process-wide registry.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace wagg::obs
+
+#endif  // WAGG_OBS_METRICS_H

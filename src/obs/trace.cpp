@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace wagg::obs {
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+void Tracer::enable(std::size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  capacity_ = std::max<std::size_t>(1, events_per_thread);
+  generation_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+Tracer::ThreadBuffer* Tracer::local_buffer() {
+  // This thread's binding, revalidated against the tracer's generation so
+  // enable()/clear() windows never leak stale buffer pointers across.
+  thread_local ThreadBuffer* bound_buffer = nullptr;
+  thread_local std::uint64_t bound_generation = 0;
+
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  if (bound_buffer != nullptr && bound_generation == generation) {
+    return bound_buffer;
+  }
+  // Cold path: first span of this thread in this enable window.
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A concurrent enable()/clear() between the generation read and the lock
+  // would orphan this buffer into a dead window; re-reading under the lock
+  // keeps binding and registration consistent.
+  bound_generation = generation_.load(std::memory_order_relaxed);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      capacity_, static_cast<std::uint32_t>(buffers_.size())));
+  bound_buffer = buffers_.back().get();
+  return bound_buffer;
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t end_ns) {
+  ThreadBuffer* buffer = local_buffer();
+  const std::uint64_t head = buffer->head.load(std::memory_order_relaxed);
+  buffer->ring[head % buffer->ring.size()] =
+      TraceEvent{name, start_ns, end_ns};
+  buffer->head.store(head + 1, std::memory_order_release);
+}
+
+std::uint64_t Tracer::recorded_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t written =
+        buffer->head.load(std::memory_order_acquire);
+    if (written > buffer->ring.size()) {
+      dropped += written - buffer->ring.size();
+    }
+  }
+  return dropped;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t written =
+        buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(written, buffer->ring.size());
+    if (written > buffer->ring.size()) {
+      dropped += written - buffer->ring.size();
+    }
+    out << (first ? "\n" : ",\n") << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": "
+        << buffer->tid
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": \"wagg-thread-"
+        << buffer->tid << "\"}}";
+    first = false;
+    // Oldest surviving event first; ring order is span-completion order.
+    for (std::uint64_t k = written - kept; k < written; ++k) {
+      const TraceEvent& event = buffer->ring[k % buffer->ring.size()];
+      const double ts_us = static_cast<double>(event.start_ns) / 1000.0;
+      const double dur_us =
+          static_cast<double>(event.end_ns - event.start_ns) / 1000.0;
+      out << ",\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << buffer->tid
+          << ", \"name\": \"" << json::escape(event.name)
+          << "\", \"ts\": " << json::number(ts_us)
+          << ", \"dur\": " << json::number(dur_us) << "}";
+    }
+  }
+  out << (first ? "]" : "\n]") << ", \"otherData\": {\"dropped_events\": "
+      << dropped << "}}\n";
+  return out.str();
+}
+
+}  // namespace wagg::obs

@@ -1,0 +1,184 @@
+#ifndef WAGG_OBS_TRACE_H
+#define WAGG_OBS_TRACE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace wagg::obs {
+
+/// One completed span. `name` must point at a string literal (or any
+/// storage outliving the tracer) — the hot path stores the pointer, never
+/// copies.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< since the tracer's epoch
+  std::uint64_t end_ns = 0;
+};
+
+/// Process-wide span collector. Disabled by default; a disabled tracer
+/// costs instrumented code one relaxed atomic load per span.
+///
+/// When enabled, each recording thread owns a fixed-size ring buffer it
+/// alone writes (registered once under a mutex — the only lock, and only on
+/// a thread's first span). record() is therefore lock-free and allocation-
+/// free on the hot path: one slot store plus a release bump of the write
+/// head. A full ring drops the OLDEST events (the ring keeps the tail of
+/// the story) and the overwritten count is exact: dropped = written -
+/// capacity.
+///
+/// Export (chrome_trace_json) expects recording threads to be quiescent —
+/// either joined (the join provides the happens-before) or between spans;
+/// an export raced with an in-flight record() may see a torn oldest slot.
+/// All CLIs export after their sessions complete.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  /// The process-wide tracer every Span uses.
+  static Tracer& global();
+
+  /// Starts collecting. Clears previously collected events; per-thread
+  /// buffers are (re)created at `events_per_thread` capacity on each
+  /// thread's next span.
+  void enable(std::size_t events_per_thread = kDefaultCapacity);
+  /// Stops collecting. Buffered events survive for export.
+  void disable();
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer's epoch (set at construction).
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            util::Clock::now() - epoch_)
+            .count());
+  }
+
+  /// Appends one completed span to the calling thread's ring buffer.
+  void record(const char* name, std::uint64_t start_ns,
+              std::uint64_t end_ns);
+
+  /// Total spans handed to record() since the last enable().
+  [[nodiscard]] std::uint64_t recorded_events() const;
+  /// Spans overwritten by ring wraparound (exact; see class comment).
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
+  /// Chrome trace-event JSON (the object form: {"traceEvents": [...]}),
+  /// loadable in Perfetto / chrome://tracing. Spans become complete ("X")
+  /// events with microsecond timestamps; per-thread buffers become tids,
+  /// annotated with thread_name metadata. Nesting needs no explicit links:
+  /// RAII spans on one thread are properly bracketed, which is exactly the
+  /// containment the viewers render as a slice tree.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Drops all buffered events and thread registrations.
+  void clear();
+
+ private:
+  struct ThreadBuffer {
+    ThreadBuffer(std::size_t capacity, std::uint32_t tid)
+        : ring(capacity), tid(tid) {}
+    std::vector<TraceEvent> ring;
+    /// Total events ever written; slot = head % ring.size(). Release store
+    /// after the slot write so a quiescent reader acquires complete events.
+    std::atomic<std::uint64_t> head{0};
+    std::uint32_t tid = 0;
+  };
+
+  Tracer() : epoch_(util::Clock::now()) {}
+
+  [[nodiscard]] ThreadBuffer* local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  /// Bumped by enable()/clear(); thread-local buffer pointers are revalidated
+  /// against it so stale pointers from a previous enable window are never
+  /// dereferenced.
+  std::atomic<std::uint64_t> generation_{1};
+  util::Clock::time_point epoch_;
+
+  mutable std::mutex mutex_;  ///< guards buffers_ registration and export
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::size_t capacity_ = kDefaultCapacity;
+};
+
+/// RAII scoped span against the global tracer. `name` must be a string
+/// literal (stored by pointer). Construction on a disabled tracer reduces
+/// to one relaxed load; destruction to one branch.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    Tracer& tracer = Tracer::global();
+    if (tracer.enabled()) {
+      name_ = name;
+      start_ns_ = tracer.now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::global();
+      tracer.record(name_, start_ns_, tracer.now_ns());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Manual span rotation for straight-line stage sequences: next("b") closes
+/// the current span and opens the next back-to-back (shared timestamp, so
+/// consecutive stages tile without gap or overlap), close()/destruction ends
+/// the last one. Fits code like DynamicPlanner::replan where stages are
+/// sequential statements in one scope and RAII blocks would force
+/// restructuring.
+class StageSpan {
+ public:
+  explicit StageSpan(const char* name) noexcept {
+    Tracer& tracer = Tracer::global();
+    if (tracer.enabled()) {
+      name_ = name;
+      start_ns_ = tracer.now_ns();
+    }
+  }
+  ~StageSpan() { close(); }
+
+  /// Ends the current stage and starts `name` at the same instant.
+  void next(const char* name) noexcept {
+    if (name_ == nullptr) return;
+    Tracer& tracer = Tracer::global();
+    const std::uint64_t now = tracer.now_ns();
+    tracer.record(name_, start_ns_, now);
+    name_ = name;
+    start_ns_ = now;
+  }
+
+  /// Ends the current stage (idempotent).
+  void close() noexcept {
+    if (name_ == nullptr) return;
+    Tracer& tracer = Tracer::global();
+    tracer.record(name_, start_ns_, tracer.now_ns());
+    name_ = nullptr;
+  }
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace wagg::obs
+
+#endif  // WAGG_OBS_TRACE_H

@@ -3,6 +3,8 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/stats.h"
 
@@ -114,11 +116,33 @@ void execute_session_request(const PlanRequest& request,
 StageSummary summarize_stage(const util::Samples& samples) {
   StageSummary summary;
   if (samples.empty()) return summary;
-  summary.p50 = samples.percentile(50.0);
-  summary.p95 = samples.percentile(95.0);
-  summary.mean = samples.mean();
-  summary.max = samples.max();
+  // One quantile implementation for every latency table in the repo: the
+  // registry histograms' snapshot row (log-bucketed p50/p95 with documented
+  // relative error; mean and max exact).
+  const obs::SummaryRow row =
+      obs::HistogramSnapshot::of(samples.values()).row();
+  summary.p50 = row.p50;
+  summary.p95 = row.p95;
+  summary.mean = row.mean;
+  summary.max = row.max;
   return summary;
+}
+
+/// The service's registry handles, resolved once (see PlannerMetrics in
+/// dynamic_planner.cpp for the pattern).
+struct ServiceMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& requests = reg.counter("service.requests");
+  obs::Counter& failures = reg.counter("service.request_failures");
+  /// Workers currently executing a request — sampled worker utilization.
+  obs::Gauge& busy_workers = reg.gauge("service.busy_workers");
+  obs::Histogram& queue_ms = reg.histogram("service.queue_ms");
+  obs::Histogram& request_ms = reg.histogram("service.request_ms");
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
@@ -131,11 +155,15 @@ PlanOutcome execute_request(const PlanRequest& request,
   outcome.tags = request.tags;
   outcome.num_points = request.points.size();
 
+  obs::Span span("request");
+  auto& metrics = service_metrics();
   const auto start = Clock::now();
   try {
     if (!request.trace.empty()) {
       execute_session_request(request, outcome);
       outcome.total_ms = ms_since(start);
+      metrics.requests.add();
+      metrics.request_ms.record(outcome.total_ms);
       return outcome;
     }
     core::StageTimings timings;
@@ -162,6 +190,9 @@ PlanOutcome execute_request(const PlanRequest& request,
     outcome.error = "unknown error";
   }
   outcome.total_ms = ms_since(start);
+  metrics.requests.add();
+  if (!outcome.ok) metrics.failures.add();
+  metrics.request_ms.record(outcome.total_ms);
   return outcome;
 }
 
@@ -276,9 +307,13 @@ void PlanService::worker_loop() {
     lock.unlock();
 
     // Planning runs unlocked; each worker writes only its own slot.
+    auto& metrics = service_metrics();
+    metrics.queue_ms.record(queue_ms);
+    metrics.busy_workers.add(1.0);
     outcomes[index] =
         execute_request(batch[index], index, options_.keep_plans);
     outcomes[index].queue_ms = queue_ms;
+    metrics.busy_workers.add(-1.0);
 
     lock.lock();
     if (--remaining_ == 0) batch_done_.notify_all();

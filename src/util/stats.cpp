@@ -41,6 +41,15 @@ double percentile(std::span<const double> values, double p) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+double percentile_or(std::span<const double> values, double p,
+                     double fallback) {
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile_or: p outside [0, 100]");
+  }
+  if (values.empty()) return fallback;
+  return percentile(values, p);
+}
+
 double regression_slope(std::span<const double> x, std::span<const double> y) {
   if (x.size() != y.size()) {
     throw std::invalid_argument("regression_slope: size mismatch");

@@ -33,6 +33,12 @@ class RunningStats {
 /// p in [0, 100]. Throws std::invalid_argument on empty input or bad p.
 double percentile(std::span<const double> values, double p);
 
+/// Non-throwing percentile: `fallback` on empty input. Bad p still throws —
+/// an out-of-range p is a programming error, an empty batch is a data
+/// condition every summary path must survive.
+double percentile_or(std::span<const double> values, double p,
+                     double fallback);
+
 /// Least-squares slope of y against x. Throws on size mismatch or < 2 points.
 /// Used to measure growth rates (e.g. schedule length vs log log Delta).
 double regression_slope(std::span<const double> x, std::span<const double> y);
