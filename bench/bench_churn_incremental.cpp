@@ -11,11 +11,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "conflict/fgraph.h"
 #include "dynamic/dynamic_planner.h"
 #include "dynamic/mutation.h"
 #include "mst/mst.h"
+#include "obs/bench.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -243,11 +245,18 @@ void BM_FullReplanEpoch(benchmark::State& state) {
 BENCHMARK(BM_FullReplanEpoch)->Arg(512)->Arg(2048)->Unit(
     benchmark::kMillisecond);
 
-/// CI gate (--smoke): one audited low-churn session must stay valid, avoid
+/// CI gate (--smoke): audited low-churn sessions must stay valid, avoid
 /// the full-replan fallback, and beat the from-scratch baseline by a solid
 /// margin. A regression that drags epoch cost back toward O(n) fails the
 /// job instead of landing silently; the threshold sits well below the
 /// current ~3x so scheduler noise on shared runners cannot flake it.
+///
+/// Noise protocol: --warmup sessions run first and are discarded (cold
+/// caches, frequency ramp), then --repeat identical sessions are measured
+/// and every timing gate reads the MEDIAN across them — one descheduled
+/// session cannot flip a verdict the way the old single-session gate
+/// could. Validity/fallback gates stay all-sessions (correctness is not a
+/// noise quantity).
 ///
 /// The session also gates the conflict layer: its per-epoch cost (index
 /// maintenance + dirty-row queries) must undercut a from-scratch
@@ -264,8 +273,8 @@ BENCHMARK(BM_FullReplanEpoch)->Arg(512)->Arg(2048)->Unit(
 /// legacy EpochTimings accumulation is kept alongside as a cross-check: the
 /// two must agree, or the "thin view" contract broke. A final gate bounds
 /// the tracing-DISABLED overhead at <= 2% of the measured epoch cost.
-int run_smoke(const std::string& trace_path,
-              const std::string& metrics_path) {
+int run_smoke(const std::string& trace_path, const std::string& metrics_path,
+              std::size_t repeats, std::size_t warmups) {
   constexpr double kMinSpeedup = 1.4;
   // A healthy index runs at ~0.5x the baseline on a quiet machine; a
   // regression that reinstates the O(n) rebuild lands at >= 1.5x (rebuild
@@ -287,24 +296,59 @@ int run_smoke(const std::string& trace_path,
   dynamic::DynamicOptions options;
   options.config = workload::mode_config(core::PowerMode::kGlobal);
   options.audit = true;
-  dynamic::DynamicPlanner planner(points, options);
-  // Window the registry on the gated epochs: the construction full plan
-  // would otherwise dominate the histograms (same convention as wagg_churn).
-  obs::Registry::global().reset();
-  if (!trace_path.empty()) obs::Tracer::global().enable();
 
-  SessionCost cost;
-  std::vector<double> epoch_times;  // legacy per-epoch samples (cross-check)
-  epoch_times.reserve(trace.size());
-  for (const auto& epoch : trace) {
-    const auto report = planner.apply(epoch);
-    accumulate(cost, report);
-    epoch_times.push_back(report.timings.incremental_ms());
+  for (std::size_t w = 0; w < warmups; ++w) {
+    dynamic::DynamicPlanner warm(points, options);
+    for (const auto& epoch : trace) (void)warm.apply(epoch);
   }
+
+  repeats = std::max<std::size_t>(1, repeats);
+  std::vector<SessionCost> sessions;
+  std::vector<double> epoch_times;  // last session, legacy cross-check
+  std::unique_ptr<dynamic::DynamicPlanner> planner;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const bool last = r + 1 == repeats;
+    planner = std::make_unique<dynamic::DynamicPlanner>(points, options);
+    // Window the registry on the gated epochs: the construction full plan
+    // would otherwise dominate the histograms (same convention as
+    // wagg_churn). The JSON cross-checks below read the LAST window, whose
+    // SessionCost we kept alongside.
+    obs::Registry::global().reset();
+    if (last && !trace_path.empty()) obs::Tracer::global().enable();
+    SessionCost cost;
+    epoch_times.clear();
+    for (const auto& epoch : trace) {
+      const auto report = planner->apply(epoch);
+      accumulate(cost, report);
+      epoch_times.push_back(report.timings.incremental_ms());
+    }
+    sessions.push_back(cost);
+  }
+  const SessionCost& cost = sessions.back();
   const auto epochs = static_cast<double>(cost.epochs);
-  const double incr = cost.incremental_ms / epochs;
-  const double full = cost.full_ms / epochs;
-  const double speedup = incr > 0.0 ? full / incr : 0.0;
+  const auto median_over = [&sessions](auto per_session) {
+    std::vector<double> values;
+    values.reserve(sessions.size());
+    for (const auto& s : sessions) values.push_back(per_session(s));
+    return obs::median_of(std::move(values));
+  };
+  const auto per_epoch_incr = [](const SessionCost& s) {
+    return s.incremental_ms / static_cast<double>(s.epochs);
+  };
+  const double incr = median_over(per_epoch_incr);
+  const double full = median_over([](const SessionCost& s) {
+    return s.full_ms / static_cast<double>(s.epochs);
+  });
+  const double speedup = median_over([&](const SessionCost& s) {
+    const double i = per_epoch_incr(s);
+    return i > 0.0 ? (s.full_ms / static_cast<double>(s.epochs)) / i : 0.0;
+  });
+  bool all_valid = true;
+  std::size_t total_fallbacks = 0;
+  for (const auto& s : sessions) {
+    all_valid = all_valid && s.all_valid;
+    total_fallbacks += s.full_replans;
+  }
 
   // ---- machine-readable gate inputs: serialize the registry to the same
   // JSON the CLIs export, re-parse it, and gate on the PARSED numbers ----
@@ -327,7 +371,7 @@ int run_smoke(const std::string& trace_path,
   // Rebuild baseline: answer the session's average dirty set from scratch
   // against the final snapshot (pays the per-call grid build the index
   // avoids). Best of a few repetitions to shed scheduler noise.
-  const auto& links = planner.snapshot().links;
+  const auto& links = planner->snapshot().links;
   const auto spec = core::spec_for_mode(options.config);
   std::vector<std::size_t> queries(
       std::min(links.size(),
@@ -346,21 +390,42 @@ int run_smoke(const std::string& trace_path,
 
   // Tree-layer budget: per-epoch MST cost against a from-scratch Prim on
   // the same final instance (the per-epoch tree bill of a non-incremental
-  // engine).
+  // engine). Gates read session MEDIANS; `conflict`/`mst` stay the last
+  // window's parsed values for the JSON cross-checks below.
   const double mst = mst_hist.mean();
-  const double prim_baseline = prim_baseline_ms(planner.snapshot().points);
+  const double conflict_med = median_over([](const SessionCost& s) {
+    return s.conflict_ms / static_cast<double>(s.epochs);
+  });
+  const double mst_med = median_over([](const SessionCost& s) {
+    return s.mst_ms / static_cast<double>(s.epochs);
+  });
+  const double prim_baseline = prim_baseline_ms(planner->snapshot().points);
 
   std::cout << "smoke: uniform n=" << n << " rate=0.01 epochs=" << cost.epochs
-            << " incr=" << incr << " ms/epoch full=" << full
+            << " sessions=" << repeats << " (+" << warmups
+            << " warmup), gating medians\n";
+  std::cout << "smoke: incr=" << incr << " ms/epoch full=" << full
             << " ms/epoch speedup=" << speedup
-            << "x conflict=" << conflict << " ms/epoch ("
-            << cost.conflict_maintain_ms / epochs << " maintain / "
-            << cost.conflict_query_ms / epochs << " query, rebuild baseline "
-            << baseline << ") mst=" << mst << " ms/epoch ("
-            << cost.mst_update_ms / epochs << " update / "
-            << cost.orient_ms / epochs << " orient, Prim baseline "
-            << prim_baseline << ") fallbacks=" << cost.full_replans
-            << " valid=" << (cost.all_valid ? "yes" : "NO") << "\n";
+            << "x conflict=" << conflict_med << " ms/epoch ("
+            << median_over([](const SessionCost& s) {
+                 return s.conflict_maintain_ms / static_cast<double>(s.epochs);
+               })
+            << " maintain / "
+            << median_over([](const SessionCost& s) {
+                 return s.conflict_query_ms / static_cast<double>(s.epochs);
+               })
+            << " query, rebuild baseline " << baseline
+            << ") mst=" << mst_med << " ms/epoch ("
+            << median_over([](const SessionCost& s) {
+                 return s.mst_update_ms / static_cast<double>(s.epochs);
+               })
+            << " update / "
+            << median_over([](const SessionCost& s) {
+                 return s.orient_ms / static_cast<double>(s.epochs);
+               })
+            << " orient, Prim baseline "
+            << prim_baseline << ") fallbacks=" << total_fallbacks
+            << " valid=" << (all_valid ? "yes" : "NO") << "\n";
   std::cout << "smoke: epoch latency (metrics JSON) p50=" << lat.p50
             << " p95=" << lat.p95 << " mean=" << lat.mean
             << " max=" << lat.max << " ms\n";
@@ -370,11 +435,13 @@ int run_smoke(const std::string& trace_path,
   const auto rel_diff = [](double a, double b) {
     return std::abs(a - b) / std::max({1e-12, std::abs(a), std::abs(b)});
   };
+  // (Pinned to the LAST session — the registry window the JSON serialized —
+  // not the cross-session medians the gates read.)
   if (epoch_hist.count() != cost.epochs ||
       json_fallbacks != cost.full_replans ||
       rel_diff(mst, cost.mst_ms / epochs) > 1e-9 ||
       rel_diff(conflict, cost.conflict_ms / epochs) > 1e-9 ||
-      rel_diff(epoch_hist.mean(), incr) > 1e-9) {
+      rel_diff(epoch_hist.mean(), per_epoch_incr(cost)) > 1e-9) {
     std::cout << "smoke FAILED: metrics JSON disagrees with EpochTimings "
                  "(count/mean/fallback mismatch) — the registry is no "
                  "longer a faithful view of the pipeline\n";
@@ -397,32 +464,32 @@ int run_smoke(const std::string& trace_path,
     }
   }
 
-  if (!cost.all_valid) {
+  if (!all_valid) {
     std::cout << "smoke FAILED: an epoch lost validity or audit "
                  "equivalence\n";
     return 1;
   }
-  if (cost.full_replans != 0) {
+  if (total_fallbacks != 0) {
     std::cout << "smoke FAILED: low-churn epochs hit the full-replan "
                  "fallback\n";
     return 1;
   }
   if (speedup < kMinSpeedup) {
-    std::cout << "smoke FAILED: incremental speedup " << speedup << "x < "
-              << kMinSpeedup << "x floor\n";
+    std::cout << "smoke FAILED: median incremental speedup " << speedup
+              << "x < " << kMinSpeedup << "x floor\n";
     return 1;
   }
-  if (conflict > kMaxConflictShare * baseline) {
-    std::cout << "smoke FAILED: conflict layer " << conflict
-              << " ms/epoch exceeds " << kMaxConflictShare
+  if (conflict_med > kMaxConflictShare * baseline) {
+    std::cout << "smoke FAILED: conflict layer " << conflict_med
+              << " ms/epoch (median) exceeds " << kMaxConflictShare
               << "x the from-scratch rebuild baseline (" << baseline
               << " ms) — the index is no longer O(dirty)\n";
     return 1;
   }
-  if (mst > kMaxMstShare * prim_baseline) {
-    std::cout << "smoke FAILED: MST layer " << mst << " ms/epoch exceeds "
-              << kMaxMstShare << "x the from-scratch Prim baseline ("
-              << prim_baseline
+  if (mst_med > kMaxMstShare * prim_baseline) {
+    std::cout << "smoke FAILED: MST layer " << mst_med
+              << " ms/epoch (median) exceeds " << kMaxMstShare
+              << "x the from-scratch Prim baseline (" << prim_baseline
               << " ms) — tree updates are no longer localized\n";
     return 1;
   }
@@ -476,12 +543,15 @@ int main(int argc, char** argv) {
   // --smoke: skip the (slow) study table, run the CI gate, then whatever
   // benchmarks the remaining flags select (CI passes a tiny
   // --benchmark_min_time so regressions surface without burning minutes).
-  // --trace= / --metrics-json= write the smoke session's Perfetto trace and
-  // registry snapshot (uploaded as CI artifacts). All three are consumed
-  // here — google-benchmark rejects flags it does not know.
+  // --repeat= / --warmup= set the smoke gate's median-of-k protocol;
+  // --trace= / --metrics-json= write the last smoke session's Perfetto
+  // trace and registry snapshot (uploaded as CI artifacts). All are
+  // consumed here — google-benchmark rejects flags it does not know.
   bool smoke = false;
   std::string trace_path;
   std::string metrics_path;
+  std::size_t repeats = 3;
+  std::size_t warmups = 1;
   for (int i = 1; i < argc;) {
     const std::string arg(argv[i]);
     bool consumed = true;
@@ -491,6 +561,10 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(8);
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       metrics_path = arg.substr(15);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeats = static_cast<std::size_t>(std::stoul(arg.substr(9)));
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      warmups = static_cast<std::size_t>(std::stoul(arg.substr(9)));
     } else {
       consumed = false;
     }
@@ -503,7 +577,7 @@ int main(int argc, char** argv) {
   }
   int gate = 0;
   if (smoke) {
-    gate = wagg::run_smoke(trace_path, metrics_path);
+    gate = wagg::run_smoke(trace_path, metrics_path, repeats, warmups);
     if (gate != 0) return gate;
   } else {
     wagg::print_table();

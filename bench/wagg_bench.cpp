@@ -1,0 +1,615 @@
+// Perf observatory suite driver: runs the canonical scenario matrix with
+// warmup + median-of-k timing, captures the full obs::Registry snapshot per
+// scenario, and emits a versioned `wagg-bench-v1` trajectory file that the
+// comparator gates future runs against.
+//
+//   ./wagg_bench                                  # full matrix, stdout only
+//   ./wagg_bench --repeat=5 --warmup=1 --out=BENCH_2026-08-08.json
+//   ./wagg_bench --quick                          # small matrix (CI smoke)
+//   ./wagg_bench --profile-out=profile.txt        # per-stage self-time tables
+//   ./wagg_bench --compare old.json new.json      # noise-aware verdicts
+//   ./wagg_bench --compare old.json new.json --portable-only
+//   ./wagg_bench --profile trace.json             # offline span profile
+//
+// The matrix: static batch families, churn sessions at n x rate (including
+// grow:/shrink: size-varying schedules), and a PlanService session-
+// throughput row. Per churn scenario the suite also runs one untimed
+// profiled repeat and checks the span profiler's structural identity —
+// per-stage exclusive self-times must sum to the root epoch spans within
+// 1% — so a trajectory point ships with trustworthy attribution tables.
+//
+// --compare exits nonzero when any gated metric regressed beyond its
+// noise tolerance (median +/- MAD-derived band, direction-aware; see
+// obs/bench.h). --portable-only gates only the hardware-portable ratio
+// metrics — the mode for comparing against a baseline recorded on
+// different hardware.
+
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "conflict/fgraph.h"
+#include "core/planner.h"
+#include "dynamic/dynamic_planner.h"
+#include "dynamic/mutation.h"
+#include "mst/mst.h"
+#include "obs/bench.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "runtime/plan_service.h"
+#include "util/args.h"
+#include "util/clock.h"
+#include "util/table.h"
+#include "workload/workload.h"
+
+namespace wagg {
+namespace {
+
+/// Keeps a computed value observable without linking google-benchmark.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+constexpr double kProfileIdentityTolerance = 0.01;  ///< excl-sum vs roots
+
+struct SuiteOptions {
+  std::size_t repeats = 5;
+  std::size_t warmup = 1;
+  bool quick = false;
+  std::string out_path;
+  std::string profile_out;
+  std::string label;
+  std::size_t top_k = 12;
+};
+
+// --------------------------------------------------------------- scenarios
+
+struct ChurnSpec {
+  std::string family = "uniform";
+  std::size_t n = 1024;
+  double rate = 0.01;
+  double grow = 0.0;
+  double shrink = 0.0;
+  std::size_t epochs = 8;
+
+  [[nodiscard]] std::string name() const {
+    std::ostringstream out;
+    out << "churn/" << family << "/n" << n;
+    if (grow > 0.0) {
+      out << "/grow" << util::format_double(grow, 3);
+    } else if (shrink > 0.0) {
+      out << "/shrink" << util::format_double(shrink, 3);
+    } else {
+      out << "/r" << util::format_double(rate, 3);
+    }
+    return out.str();
+  }
+};
+
+struct ChurnRepeat {
+  double epoch_ms = 0.0;
+  double mst_update_ms = 0.0;
+  double orient_ms = 0.0;
+  double conflict_maintain_ms = 0.0;
+  double conflict_query_ms = 0.0;
+  double recolor_ms = 0.0;
+  double repair_ms = 0.0;
+  std::size_t dirty_links = 0;
+  std::size_t epochs = 0;
+  std::size_t fallbacks = 0;
+  bool valid = true;
+};
+
+/// Applies the whole trace to a fresh-session planner, returning per-epoch
+/// mean stage costs. The caller owns registry windowing.
+ChurnRepeat run_churn_epochs(dynamic::DynamicPlanner& planner,
+                             const dynamic::ChurnTrace& trace) {
+  ChurnRepeat result;
+  double epoch_sum = 0.0, mst_update = 0.0, orient = 0.0, maintain = 0.0,
+         query = 0.0, recolor = 0.0, repair = 0.0;
+  for (const auto& epoch : trace) {
+    const auto report = planner.apply(epoch);
+    epoch_sum += report.timings.incremental_ms();
+    mst_update += report.timings.mst_update_ms;
+    orient += report.timings.orient_ms;
+    maintain += report.timings.conflict_maintain_ms;
+    query += report.timings.conflict_query_ms;
+    recolor += report.timings.recolor_ms;
+    repair += report.timings.repair_ms;
+    result.dirty_links += report.dirty_links;
+    result.valid = result.valid && report.valid;
+    if (report.full_replan) ++result.fallbacks;
+    ++result.epochs;
+  }
+  const auto epochs = static_cast<double>(std::max<std::size_t>(1,
+                                                                result.epochs));
+  result.epoch_ms = epoch_sum / epochs;
+  result.mst_update_ms = mst_update / epochs;
+  result.orient_ms = orient / epochs;
+  result.conflict_maintain_ms = maintain / epochs;
+  result.conflict_query_ms = query / epochs;
+  result.recolor_ms = recolor / epochs;
+  result.repair_ms = repair / epochs;
+  return result;
+}
+
+/// Best-of-k from-scratch Prim wall clock — the per-epoch tree bill of a
+/// non-incremental engine, and the denominator of the portable mst_share.
+double prim_baseline_ms(const geom::Pointset& points) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = util::Clock::now();
+    const auto edges = mst::euclidean_mst(points);
+    do_not_optimize(edges.size());
+    best = std::min(best, util::ms_since(start));
+  }
+  return best;
+}
+
+/// Best-of-k from-scratch conflict rebuild answering `queries` rows — the
+/// pre-index per-epoch bill, and the denominator of conflict_share.
+double conflict_rebuild_baseline_ms(const dynamic::DynamicPlanner& planner,
+                                    const core::PlannerConfig& config,
+                                    std::size_t avg_dirty) {
+  const auto& links = planner.snapshot().links;
+  const auto spec = core::spec_for_mode(config);
+  std::vector<std::size_t> queries(
+      std::min(links.size(), std::max<std::size_t>(1, avg_dirty)));
+  for (std::size_t i = 0; i < queries.size(); ++i) queries[i] = i;
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto start = util::Clock::now();
+    const auto rows =
+        conflict::conflict_neighbors_bucketed(links, spec, queries);
+    do_not_optimize(rows.size());
+    best = std::min(best, util::ms_since(start));
+  }
+  return best;
+}
+
+struct ScenarioRun {
+  obs::BenchScenario scenario;
+  std::string profile_table;
+  bool profile_ok = true;
+  bool valid = true;
+};
+
+ScenarioRun run_churn_scenario(const ChurnSpec& spec,
+                               const SuiteOptions& suite) {
+  ScenarioRun run;
+  run.scenario.name = spec.name();
+  run.scenario.kind = "churn";
+
+  dynamic::ChurnParams params;
+  params.epochs = spec.epochs;
+  params.rate = spec.rate;
+  params.grow_rate = spec.grow;
+  params.shrink_rate = spec.shrink;
+  const auto points = workload::make_family(spec.family, spec.n, 3);
+  const auto trace = dynamic::make_churn_trace(points, params, 17);
+
+  dynamic::DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+
+  for (std::size_t i = 0; i < suite.warmup; ++i) {
+    dynamic::DynamicPlanner planner(points, options);
+    const auto warm = run_churn_epochs(planner, trace);
+    do_not_optimize(warm.epoch_ms);
+  }
+
+  std::vector<ChurnRepeat> measured;
+  std::vector<double> prim_baselines, rebuild_baselines;
+  for (std::size_t i = 0; i < suite.repeats; ++i) {
+    auto planner = std::make_unique<dynamic::DynamicPlanner>(points, options);
+    // Window the registry on the mutation epochs (the construction full
+    // plan would dominate the histograms).
+    obs::Registry::global().reset();
+    measured.push_back(run_churn_epochs(*planner, trace));
+    run.valid = run.valid && measured.back().valid;
+    // Measure the from-scratch baselines inside the repeat, seconds from
+    // the incremental numbers they normalize: a host-regime shift then
+    // scales both sides of each share and cancels. One late measurement
+    // (the old shape) bakes a single denominator sample into every
+    // repeat, hiding its run-to-run noise from the MAD entirely.
+    const std::size_t avg_dirty =
+        measured.back().dirty_links /
+        std::max<std::size_t>(1, measured.back().epochs);
+    prim_baselines.push_back(prim_baseline_ms(planner->snapshot().points));
+    rebuild_baselines.push_back(
+        conflict_rebuild_baseline_ms(*planner, options.config, avg_dirty));
+  }
+  run.scenario.registry = obs::Registry::global().snapshot();
+
+  const auto column = [&measured](auto getter) {
+    std::vector<double> values;
+    values.reserve(measured.size());
+    for (const auto& repeat : measured) values.push_back(getter(repeat));
+    return values;
+  };
+  const auto add_ms = [&run, &column](const std::string& name, auto getter) {
+    run.scenario.metrics.emplace(
+        name, obs::BenchMetric::of(column(getter), "ms"));
+  };
+  add_ms("epoch_ms", [](const ChurnRepeat& r) { return r.epoch_ms; });
+  add_ms("mst_update_ms",
+         [](const ChurnRepeat& r) { return r.mst_update_ms; });
+  add_ms("orient_ms", [](const ChurnRepeat& r) { return r.orient_ms; });
+  add_ms("conflict_maintain_ms",
+         [](const ChurnRepeat& r) { return r.conflict_maintain_ms; });
+  add_ms("conflict_query_ms",
+         [](const ChurnRepeat& r) { return r.conflict_query_ms; });
+  add_ms("recolor_ms", [](const ChurnRepeat& r) { return r.recolor_ms; });
+  add_ms("repair_ms", [](const ChurnRepeat& r) { return r.repair_ms; });
+
+  // Portable ratios: per-epoch incremental stage cost over an in-process
+  // from-scratch baseline measured on the same host, same build, same
+  // instant — the only numbers a baseline recorded on other hardware can
+  // fairly gate. Each repeat carries its own baseline sample (see the
+  // repeat loop), so the ratio's MAD reflects denominator noise too.
+  std::vector<double> mst_share, conflict_share;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const auto& r = measured[i];
+    mst_share.push_back(prim_baselines[i] > 0.0
+                            ? (r.mst_update_ms + r.orient_ms) /
+                                  prim_baselines[i]
+                            : 0.0);
+    conflict_share.push_back(
+        rebuild_baselines[i] > 0.0
+            ? (r.conflict_maintain_ms + r.conflict_query_ms) /
+                  rebuild_baselines[i]
+            : 0.0);
+  }
+  run.scenario.metrics.emplace(
+      "mst_share",
+      obs::BenchMetric::of(std::move(mst_share), "ratio",
+                           /*higher_is_better=*/false, /*portable=*/true));
+  run.scenario.metrics.emplace(
+      "conflict_share",
+      obs::BenchMetric::of(std::move(conflict_share), "ratio",
+                           /*higher_is_better=*/false, /*portable=*/true));
+
+  // Untimed profiled repeat: collapse the epoch span tree into the
+  // per-stage self-time table and check the structural identity the
+  // profiler guarantees (exclusive self-times tile the root epoch spans).
+  {
+    obs::Tracer::global().enable();
+    dynamic::DynamicPlanner planner(points, options);
+    obs::Tracer::global().clear();  // window the trace on mutation epochs
+    const auto profiled = run_churn_epochs(planner, trace);
+    do_not_optimize(profiled.epoch_ms);
+    obs::Tracer::global().disable();
+    const auto profile = obs::profile_global_tracer();
+    obs::Tracer::global().clear();
+    run.profile_table = profile.table(suite.top_k);
+    const double drift =
+        std::abs(profile.exclusive_sum_ms() - profile.root_ms);
+    run.profile_ok = profile.malformed_spans == 0 &&
+                     (profile.root_ms <= 0.0 ||
+                      drift <= kProfileIdentityTolerance * profile.root_ms);
+  }
+  return run;
+}
+
+ScenarioRun run_static_scenario(const std::string& family, std::size_t n,
+                                const SuiteOptions& suite) {
+  ScenarioRun run;
+  run.scenario.name = "static/" + family + "/n" + std::to_string(n);
+  run.scenario.kind = "static";
+
+  runtime::PlanRequest request;
+  request.points = workload::make_family(family, n, 3);
+  request.config = workload::mode_config(core::PowerMode::kGlobal);
+
+  const auto once = [&request]() {
+    return runtime::execute_request(request, 0);
+  };
+  for (std::size_t i = 0; i < suite.warmup; ++i) {
+    do_not_optimize(once().total_ms);
+  }
+  std::vector<double> plan_ms, tree_ms, conflict_ms;
+  obs::Registry::global().reset();
+  for (std::size_t i = 0; i < suite.repeats; ++i) {
+    const auto outcome = once();
+    run.valid = run.valid && outcome.ok;
+    plan_ms.push_back(outcome.total_ms);
+    tree_ms.push_back(outcome.timings.tree_ms);
+    conflict_ms.push_back(outcome.timings.conflict_ms);
+  }
+  run.scenario.registry = obs::Registry::global().snapshot();
+  run.scenario.metrics.emplace("plan_ms",
+                               obs::BenchMetric::of(std::move(plan_ms), "ms"));
+  run.scenario.metrics.emplace("tree_ms",
+                               obs::BenchMetric::of(std::move(tree_ms), "ms"));
+  run.scenario.metrics.emplace(
+      "conflict_ms", obs::BenchMetric::of(std::move(conflict_ms), "ms"));
+  return run;
+}
+
+ScenarioRun run_service_scenario(std::size_t sessions, std::size_t n,
+                                 std::size_t epochs,
+                                 const SuiteOptions& suite) {
+  ScenarioRun run;
+  run.scenario.name = "service/sessions" + std::to_string(sessions) + "/n" +
+                      std::to_string(n);
+  run.scenario.kind = "service";
+
+  // A batch of churn-session requests over the worker pool: the serving-
+  // shaped scenario. Throughput reads from the BatchStats session hooks.
+  std::vector<runtime::PlanRequest> requests;
+  requests.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    runtime::PlanRequest request;
+    request.points = workload::make_family("uniform", n, 3 + s);
+    request.config = workload::mode_config(core::PowerMode::kGlobal);
+    dynamic::ChurnParams params;
+    params.epochs = epochs;
+    params.rate = 0.02;
+    request.trace = dynamic::make_churn_trace(request.points, params, 17 + s);
+    request.seed = s;
+    request.tags = "session=" + std::to_string(s);
+    requests.push_back(std::move(request));
+  }
+
+  runtime::PlanService service;
+  for (std::size_t i = 0; i < suite.warmup; ++i) {
+    do_not_optimize(service.run(requests).stats.wall_ms);
+  }
+  std::vector<double> epochs_per_sec, plans_per_sec, wall_ms, request_p95;
+  bool last_ok = true;
+  for (std::size_t i = 0; i < suite.repeats; ++i) {
+    obs::Registry::global().reset();
+    const auto result = service.run(requests);
+    last_ok = result.stats.failed == 0;
+    run.valid = run.valid && last_ok;
+    epochs_per_sec.push_back(result.stats.session_epochs_per_sec);
+    plans_per_sec.push_back(result.stats.plans_per_sec);
+    wall_ms.push_back(result.stats.wall_ms);
+    request_p95.push_back(result.stats.total_latency.p95);
+  }
+  run.scenario.registry = obs::Registry::global().snapshot();
+  // Pool-dispatch wall clocks: repeats inside one process share a scheduler
+  // regime, and the regime itself drifts between processes by 10-20% on a
+  // contended host, so the within-run MAD understates run-to-run noise.
+  // Declare that floor in the schema; a real serving regression clears it.
+  constexpr double kDispatchNoiseFloor = 0.25;
+  const auto stamped = [](std::vector<double> values, const char* unit,
+                          bool higher_is_better) {
+    auto metric = obs::BenchMetric::of(std::move(values), unit,
+                                       higher_is_better);
+    metric.min_rel = kDispatchNoiseFloor;
+    return metric;
+  };
+  run.scenario.metrics.emplace(
+      "epochs_per_sec",
+      stamped(std::move(epochs_per_sec), "per_sec", /*higher_is_better=*/true));
+  run.scenario.metrics.emplace(
+      "plans_per_sec",
+      stamped(std::move(plans_per_sec), "per_sec", /*higher_is_better=*/true));
+  run.scenario.metrics.emplace(
+      "wall_ms",
+      stamped(std::move(wall_ms), "ms", /*higher_is_better=*/false));
+  run.scenario.metrics.emplace(
+      "request_p95_ms",
+      stamped(std::move(request_p95), "ms", /*higher_is_better=*/false));
+  return run;
+}
+
+// ------------------------------------------------------------------- suite
+
+std::string today_iso_date() {
+  const std::time_t now = std::time(nullptr);
+  std::tm parts{};
+  localtime_r(&now, &parts);
+  char buffer[16];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%d", &parts);
+  return buffer;
+}
+
+int run_suite(const SuiteOptions& suite) {
+  obs::BenchTrajectory trajectory;
+  trajectory.date = today_iso_date();
+  trajectory.label = suite.label;
+  trajectory.repeats = suite.repeats;
+  trajectory.warmup = suite.warmup;
+
+  std::vector<ChurnSpec> churn;
+  std::vector<std::pair<std::string, std::size_t>> statics;
+  std::size_t service_sessions = 8, service_n = 256, service_epochs = 10;
+  if (suite.quick) {
+    // The CI-smoke matrix: same scenario SHAPES, small sizes.
+    churn = {
+        {"uniform", 256, 0.01, 0.0, 0.0, 6},
+        {"uniform", 256, 0.05, 0.0, 0.0, 6},
+        {"uniform", 256, 0.02, 0.02, 0.0, 6},
+        {"uniform", 256, 0.02, 0.0, 0.02, 6},
+    };
+    statics = {{"uniform", 128}, {"cluster", 128}};
+    service_sessions = 4;
+    service_n = 128;
+    service_epochs = 6;
+  } else {
+    for (const std::size_t n : {1024u, 2048u, 8192u}) {
+      for (const double rate : {0.01, 0.05}) {
+        churn.push_back({"uniform", n, rate, 0.0, 0.0, n > 4096 ? 4u : 8u});
+      }
+    }
+    churn.push_back({"uniform", 1024, 0.02, 0.02, 0.0, 8});
+    churn.push_back({"uniform", 1024, 0.02, 0.0, 0.02, 8});
+    statics = {{"uniform", 256}, {"uniform", 1024}, {"cluster", 256},
+               {"annulus", 256}};
+  }
+
+  bool all_valid = true;
+  bool profiles_ok = true;
+  std::ostringstream profiles;
+  const auto ingest = [&](ScenarioRun run) {
+    std::cout << "scenario " << run.scenario.name << ":";
+    for (const auto& [name, metric] : run.scenario.metrics) {
+      std::cout << " " << name << "="
+                << util::format_double(metric.median, 4);
+    }
+    std::cout << (run.valid ? "" : "  INVALID") << "\n";
+    if (!run.profile_table.empty()) {
+      profiles << "== " << run.scenario.name << " ==\n"
+               << run.profile_table << "\n";
+      if (!run.profile_ok) {
+        std::cout << "  PROFILE IDENTITY BROKEN: exclusive self-times do "
+                     "not sum to the root epoch spans within "
+                  << 100.0 * kProfileIdentityTolerance << "%\n";
+      }
+    }
+    all_valid = all_valid && run.valid;
+    profiles_ok = profiles_ok && run.profile_ok;
+    trajectory.scenarios.push_back(std::move(run.scenario));
+  };
+
+  std::cout << "wagg_bench: " << (suite.quick ? "quick" : "full")
+            << " matrix, repeat=" << suite.repeats
+            << " warmup=" << suite.warmup << "\n\n";
+  for (const auto& [family, n] : statics) {
+    ingest(run_static_scenario(family, n, suite));
+  }
+  for (const auto& spec : churn) {
+    ingest(run_churn_scenario(spec, suite));
+  }
+  ingest(run_service_scenario(service_sessions, service_n, service_epochs,
+                              suite));
+
+  std::cout << "\nper-stage span profiles (exclusive self time, hottest "
+               "first):\n\n"
+            << profiles.str();
+
+  if (!suite.out_path.empty()) {
+    obs::write_text_file(suite.out_path, trajectory.to_json());
+    std::cout << "trajectory: " << suite.out_path << " ("
+              << trajectory.scenarios.size() << " scenarios, schema "
+              << "wagg-bench-v1)\n";
+  }
+  if (!suite.profile_out.empty()) {
+    obs::write_text_file(suite.profile_out, profiles.str());
+    std::cout << "profiles: " << suite.profile_out << "\n";
+  }
+
+  if (!all_valid) {
+    std::cout << "wagg_bench FAILED: a scenario produced an invalid plan\n";
+    return 1;
+  }
+  if (!profiles_ok) {
+    std::cout << "wagg_bench FAILED: span-profile attribution identity "
+                 "broken\n";
+    return 1;
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------- modes
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("wagg_bench: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run_compare(const std::string& baseline_path,
+                const std::string& candidate_path, const util::Args& args) {
+  const auto baseline =
+      obs::BenchTrajectory::from_json(read_file(baseline_path));
+  const auto candidate =
+      obs::BenchTrajectory::from_json(read_file(candidate_path));
+  obs::CompareOptions options;
+  options.min_rel_tolerance =
+      args.get_double("min-rel", options.min_rel_tolerance);
+  options.mad_multiplier =
+      args.get_double("mad-mult", options.mad_multiplier);
+  options.min_abs_ms = args.get_double("min-abs-ms", options.min_abs_ms);
+  options.portable_only = args.has("portable-only");
+
+  std::cout << "baseline:  " << baseline_path << " (" << baseline.date
+            << (baseline.label.empty() ? "" : ", " + baseline.label)
+            << ")\ncandidate: " << candidate_path << " (" << candidate.date
+            << (candidate.label.empty() ? "" : ", " + candidate.label)
+            << ")\n"
+            << (options.portable_only
+                    ? "gating hardware-portable metrics only\n"
+                    : "")
+            << "\n";
+  const auto report = obs::compare(baseline, candidate, options);
+  std::cout << report.table();
+  return report.ok() ? 0 : 1;
+}
+
+int run_offline_profile(const std::string& trace_path,
+                        const util::Args& args) {
+  const auto report = obs::profile_chrome_trace(read_file(trace_path));
+  std::cout << "profile of " << trace_path << ":\n"
+            << report.table(
+                   static_cast<std::size_t>(args.get_int("top", 0)));
+  return report.malformed_spans == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace wagg
+
+int main(int argc, char** argv) {
+  using namespace wagg;
+  const util::Args args(argc, argv);
+  try {
+    // Mode flags take positional operands, which util::Args ignores — scan
+    // argv directly for them.
+    std::vector<std::string> positional;
+    bool compare_mode = false;
+    bool profile_mode = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg(argv[i]);
+      if (arg == "--compare") {
+        compare_mode = true;
+      } else if (arg == "--profile") {
+        profile_mode = true;
+      } else if (arg.rfind("--", 0) != 0) {
+        positional.push_back(arg);
+      }
+    }
+    if (compare_mode) {
+      if (positional.size() != 2) {
+        std::cerr << "usage: wagg_bench --compare <baseline.json> "
+                     "<candidate.json> [--portable-only] [--min-rel=f] "
+                     "[--mad-mult=k] [--min-abs-ms=f]\n";
+        return 2;
+      }
+      return run_compare(positional[0], positional[1], args);
+    }
+    if (profile_mode) {
+      if (positional.size() != 1) {
+        std::cerr << "usage: wagg_bench --profile <trace.json> [--top=k]\n";
+        return 2;
+      }
+      return run_offline_profile(positional[0], args);
+    }
+
+    SuiteOptions suite;
+    suite.repeats = std::max<std::size_t>(
+        1, static_cast<std::size_t>(args.get_int("repeat", 5)));
+    suite.warmup =
+        static_cast<std::size_t>(args.get_int("warmup", 1));
+    suite.quick = args.has("quick");
+    suite.out_path = args.get("out", "");
+    suite.profile_out = args.get("profile-out", "");
+    suite.label = args.get("label", "");
+    suite.top_k = static_cast<std::size_t>(args.get_int("top", 12));
+    return run_suite(suite);
+  } catch (const std::exception& e) {
+    std::cerr << "wagg_bench: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -94,9 +94,10 @@ int main(int argc, char** argv) {
     const auto spec = wagg::workload::WorkloadSpec::parse(spec_text);
     const auto requests = spec.expand();
 
-    const std::string trace_path = args.get("trace", "");
-    const std::string metrics_path = args.get("metrics-json", "");
-    if (!trace_path.empty()) wagg::obs::Tracer::global().enable();
+    // RAII export: a request that throws past the service (or a spec bug in
+    // the loop below) still leaves the trace/metrics artifacts on disk.
+    wagg::obs::ExportGuard telemetry(args.get("trace", ""),
+                                     args.get("metrics-json", ""));
 
     wagg::runtime::ServiceOptions options;
     options.num_workers =
@@ -154,22 +155,28 @@ int main(int argc, char** argv) {
               << wagg::util::format_double(result.stats.wall_ms, 1)
               << " ms, throughput "
               << wagg::util::format_double(result.stats.plans_per_sec, 1)
-              << " plans/sec\n\nstage latencies (successful plans):\n";
+              << " plans/sec";
+    if (result.stats.session_epochs > 0) {
+      std::cout << ", "
+                << wagg::util::format_double(
+                       result.stats.session_epochs_per_sec, 1)
+                << " session epochs/sec (" << result.stats.session_epochs
+                << " epochs)";
+    }
+    std::cout << "\n\nstage latencies (successful plans):\n";
     print_stage_table(result.stats);
 
     // Workers are idle once run() returned (completion synchronized through
     // the batch condition variable), so the export sees complete buffers.
-    if (!trace_path.empty()) {
-      wagg::obs::Tracer::global().disable();
-      wagg::obs::export_trace(trace_path);
-      std::cout << "trace: " << trace_path << " ("
+    telemetry.close();
+    if (telemetry.wants_trace()) {
+      std::cout << "trace: " << args.get("trace", "") << " ("
                 << wagg::obs::Tracer::global().recorded_events() << " spans, "
                 << wagg::obs::Tracer::global().dropped_events()
                 << " dropped)\n";
     }
-    if (!metrics_path.empty()) {
-      wagg::obs::export_metrics(metrics_path);
-      std::cout << "metrics: " << metrics_path << "\n";
+    if (telemetry.wants_metrics()) {
+      std::cout << "metrics: " << args.get("metrics-json", "") << "\n";
     }
 
     return result.stats.failed == 0 ? 0 : 2;

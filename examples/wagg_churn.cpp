@@ -66,9 +66,11 @@ int main(int argc, char** argv) {
     options.audit = args.has("audit");
     options.full_replan_fraction = args.get_double("full-frac", 0.35);
 
-    const std::string trace_path = args.get("trace", "");
-    const std::string metrics_path = args.get("metrics-json", "");
-    if (!trace_path.empty()) obs::Tracer::global().enable();
+    // RAII export: if anything below throws mid-session, the guard's
+    // destructor still flushes the spans and metrics recorded so far — the
+    // postmortem evidence for the very run that died.
+    obs::ExportGuard telemetry(args.get("trace", ""),
+                               args.get("metrics-json", ""));
 
     dynamic::DynamicPlanner planner(points, options);
     // Window the registry on the mutation epochs: the construction full plan
@@ -222,16 +224,14 @@ int main(int argc, char** argv) {
                 << " ms, mean " << util::format_double(lat.mean, 2)
                 << " ms, max " << util::format_double(lat.max, 2) << " ms\n";
     }
-    if (!trace_path.empty()) {
-      obs::Tracer::global().disable();
-      obs::export_trace(trace_path);
-      std::cout << "trace: " << trace_path << " ("
+    telemetry.close();  // happy path: write now so I/O errors still throw
+    if (telemetry.wants_trace()) {
+      std::cout << "trace: " << args.get("trace", "") << " ("
                 << obs::Tracer::global().recorded_events() << " spans, "
                 << obs::Tracer::global().dropped_events() << " dropped)\n";
     }
-    if (!metrics_path.empty()) {
-      obs::export_metrics(metrics_path);
-      std::cout << "metrics: " << metrics_path << "\n";
+    if (telemetry.wants_metrics()) {
+      std::cout << "metrics: " << args.get("metrics-json", "") << "\n";
     }
     return all_valid ? 0 : 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,281 @@
+#include "obs/bench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "util/table.h"
+
+namespace wagg::obs {
+
+namespace {
+
+/// Severity order for the findings table: what fails the gate first.
+int verdict_rank(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kRegressed: return 0;
+    case Verdict::kMissing: return 1;
+    case Verdict::kImproved: return 2;
+    case Verdict::kNew: return 3;
+    case Verdict::kInfo: return 4;
+    case Verdict::kOk: return 5;
+  }
+  return 6;
+}
+
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"' << json::escape(s) << '"';
+}
+
+}  // namespace
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+double mad_of(std::vector<double> values) {
+  if (values.size() < 2) return 0.0;
+  const double med = median_of(values);
+  for (double& v : values) v = std::abs(v - med);
+  return median_of(std::move(values));
+}
+
+BenchMetric BenchMetric::of(std::vector<double> repeats, std::string unit,
+                            bool higher_is_better, bool portable) {
+  BenchMetric metric;
+  metric.unit = std::move(unit);
+  metric.higher_is_better = higher_is_better;
+  metric.portable = portable;
+  metric.median = median_of(repeats);
+  metric.mad = mad_of(repeats);
+  metric.repeats = std::move(repeats);
+  return metric;
+}
+
+const BenchMetric* BenchScenario::find(const std::string& metric) const {
+  const auto it = metrics.find(metric);
+  return it == metrics.end() ? nullptr : &it->second;
+}
+
+const BenchScenario* BenchTrajectory::find(std::string_view name) const {
+  for (const auto& scenario : scenarios) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+std::string BenchTrajectory::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"wagg-bench-v1\"";
+  out << ",\n  \"date\": ";
+  append_json_string(out, date);
+  out << ",\n  \"label\": ";
+  append_json_string(out, label);
+  out << ",\n  \"repeats\": " << repeats;
+  out << ",\n  \"warmup\": " << warmup;
+  out << ",\n  \"scenarios\": [";
+  bool first_scenario = true;
+  for (const auto& scenario : scenarios) {
+    out << (first_scenario ? "\n" : ",\n") << "    {\"name\": ";
+    append_json_string(out, scenario.name);
+    out << ", \"kind\": ";
+    append_json_string(out, scenario.kind);
+    out << ",\n     \"metrics\": {";
+    bool first_metric = true;
+    for (const auto& [name, metric] : scenario.metrics) {
+      out << (first_metric ? "\n" : ",\n") << "      ";
+      append_json_string(out, name);
+      out << ": {\"unit\": ";
+      append_json_string(out, metric.unit);
+      out << ", \"higher_is_better\": "
+          << (metric.higher_is_better ? "true" : "false")
+          << ", \"portable\": " << (metric.portable ? "true" : "false")
+          << ", \"min_rel\": " << json::number(metric.min_rel)
+          << ", \"median\": " << json::number(metric.median)
+          << ", \"mad\": " << json::number(metric.mad) << ", \"repeats\": [";
+      bool first_repeat = true;
+      for (const double v : metric.repeats) {
+        out << (first_repeat ? "" : ", ") << json::number(v);
+        first_repeat = false;
+      }
+      out << "]}";
+      first_metric = false;
+    }
+    out << (first_metric ? "}" : "\n     }");
+    // The registry snapshot is a complete wagg-metrics-v1 document; splice
+    // it verbatim as a nested value (whitespace is insignificant).
+    out << ",\n     \"registry\": " << scenario.registry.to_json() << "    }";
+    first_scenario = false;
+  }
+  out << (first_scenario ? "]" : "\n  ]");
+  out << "\n}\n";
+  return out.str();
+}
+
+BenchTrajectory BenchTrajectory::from_json(std::string_view text) {
+  const auto doc = json::parse(text);
+  if (!doc.contains("schema") ||
+      doc.at("schema").as_string() != "wagg-bench-v1") {
+    throw std::invalid_argument(
+        "BenchTrajectory::from_json: missing or unknown schema marker");
+  }
+  BenchTrajectory trajectory;
+  trajectory.date = doc.at("date").as_string();
+  trajectory.label = doc.at("label").as_string();
+  trajectory.repeats = static_cast<std::size_t>(doc.at("repeats").as_number());
+  trajectory.warmup = static_cast<std::size_t>(doc.at("warmup").as_number());
+  for (const auto& entry : doc.at("scenarios").as_array()) {
+    BenchScenario scenario;
+    scenario.name = entry.at("name").as_string();
+    scenario.kind = entry.at("kind").as_string();
+    for (const auto& [metric_name, value] : entry.at("metrics").as_object()) {
+      BenchMetric metric;
+      metric.unit = value.at("unit").as_string();
+      metric.higher_is_better = value.at("higher_is_better").as_bool();
+      metric.portable = value.at("portable").as_bool();
+      // Optional: points recorded before the field existed parse as 0.
+      if (value.contains("min_rel")) {
+        metric.min_rel = value.at("min_rel").as_number();
+      }
+      metric.median = value.at("median").as_number();
+      metric.mad = value.at("mad").as_number();
+      for (const auto& repeat : value.at("repeats").as_array()) {
+        metric.repeats.push_back(repeat.as_number());
+      }
+      scenario.metrics.emplace(metric_name, std::move(metric));
+    }
+    scenario.registry = MetricsSnapshot::from_value(entry.at("registry"));
+    trajectory.scenarios.push_back(std::move(scenario));
+  }
+  return trajectory;
+}
+
+std::string to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kImproved: return "IMPROVED";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kInfo: return "info";
+    case Verdict::kMissing: return "MISSING";
+    case Verdict::kNew: return "new";
+  }
+  return "?";
+}
+
+std::string CompareReport::table() const {
+  std::ostringstream out;
+  util::Table t({"scenario", "metric", "baseline", "candidate", "delta %",
+                 "tol %", "verdict"});
+  for (const auto& finding : findings) {
+    t.row()
+        .cell(finding.scenario)
+        .cell(finding.metric)
+        .cell(finding.baseline_median, 4)
+        .cell(finding.candidate_median, 4)
+        .cell(100.0 * finding.delta_fraction, 1)
+        .cell(100.0 * finding.tolerance_fraction, 1)
+        .cell(to_string(finding.verdict));
+  }
+  t.print(out);
+  out << (ok() ? "compare OK" : "compare FAILED") << ": " << regressions
+      << " regression(s), " << improvements << " improvement(s), "
+      << findings.size() << " metric(s) examined\n";
+  return out.str();
+}
+
+CompareReport compare(const BenchTrajectory& baseline,
+                      const BenchTrajectory& candidate,
+                      const CompareOptions& options) {
+  CompareReport report;
+  const auto add = [&report](CompareFinding finding) {
+    if (finding.verdict == Verdict::kRegressed ||
+        finding.verdict == Verdict::kMissing) {
+      ++report.regressions;
+    }
+    if (finding.verdict == Verdict::kImproved) ++report.improvements;
+    report.findings.push_back(std::move(finding));
+  };
+
+  for (const auto& base_scenario : baseline.scenarios) {
+    const BenchScenario* cand_scenario = candidate.find(base_scenario.name);
+    for (const auto& [metric_name, base_metric] : base_scenario.metrics) {
+      const bool gated = !options.portable_only || base_metric.portable;
+      CompareFinding finding;
+      finding.scenario = base_scenario.name;
+      finding.metric = metric_name;
+      finding.baseline_median = base_metric.median;
+
+      const BenchMetric* cand_metric =
+          cand_scenario ? cand_scenario->find(metric_name) : nullptr;
+      if (cand_metric == nullptr) {
+        // A vanished gated metric is a coverage regression — a perf
+        // regression could hide behind a deleted row.
+        finding.verdict = gated ? Verdict::kMissing : Verdict::kInfo;
+        add(std::move(finding));
+        continue;
+      }
+      finding.candidate_median = cand_metric->median;
+
+      const double denom = std::max(std::abs(base_metric.median), 1e-12);
+      // Signed change in the metric's own "worse" direction.
+      const double raw_delta = cand_metric->median - base_metric.median;
+      finding.delta_fraction =
+          (base_metric.higher_is_better ? -raw_delta : raw_delta) / denom;
+      // Either side's declared noise floor widens the band: a metric whose
+      // producer knows its repeats understate between-run spread says so in
+      // the schema rather than relying on comparator flags.
+      const double min_rel =
+          std::max({options.min_rel_tolerance, base_metric.min_rel,
+                    cand_metric->min_rel});
+      double tolerance =
+          std::max(min_rel, options.mad_multiplier *
+                                (base_metric.mad + cand_metric->mad) / denom);
+      if (base_metric.unit == "ms") {
+        tolerance = std::max(tolerance, options.min_abs_ms / denom);
+      }
+      finding.tolerance_fraction = tolerance;
+
+      if (!gated) {
+        finding.verdict = Verdict::kInfo;
+      } else if (finding.delta_fraction > tolerance) {
+        finding.verdict = Verdict::kRegressed;
+      } else if (finding.delta_fraction < -tolerance) {
+        finding.verdict = Verdict::kImproved;
+      } else {
+        finding.verdict = Verdict::kOk;
+      }
+      add(std::move(finding));
+    }
+  }
+
+  // Candidate-only scenarios/metrics: new coverage, reported but not gated.
+  for (const auto& cand_scenario : candidate.scenarios) {
+    const BenchScenario* base_scenario = baseline.find(cand_scenario.name);
+    for (const auto& [metric_name, cand_metric] : cand_scenario.metrics) {
+      if (base_scenario != nullptr &&
+          base_scenario->find(metric_name) != nullptr) {
+        continue;
+      }
+      CompareFinding finding;
+      finding.scenario = cand_scenario.name;
+      finding.metric = metric_name;
+      finding.candidate_median = cand_metric.median;
+      finding.verdict = Verdict::kNew;
+      add(std::move(finding));
+    }
+  }
+
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const CompareFinding& a, const CompareFinding& b) {
+                     return verdict_rank(a.verdict) < verdict_rank(b.verdict);
+                   });
+  return report;
+}
+
+}  // namespace wagg::obs

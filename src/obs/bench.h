@@ -1,0 +1,150 @@
+#ifndef WAGG_OBS_BENCH_H
+#define WAGG_OBS_BENCH_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wagg::obs {
+
+/// One measured metric of one bench scenario: the raw per-repeat samples
+/// plus the median/MAD summary the comparator gates on. The MAD (median
+/// absolute deviation) is the noise currency — a robust spread estimate that
+/// one cold-cache outlier cannot inflate the way a stddev can.
+struct BenchMetric {
+  /// "ms" (lower is better), "per_sec" (higher is better), or "ratio"
+  /// (direction carried by higher_is_better).
+  std::string unit = "ms";
+  bool higher_is_better = false;
+  /// True when the value is meaningful across machines (dimensionless
+  /// ratios of two quantities measured on the same host, e.g. incremental
+  /// cost over an in-process from-scratch baseline). Absolute wall clocks
+  /// are not portable; the comparator can be told to gate portable metrics
+  /// only when baseline and candidate ran on different hardware.
+  bool portable = false;
+  /// Producer-declared noise floor as a fraction of the median, max'd with
+  /// the comparator's min_rel_tolerance. For most metrics the repeats sample
+  /// the between-run noise and 0 is right; set it when they cannot — e.g.
+  /// thread-pool wall clocks, where repeats inside one process share a
+  /// scheduler regime and the regime itself shifts between runs, so the
+  /// within-run MAD understates run-to-run spread.
+  double min_rel = 0.0;
+  double median = 0.0;
+  double mad = 0.0;
+  std::vector<double> repeats;  ///< raw values, run order
+
+  /// Builds the summary from raw repeats (median and MAD computed here).
+  [[nodiscard]] static BenchMetric of(std::vector<double> repeats,
+                                      std::string unit = "ms",
+                                      bool higher_is_better = false,
+                                      bool portable = false);
+
+  friend bool operator==(const BenchMetric&, const BenchMetric&) = default;
+};
+
+/// One scenario of the canonical matrix: a named workload configuration,
+/// its measured metrics, and the full registry snapshot captured on the
+/// final measured repeat (so a trajectory point carries every counter and
+/// latency histogram the run produced, not just the gated medians).
+struct BenchScenario {
+  std::string name;  ///< e.g. "churn/uniform/n2048/r0.01"
+  std::string kind;  ///< "static" | "churn" | "service"
+  std::map<std::string, BenchMetric> metrics;
+  MetricsSnapshot registry;
+
+  [[nodiscard]] const BenchMetric* find(const std::string& metric) const;
+};
+
+/// One point of the perf trajectory: everything `wagg_bench` measured in
+/// one suite run, serialized as schema `wagg-bench-v1`. Committed points
+/// (bench/baseline.json, BENCH_<date>.json) are what future runs compare
+/// against.
+struct BenchTrajectory {
+  std::string date;   ///< ISO date of the run
+  std::string label;  ///< freeform provenance (git sha, PR tag, host)
+  std::size_t repeats = 0;
+  std::size_t warmup = 0;
+  std::vector<BenchScenario> scenarios;
+
+  [[nodiscard]] const BenchScenario* find(std::string_view name) const;
+
+  [[nodiscard]] std::string to_json() const;
+  /// Throws std::invalid_argument on malformed input or a schema marker
+  /// other than wagg-bench-v1.
+  [[nodiscard]] static BenchTrajectory from_json(std::string_view text);
+};
+
+/// Robust summary helpers (exposed for tests).
+[[nodiscard]] double median_of(std::vector<double> values);
+/// Median absolute deviation around the median; 0 for < 2 samples.
+[[nodiscard]] double mad_of(std::vector<double> values);
+
+// ---------------------------------------------------------------- compare
+
+struct CompareOptions {
+  /// Tolerance floor as a fraction of the baseline median: differences
+  /// under this never gate, whatever the MADs claim (k repeats can by luck
+  /// produce a near-zero MAD).
+  double min_rel_tolerance = 0.05;
+  /// Noise band: the tolerance grows with the measured spread of BOTH runs,
+  /// mad_multiplier * (baseline.mad + candidate.mad).
+  double mad_multiplier = 4.0;
+  /// Absolute floor for "ms" metrics: sub-tenth-of-a-millisecond swings are
+  /// scheduler noise at any relative size.
+  double min_abs_ms = 0.1;
+  /// Gate only hardware-portable metrics (baseline from another machine);
+  /// absolute metrics still appear in the report as informational rows.
+  bool portable_only = false;
+};
+
+enum class Verdict {
+  kOk,        ///< within the noise tolerance
+  kImproved,  ///< better beyond tolerance (reported, never fails)
+  kRegressed, ///< worse beyond tolerance (fails the comparison)
+  kInfo,      ///< not gated under the active options
+  kMissing,   ///< present in baseline, absent in candidate (fails: coverage loss)
+  kNew,       ///< present only in candidate (reported)
+};
+
+[[nodiscard]] std::string to_string(Verdict verdict);
+
+struct CompareFinding {
+  std::string scenario;
+  std::string metric;
+  double baseline_median = 0.0;
+  double candidate_median = 0.0;
+  /// Signed change in the metric's own direction: positive = worse.
+  double delta_fraction = 0.0;
+  double tolerance_fraction = 0.0;
+  Verdict verdict = Verdict::kOk;
+};
+
+struct CompareReport {
+  std::vector<CompareFinding> findings;  ///< regressions first
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+
+  /// The merge gate: false iff any gated metric regressed or went missing.
+  [[nodiscard]] bool ok() const noexcept { return regressions == 0; }
+  [[nodiscard]] std::string table() const;
+};
+
+/// Direction-aware, noise-tolerant comparison of two trajectory points.
+/// Per metric the tolerance is
+///   max(min_rel_tolerance * |baseline.median|,
+///       per-metric min_rel (either side) * |baseline.median|,
+///       mad_multiplier * (baseline.mad + candidate.mad)
+///       [, min_abs_ms / |baseline.median| for "ms" metrics])
+/// as a fraction of the baseline median; a candidate median worse than that
+/// is kRegressed, better than that is kImproved, anything else kOk.
+[[nodiscard]] CompareReport compare(const BenchTrajectory& baseline,
+                                    const BenchTrajectory& candidate,
+                                    const CompareOptions& options = {});
+
+}  // namespace wagg::obs
+
+#endif  // WAGG_OBS_BENCH_H

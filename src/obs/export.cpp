@@ -1,6 +1,8 @@
 #include "obs/export.h"
 
+#include <exception>
 #include <fstream>
+#include <iostream>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -25,6 +27,36 @@ void export_metrics(const std::string& path) {
 
 void export_trace(const std::string& path) {
   write_text_file(path, Tracer::global().chrome_trace_json());
+}
+
+ExportGuard::ExportGuard(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (wants_trace()) Tracer::global().enable();
+}
+
+ExportGuard::~ExportGuard() {
+  if (written_) return;
+  // Unwinding path: a run died mid-session. The buffered spans and metrics
+  // are exactly the postmortem evidence; write what we can, never throw.
+  try {
+    close();
+  } catch (const std::exception& e) {
+    std::cerr << "obs: telemetry export failed during unwind: " << e.what()
+              << "\n";
+  }
+}
+
+void ExportGuard::close() {
+  if (written_) return;
+  if (wants_trace()) Tracer::global().disable();
+  write_artifacts();
+  written_ = true;
+}
+
+void ExportGuard::write_artifacts() {
+  if (wants_trace()) export_trace(trace_path_);
+  if (wants_metrics()) export_metrics(metrics_path_);
 }
 
 }  // namespace wagg::obs

@@ -17,6 +17,41 @@ void export_metrics(const std::string& path);
 /// threads are quiescent.
 void export_trace(const std::string& path);
 
+/// RAII guarantee that --trace / --metrics-json artifacts reach disk even
+/// when a run throws mid-session. Construction enables the global tracer
+/// when a trace path was requested; the artifacts are written exactly once —
+/// by close() on the happy path (throws on I/O failure, like export_*), or
+/// by the destructor during unwinding (best-effort: I/O failures are
+/// reported to stderr, never thrown). Empty paths disable the matching
+/// sink, so CLIs construct the guard unconditionally from their flags.
+class ExportGuard {
+ public:
+  ExportGuard(std::string trace_path, std::string metrics_path);
+  ~ExportGuard();
+
+  ExportGuard(const ExportGuard&) = delete;
+  ExportGuard& operator=(const ExportGuard&) = delete;
+
+  [[nodiscard]] bool wants_trace() const noexcept {
+    return !trace_path_.empty();
+  }
+  [[nodiscard]] bool wants_metrics() const noexcept {
+    return !metrics_path_.empty();
+  }
+
+  /// Disables the tracer and writes the requested artifacts now. Idempotent;
+  /// call it at the natural end of a run so I/O errors still surface as
+  /// exceptions instead of a destructor-time stderr note.
+  void close();
+
+ private:
+  void write_artifacts();
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool written_ = false;
+};
+
 }  // namespace wagg::obs
 
 #endif  // WAGG_OBS_EXPORT_H

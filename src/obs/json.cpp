@@ -58,6 +58,11 @@ class Parser {
         return object();
       case '[':
         return array();
+      case ']':
+      case '}':
+      case ',':
+      case ':':
+        fail("unexpected character", pos_);
       case '"':
         return Value(string());
       case 't':
@@ -75,19 +80,39 @@ class Parser {
   }
 
   double parse_number() {
+    // Enforce the strict JSON grammar before handing the slice to
+    // from_chars, which is laxer (leading zeros, "1.", ".5").
     const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
+    const auto digit = [this] {
+      return pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]));
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit()) fail("malformed number", start);
+    if (text_[pos_] == '0') {
+      ++pos_;  // a leading zero must stand alone ("0", "0.5", "0e3")
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
+      if (!digit()) fail("malformed number", start);
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) fail("malformed number", start);
+      while (digit()) ++pos_;
     }
     double out = 0.0;
     const auto* begin = text_.data() + start;
     const auto* end = text_.data() + pos_;
     const auto [ptr, ec] = std::from_chars(begin, end, out);
-    if (ec != std::errc{} || ptr != end || begin == end) {
+    if (ec != std::errc{} || ptr != end) {
       fail("malformed number", start);
     }
     return out;
@@ -138,12 +163,21 @@ class Parser {
     }
   }
 
+  /// Containers recurse through value(); the depth cap bounds the call
+  /// stack so adversarially deep input fails loudly instead of overflowing.
+  void enter() {
+    if (++depth_ > kMaxParseDepth) fail("nesting too deep", pos_);
+  }
+  void leave() noexcept { --depth_; }
+
   Value array() {
     expect('[');
+    enter();
     std::vector<Value> items;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      leave();
       return Value::array(std::move(items));
     }
     for (;;) {
@@ -151,17 +185,22 @@ class Parser {
       skip_ws();
       const char c = peek();
       ++pos_;
-      if (c == ']') return Value::array(std::move(items));
+      if (c == ']') {
+        leave();
+        return Value::array(std::move(items));
+      }
       if (c != ',') fail("expected ',' or ']'", pos_ - 1);
     }
   }
 
   Value object() {
     expect('{');
+    enter();
     std::map<std::string, Value> members;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      leave();
       return Value::object(std::move(members));
     }
     for (;;) {
@@ -173,13 +212,17 @@ class Parser {
       skip_ws();
       const char c = peek();
       ++pos_;
-      if (c == '}') return Value::object(std::move(members));
+      if (c == '}') {
+        leave();
+        return Value::object(std::move(members));
+      }
       if (c != ',') fail("expected ',' or '}'", pos_ - 1);
     }
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

@@ -47,9 +47,17 @@ class Value {
   std::map<std::string, Value> object_;
 };
 
+/// Containers deeper than this fail to parse. The obs writers nest a
+/// handful of levels; the cap turns a hostile or corrupted input into a
+/// clean std::invalid_argument instead of recursion-depth stack exhaustion.
+inline constexpr std::size_t kMaxParseDepth = 128;
+
 /// Parses one JSON document (recursive descent, UTF-8 passthrough, \uXXXX
 /// escapes decoded only for the ASCII range the obs layer ever emits).
-/// Throws std::invalid_argument on malformed input or trailing garbage.
+/// Throws std::invalid_argument on malformed input, trailing garbage, or
+/// nesting beyond kMaxParseDepth. Numbers must be finite doubles: NaN/Inf
+/// spellings and magnitudes that overflow a double are rejected, not
+/// saturated (a gate comparing against inf would pass vacuously).
 [[nodiscard]] Value parse(std::string_view text);
 
 /// Escapes `s` for embedding inside a JSON string literal (quotes excluded).

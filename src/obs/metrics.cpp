@@ -223,7 +223,10 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 MetricsSnapshot MetricsSnapshot::from_json(std::string_view text) {
-  const auto doc = json::parse(text);
+  return from_value(json::parse(text));
+}
+
+MetricsSnapshot MetricsSnapshot::from_value(const json::Value& doc) {
   if (!doc.contains("schema") ||
       doc.at("schema").as_string() != "wagg-metrics-v1") {
     throw std::invalid_argument(

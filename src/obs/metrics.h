@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+namespace wagg::obs::json {
+class Value;
+}  // namespace wagg::obs::json
+
 namespace wagg::obs {
 
 /// Monotone event count. All operations are lock-free relaxed atomics: the
@@ -175,6 +179,10 @@ struct MetricsSnapshot {
 
   [[nodiscard]] std::string to_json() const;
   static MetricsSnapshot from_json(std::string_view text);
+  /// Reassembles a snapshot from an already-parsed wagg-metrics-v1 object —
+  /// the hook that lets other schemas (wagg-bench-v1 trajectories) embed a
+  /// registry snapshot per record without re-serializing the subtree.
+  static MetricsSnapshot from_value(const json::Value& doc);
 };
 
 /// Named metric registry. Registration (the first lookup of a name) takes a

@@ -1,0 +1,182 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/table.h"
+
+namespace wagg::obs {
+
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+/// Per-name accumulator while walking the stream.
+struct StageAccumulator {
+  std::size_t count = 0;
+  std::uint64_t inclusive_ns = 0;
+  /// Signed: a malformed stream can attribute more child time than a span's
+  /// own duration; the report surfaces that instead of silently clamping.
+  std::int64_t exclusive_ns = 0;
+};
+
+}  // namespace
+
+double ProfileReport::exclusive_sum_ms() const {
+  double sum = 0.0;
+  for (const auto& row : rows) sum += row.exclusive_ms;
+  return sum;
+}
+
+std::string ProfileReport::table(std::size_t top_k) const {
+  std::ostringstream out;
+  util::Table t({"stage", "count", "incl ms", "excl ms", "excl/root ms",
+                 "excl %"});
+  const std::size_t limit =
+      top_k == 0 ? rows.size() : std::min(top_k, rows.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& row = rows[i];
+    t.row()
+        .cell(row.name)
+        .cell(row.count)
+        .cell(row.inclusive_ms, 3)
+        .cell(row.exclusive_ms, 3)
+        .cell(row.exclusive_per_root_ms, 4)
+        .cell(root_ms > 0.0 ? 100.0 * row.exclusive_ms / root_ms : 0.0, 1);
+  }
+  t.print(out);
+  out << "roots: " << root_count << " spans, "
+      << util::format_double(root_ms, 3) << " ms; exclusive sum "
+      << util::format_double(exclusive_sum_ms(), 3) << " ms";
+  if (limit < rows.size()) {
+    out << " (" << rows.size() - limit << " cooler stages not shown)";
+  }
+  if (malformed_spans != 0) {
+    out << "; WARNING: " << malformed_spans
+        << " partially-overlapping spans — attribution unreliable";
+  }
+  out << "\n";
+  return out.str();
+}
+
+ProfileReport profile_spans(std::vector<CollectedSpan> spans) {
+  ProfileReport report;
+  if (spans.empty()) return report;
+
+  // Nesting is per thread; recover it from timestamps with a scope stack
+  // over the spans sorted by (tid, start asc, end desc) — a parent sorts
+  // before the children it contains, so the stack top is always the
+  // innermost open scope.
+  std::sort(spans.begin(), spans.end(),
+            [](const CollectedSpan& a, const CollectedSpan& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns > b.end_ns;
+            });
+
+  std::map<std::string, StageAccumulator> stages;
+  std::uint64_t root_ns = 0;
+
+  struct OpenScope {
+    const CollectedSpan* span = nullptr;
+    std::uint64_t child_ns = 0;  ///< direct children's summed durations
+  };
+  std::vector<OpenScope> stack;
+
+  const auto close_scope = [&](const OpenScope& scope) {
+    const std::uint64_t duration = scope.span->end_ns - scope.span->start_ns;
+    auto& stage = stages[scope.span->name];
+    ++stage.count;
+    stage.inclusive_ns += duration;
+    stage.exclusive_ns += static_cast<std::int64_t>(duration) -
+                          static_cast<std::int64_t>(scope.child_ns);
+  };
+
+  std::uint32_t current_tid = spans.front().tid;
+  for (const auto& span : spans) {
+    if (span.tid != current_tid) {
+      // Thread boundary: close out the previous thread's open scopes.
+      while (!stack.empty()) {
+        close_scope(stack.back());
+        stack.pop_back();
+      }
+      current_tid = span.tid;
+    }
+    const std::uint64_t duration = span.end_ns - span.start_ns;
+    // Scopes that ended before this span starts are closed for good.
+    while (!stack.empty() && stack.back().span->end_ns <= span.start_ns) {
+      close_scope(stack.back());
+      stack.pop_back();
+    }
+    if (stack.empty()) {
+      ++report.root_count;
+      root_ns += duration;
+    } else if (span.end_ns <= stack.back().span->end_ns) {
+      stack.back().child_ns += duration;
+    } else {
+      // Partial overlap: impossible for RAII spans on one thread. Count it,
+      // attribute the span as a root, and let the report flag itself.
+      ++report.malformed_spans;
+      ++report.root_count;
+      root_ns += duration;
+    }
+    stack.push_back(OpenScope{&span, 0});
+  }
+  while (!stack.empty()) {
+    close_scope(stack.back());
+    stack.pop_back();
+  }
+
+  report.root_ms = static_cast<double>(root_ns) / kNsPerMs;
+  report.rows.reserve(stages.size());
+  for (const auto& [name, stage] : stages) {
+    ProfileRow row;
+    row.name = name;
+    row.count = stage.count;
+    row.inclusive_ms = static_cast<double>(stage.inclusive_ns) / kNsPerMs;
+    row.exclusive_ms = static_cast<double>(stage.exclusive_ns) / kNsPerMs;
+    row.exclusive_per_root_ms =
+        report.root_count > 0
+            ? row.exclusive_ms / static_cast<double>(report.root_count)
+            : 0.0;
+    report.rows.push_back(std::move(row));
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              if (a.exclusive_ms != b.exclusive_ms) {
+                return a.exclusive_ms > b.exclusive_ms;
+              }
+              return a.name < b.name;
+            });
+  return report;
+}
+
+ProfileReport profile_global_tracer() {
+  return profile_spans(Tracer::global().collect());
+}
+
+ProfileReport profile_chrome_trace(std::string_view json_text) {
+  const auto doc = json::parse(json_text);
+  std::vector<CollectedSpan> spans;
+  for (const auto& entry : doc.at("traceEvents").as_array()) {
+    if (entry.at("ph").as_string() != "X") continue;  // skip metadata events
+    CollectedSpan span;
+    span.name = entry.at("name").as_string();
+    // Timestamps re-quantize through the export's microsecond doubles;
+    // rounding to whole ns keeps tiling spans tiling.
+    const double start_us = entry.at("ts").as_number();
+    const double dur_us = entry.at("dur").as_number();
+    span.start_ns = static_cast<std::uint64_t>(start_us * 1000.0 + 0.5);
+    span.end_ns =
+        span.start_ns + static_cast<std::uint64_t>(dur_us * 1000.0 + 0.5);
+    span.tid = entry.contains("tid")
+                   ? static_cast<std::uint32_t>(entry.at("tid").as_number())
+                   : 0;
+    spans.push_back(std::move(span));
+  }
+  return profile_spans(std::move(spans));
+}
+
+}  // namespace wagg::obs

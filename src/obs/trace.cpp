@@ -84,6 +84,23 @@ std::uint64_t Tracer::dropped_events() const {
   return dropped;
 }
 
+std::vector<CollectedSpan> Tracer::collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CollectedSpan> spans;
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t written =
+        buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(written, buffer->ring.size());
+    for (std::uint64_t k = written - kept; k < written; ++k) {
+      const TraceEvent& event = buffer->ring[k % buffer->ring.size()];
+      spans.push_back(CollectedSpan{event.name, event.start_ns, event.end_ns,
+                                    buffer->tid});
+    }
+  }
+  return spans;
+}
+
 std::string Tracer::chrome_trace_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;

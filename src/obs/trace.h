@@ -22,6 +22,18 @@ struct TraceEvent {
   std::uint64_t end_ns = 0;
 };
 
+/// One collected span, decoupled from the tracer's storage (the name is
+/// copied, the recording thread identified by tid) — the in-process currency
+/// of the span profiler (obs/profile.h).
+struct CollectedSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;
+
+  friend bool operator==(const CollectedSpan&, const CollectedSpan&) = default;
+};
+
 /// Process-wide span collector. Disabled by default; a disabled tracer
 /// costs instrumented code one relaxed atomic load per span.
 ///
@@ -78,6 +90,12 @@ class Tracer {
   /// RAII spans on one thread are properly bracketed, which is exactly the
   /// containment the viewers render as a slice tree.
   [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Snapshots the surviving buffered spans (ring order per thread, oldest
+  /// first) for in-process profiling — the same events chrome_trace_json()
+  /// would serialize, without the JSON round trip. Same quiescence contract
+  /// as export.
+  [[nodiscard]] std::vector<CollectedSpan> collect() const;
 
   /// Drops all buffered events and thread registrations.
   void clear();

@@ -220,6 +220,9 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
         conflict_query.add(outcome.conflict_query_ms);
         mst_update.add(outcome.mst_update_ms);
         orient.add(outcome.orient_ms);
+        // outcome.epochs counts the initial full plan; throughput counts
+        // the incremental advances only.
+        stats.session_epochs += outcome.epochs - 1;
       }
       coloring.add(outcome.timings.coloring_ms);
       repair.add(outcome.timings.repair_ms);
@@ -244,6 +247,8 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
   stats.total_latency = summarize_stage(total);
   if (wall_ms > 0.0) {
     stats.plans_per_sec = static_cast<double>(stats.total) * 1000.0 / wall_ms;
+    stats.session_epochs_per_sec =
+        static_cast<double>(stats.session_epochs) * 1000.0 / wall_ms;
   }
   return stats;
 }

@@ -113,6 +113,12 @@ struct BatchStats {
   std::size_t failed = 0;
   double wall_ms = 0.0;        ///< batch wall clock, queue to last completion
   double plans_per_sec = 0.0;  ///< succeeded + failed, over wall_ms
+  /// Session throughput: mutation epochs advanced across the batch's churn
+  /// sessions (initial full plans excluded) and their rate over the batch
+  /// wall clock — the serving-shaped headline the perf observatory tracks.
+  /// Zero when the batch had no churn sessions.
+  std::size_t session_epochs = 0;
+  double session_epochs_per_sec = 0.0;
   StageSummary tree;
   /// Session requests only: the tree stage split into dynamic-tree MST
   /// updates vs orientation-diff replay (empty when the batch had no churn

@@ -1,0 +1,316 @@
+#include "obs/bench.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wagg::obs {
+namespace {
+
+BenchTrajectory make_trajectory() {
+  Registry registry;
+  registry.counter("dynamic.epochs").add(8);
+  registry.gauge("service.busy_workers").set(2.5);
+  registry.histogram("dynamic.epoch_ms").record(1.5);
+  registry.histogram("dynamic.epoch_ms").record(2.5);
+
+  BenchTrajectory trajectory;
+  trajectory.date = "2026-08-08";
+  trajectory.label = "unit \"quoted\" label";
+  trajectory.repeats = 5;
+  trajectory.warmup = 1;
+
+  BenchScenario churn;
+  churn.name = "churn/uniform/n1024/r0.01";
+  churn.kind = "churn";
+  churn.metrics.emplace(
+      "conflict_query_ms",
+      BenchMetric::of({0.5, 0.52, 0.48, 0.51, 0.49}, "ms"));
+  churn.metrics.emplace(
+      "conflict_share",
+      BenchMetric::of({0.4, 0.41, 0.39, 0.4, 0.42}, "ratio",
+                      /*higher_is_better=*/false, /*portable=*/true));
+  churn.registry = registry.snapshot();
+  trajectory.scenarios.push_back(std::move(churn));
+
+  BenchScenario service;
+  service.name = "service/sessions8/n256";
+  service.kind = "service";
+  auto throughput =
+      BenchMetric::of({900.0, 1000.0, 1100.0, 1000.0, 950.0}, "per_sec",
+                      /*higher_is_better=*/true);
+  throughput.min_rel = 0.25;  // pool-dispatch noise floor, as in wagg_bench
+  service.metrics.emplace("epochs_per_sec", std::move(throughput));
+  trajectory.scenarios.push_back(std::move(service));
+  return trajectory;
+}
+
+/// A candidate whose medians equal the baseline's exactly.
+BenchTrajectory identical_candidate() { return make_trajectory(); }
+
+void scale_metric(BenchTrajectory& trajectory, const std::string& scenario,
+                  const std::string& metric, double factor) {
+  auto& m = const_cast<BenchScenario*>(trajectory.find(scenario))
+                ->metrics.at(metric);
+  std::vector<double> scaled;
+  for (const double v : m.repeats) scaled.push_back(v * factor);
+  const double min_rel = m.min_rel;
+  m = BenchMetric::of(std::move(scaled), m.unit, m.higher_is_better,
+                      m.portable);
+  m.min_rel = min_rel;
+}
+
+// ------------------------------------------------------------- statistics
+
+TEST(BenchStats, MedianAndMadAreRobustToOneOutlier) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+  // One 100x outlier moves the mean wildly but the median/MAD barely.
+  EXPECT_DOUBLE_EQ(median_of({1.0, 1.1, 0.9, 100.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(mad_of({1.0, 1.1, 0.9, 100.0, 1.0}), 0.1);
+  EXPECT_DOUBLE_EQ(mad_of({5.0}), 0.0);
+}
+
+TEST(BenchStats, MetricOfSummarizesRepeats) {
+  const auto metric = BenchMetric::of({2.0, 1.0, 3.0}, "ms");
+  EXPECT_DOUBLE_EQ(metric.median, 2.0);
+  EXPECT_DOUBLE_EQ(metric.mad, 1.0);
+  ASSERT_EQ(metric.repeats.size(), 3u);  // raw order preserved
+  EXPECT_DOUBLE_EQ(metric.repeats[0], 2.0);
+}
+
+// -------------------------------------------------------------- round trip
+
+TEST(BenchTrajectory, JsonRoundTripIsLossless) {
+  const auto before = make_trajectory();
+  const auto after = BenchTrajectory::from_json(before.to_json());
+
+  EXPECT_EQ(after.date, before.date);
+  EXPECT_EQ(after.label, before.label);
+  EXPECT_EQ(after.repeats, before.repeats);
+  EXPECT_EQ(after.warmup, before.warmup);
+  ASSERT_EQ(after.scenarios.size(), before.scenarios.size());
+  for (std::size_t i = 0; i < before.scenarios.size(); ++i) {
+    const auto& a = after.scenarios[i];
+    const auto& b = before.scenarios[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.metrics, b.metrics);  // BenchMetric == is defaulted
+    EXPECT_EQ(a.registry.counters, b.registry.counters);
+    EXPECT_EQ(a.registry.gauges, b.registry.gauges);
+    EXPECT_EQ(a.registry.histograms.size(), b.registry.histograms.size());
+  }
+  // The embedded registry survives: counters round-trip through the nested
+  // wagg-metrics-v1 document.
+  EXPECT_EQ(
+      after.scenarios[0].registry.counters.at("dynamic.epochs"), 8u);
+  EXPECT_EQ(
+      after.scenarios[0].registry.histograms.at("dynamic.epoch_ms").count(),
+      2u);
+}
+
+TEST(BenchTrajectory, FromJsonRejectsWrongOrMissingSchema) {
+  EXPECT_THROW(BenchTrajectory::from_json("{}"), std::invalid_argument);
+  EXPECT_THROW(
+      BenchTrajectory::from_json("{\"schema\": \"wagg-bench-v999\"}"),
+      std::invalid_argument);
+  EXPECT_THROW(BenchTrajectory::from_json("not json"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- compare
+
+TEST(BenchCompare, IdenticalRunsPassWithinNoiseTolerance) {
+  const auto report = compare(make_trajectory(), identical_candidate());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_EQ(report.improvements, 0u);
+  EXPECT_EQ(report.findings.size(), 3u);
+  for (const auto& finding : report.findings) {
+    EXPECT_EQ(finding.verdict, Verdict::kOk) << finding.metric;
+  }
+}
+
+TEST(BenchCompare, InjectedConflictQuerySlowdownRegresses) {
+  // The acceptance scenario: a 2x conflict_query_ms slowdown must fail the
+  // gate while everything else stays ok.
+  auto candidate = identical_candidate();
+  scale_metric(candidate, "churn/uniform/n1024/r0.01", "conflict_query_ms",
+               2.0);
+  const auto report = compare(make_trajectory(), candidate);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressions, 1u);
+  // Regressions sort first so CI logs lead with the verdict that failed.
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().verdict, Verdict::kRegressed);
+  EXPECT_EQ(report.findings.front().metric, "conflict_query_ms");
+  EXPECT_NEAR(report.findings.front().delta_fraction, 1.0, 0.1);
+}
+
+TEST(BenchCompare, DirectionAwareForHigherIsBetterMetrics) {
+  // Throughput halving = regression; throughput doubling = improvement,
+  // which reports but never fails.
+  auto slower = identical_candidate();
+  scale_metric(slower, "service/sessions8/n256", "epochs_per_sec", 0.5);
+  const auto slow_report = compare(make_trajectory(), slower);
+  EXPECT_FALSE(slow_report.ok());
+  EXPECT_EQ(slow_report.findings.front().metric, "epochs_per_sec");
+
+  auto faster = identical_candidate();
+  scale_metric(faster, "service/sessions8/n256", "epochs_per_sec", 2.0);
+  const auto fast_report = compare(make_trajectory(), faster);
+  EXPECT_TRUE(fast_report.ok());
+  EXPECT_EQ(fast_report.improvements, 1u);
+  EXPECT_EQ(fast_report.findings.front().verdict, Verdict::kImproved);
+}
+
+TEST(BenchCompare, NoiseWidensToleranceThroughTheMads) {
+  // Same 20% delta: gated with tight repeats, absorbed with noisy ones.
+  const auto tight = BenchMetric::of({1.0, 1.0, 1.0, 1.0, 1.0}, "ratio");
+  const auto noisy = BenchMetric::of({1.0, 0.7, 1.3, 0.85, 1.15}, "ratio");
+  BenchTrajectory base;
+  BenchScenario s;
+  s.name = "synthetic";
+  s.metrics.emplace("tight", tight);
+  s.metrics.emplace("noisy", noisy);
+  base.scenarios.push_back(s);
+
+  auto candidate = base;
+  scale_metric(candidate, "synthetic", "tight", 1.2);
+  scale_metric(candidate, "synthetic", "noisy", 1.2);
+  const auto report = compare(base, candidate);
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_EQ(report.findings.front().metric, "tight");
+  for (const auto& finding : report.findings) {
+    if (finding.metric == "noisy") EXPECT_EQ(finding.verdict, Verdict::kOk);
+  }
+}
+
+TEST(BenchCompare, PerMetricNoiseFloorAbsorbsRegimeShifts) {
+  // Two metrics with identical (zero-MAD) repeats and the same 20% swing:
+  // the one whose producer declared a 25% between-run noise floor passes,
+  // the undeclared one regresses. Declaring the floor on the candidate side
+  // only must widen the band too — either run may know the metric is noisy.
+  BenchTrajectory base;
+  BenchScenario s;
+  s.name = "synthetic";
+  s.metrics.emplace("plain", BenchMetric::of({10.0, 10.0, 10.0}, "ms"));
+  auto stamped = BenchMetric::of({10.0, 10.0, 10.0}, "ms");
+  stamped.min_rel = 0.25;
+  s.metrics.emplace("stamped", stamped);
+  s.metrics.emplace("cand_stamped", BenchMetric::of({10.0, 10.0, 10.0}, "ms"));
+  base.scenarios.push_back(s);
+
+  auto candidate = base;
+  scale_metric(candidate, "synthetic", "plain", 1.2);
+  scale_metric(candidate, "synthetic", "stamped", 1.2);
+  scale_metric(candidate, "synthetic", "cand_stamped", 1.2);
+  const_cast<BenchScenario*>(candidate.find("synthetic"))
+      ->metrics.at("cand_stamped")
+      .min_rel = 0.25;
+  const auto report = compare(base, candidate);
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_EQ(report.findings.front().metric, "plain");
+  for (const auto& finding : report.findings) {
+    if (finding.metric != "plain") {
+      EXPECT_EQ(finding.verdict, Verdict::kOk) << finding.metric;
+      EXPECT_DOUBLE_EQ(finding.tolerance_fraction, 0.25);
+    }
+  }
+}
+
+TEST(BenchCompare, MinAbsMsFloorsSubSchedulerQuantumSwings) {
+  // 0.02 ms -> 0.05 ms is a 150% relative jump but far below the absolute
+  // floor for wall-clock metrics; ratio metrics get no such floor.
+  BenchTrajectory base;
+  BenchScenario s;
+  s.name = "synthetic";
+  s.metrics.emplace("tiny_ms", BenchMetric::of({0.02, 0.02, 0.02}, "ms"));
+  s.metrics.emplace("tiny_ratio",
+                    BenchMetric::of({0.02, 0.02, 0.02}, "ratio"));
+  base.scenarios.push_back(s);
+  auto candidate = base;
+  scale_metric(candidate, "synthetic", "tiny_ms", 2.5);
+  scale_metric(candidate, "synthetic", "tiny_ratio", 2.5);
+  const auto report = compare(base, candidate);
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_EQ(report.findings.front().metric, "tiny_ratio");
+}
+
+TEST(BenchCompare, VanishedMetricIsACoverageRegression) {
+  auto candidate = identical_candidate();
+  const_cast<BenchScenario*>(
+      candidate.find("churn/uniform/n1024/r0.01"))
+      ->metrics.erase("conflict_query_ms");
+  const auto report = compare(make_trajectory(), candidate);
+  EXPECT_FALSE(report.ok());
+  bool missing_seen = false;
+  for (const auto& finding : report.findings) {
+    if (finding.metric == "conflict_query_ms") {
+      EXPECT_EQ(finding.verdict, Verdict::kMissing);
+      missing_seen = true;
+    }
+  }
+  EXPECT_TRUE(missing_seen);
+}
+
+TEST(BenchCompare, CandidateOnlyMetricsReportAsNewWithoutGating) {
+  auto candidate = identical_candidate();
+  const_cast<BenchScenario*>(
+      candidate.find("service/sessions8/n256"))
+      ->metrics.emplace("wall_ms", BenchMetric::of({10.0, 11.0}, "ms"));
+  const auto report = compare(make_trajectory(), candidate);
+  EXPECT_TRUE(report.ok());
+  bool new_seen = false;
+  for (const auto& finding : report.findings) {
+    if (finding.metric == "wall_ms") {
+      EXPECT_EQ(finding.verdict, Verdict::kNew);
+      new_seen = true;
+    }
+  }
+  EXPECT_TRUE(new_seen);
+}
+
+TEST(BenchCompare, PortableOnlyGatesRatiosAndDemotesWallClocks) {
+  // Cross-machine mode: a wall-clock regression is informational, a
+  // portable-ratio regression still fails.
+  CompareOptions options;
+  options.portable_only = true;
+
+  auto ms_slower = identical_candidate();
+  scale_metric(ms_slower, "churn/uniform/n1024/r0.01", "conflict_query_ms",
+               2.0);
+  const auto ms_report = compare(make_trajectory(), ms_slower, options);
+  EXPECT_TRUE(ms_report.ok());
+  for (const auto& finding : ms_report.findings) {
+    if (finding.metric == "conflict_query_ms") {
+      EXPECT_EQ(finding.verdict, Verdict::kInfo);
+    }
+  }
+
+  auto ratio_worse = identical_candidate();
+  scale_metric(ratio_worse, "churn/uniform/n1024/r0.01", "conflict_share",
+               2.0);
+  const auto ratio_report =
+      compare(make_trajectory(), ratio_worse, options);
+  EXPECT_FALSE(ratio_report.ok());
+  EXPECT_EQ(ratio_report.findings.front().metric, "conflict_share");
+}
+
+TEST(BenchCompare, TableLeadsWithTheFailingVerdict) {
+  auto candidate = identical_candidate();
+  scale_metric(candidate, "churn/uniform/n1024/r0.01", "conflict_query_ms",
+               2.0);
+  const auto text = compare(make_trajectory(), candidate).table();
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("compare FAILED"), std::string::npos);
+  EXPECT_LT(text.find("REGRESSED"), text.find("ok"));
+}
+
+}  // namespace
+}  // namespace wagg::obs

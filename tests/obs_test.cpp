@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <random>
 #include <stdexcept>
@@ -201,6 +202,101 @@ TEST(Metrics, FromJsonRejectsUnknownSchema) {
                    "{\"schema\": \"wagg-metrics-v999\", \"counters\": {}, "
                    "\"gauges\": {}, \"histograms\": {}}"),
                std::invalid_argument);
+}
+
+// ------------------------------------------------------- json parser edges
+
+TEST(Json, ParsesExponentForms) {
+  EXPECT_DOUBLE_EQ(json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(json::parse("1E3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(json::parse("1.25e+2").as_number(), 125.0);
+  EXPECT_DOUBLE_EQ(json::parse("125e-2").as_number(), 1.25);
+  EXPECT_DOUBLE_EQ(json::parse("-2.5E-1").as_number(), -0.25);
+  EXPECT_DOUBLE_EQ(json::parse("0e0").as_number(), 0.0);
+  // Exponent without digits is malformed, not "ignore the suffix".
+  EXPECT_THROW(json::parse("1e"), std::invalid_argument);
+  EXPECT_THROW(json::parse("1e+"), std::invalid_argument);
+}
+
+TEST(Json, HugeMagnitudesRoundTripUntilTheyOverflow) {
+  // Near the top of the double range: parsed exactly, not clipped.
+  EXPECT_DOUBLE_EQ(json::parse("1e308").as_number(), 1e308);
+  EXPECT_DOUBLE_EQ(json::parse("-1e308").as_number(), -1e308);
+  const double max = std::numeric_limits<double>::max();
+  EXPECT_DOUBLE_EQ(json::parse(json::number(max)).as_number(), max);
+  // Past it: rejected, never saturated to inf (a perf gate comparing a
+  // metric against inf would pass vacuously).
+  EXPECT_THROW(json::parse("1e309"), std::invalid_argument);
+  EXPECT_THROW(json::parse("-1e309"), std::invalid_argument);
+  EXPECT_THROW(json::parse("1e99999"), std::invalid_argument);
+}
+
+TEST(Json, RejectsNanAndInfSpellings) {
+  for (const char* text : {"NaN", "nan", "Infinity", "-Infinity", "inf",
+                           "-inf", "[1, NaN]", "{\"x\": inf}"}) {
+    EXPECT_THROW(json::parse(text), std::invalid_argument) << text;
+  }
+  // The writer side maps non-finite to null, so a round trip stays parseable.
+  EXPECT_EQ(json::number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, DeepNestingParsesUpToTheCapAndFailsCleanlyBeyond) {
+  const auto nested = [](std::size_t depth) {
+    std::string text(depth, '[');
+    text += "1";
+    text.append(depth, ']');
+    return text;
+  };
+  const auto at_cap = json::parse(nested(json::kMaxParseDepth));
+  const json::Value* leaf = &at_cap;
+  std::size_t levels = 0;
+  while (leaf->kind() == json::Value::Kind::kArray) {
+    leaf = &leaf->as_array().front();
+    ++levels;
+  }
+  EXPECT_EQ(levels, json::kMaxParseDepth);
+  EXPECT_DOUBLE_EQ(leaf->as_number(), 1.0);
+  // One past the cap: a clean exception, not recursion-depth stack death.
+  EXPECT_THROW(json::parse(nested(json::kMaxParseDepth + 1)),
+               std::invalid_argument);
+  EXPECT_THROW(json::parse(nested(10'000)), std::invalid_argument);
+  // Objects count against the same depth budget as arrays.
+  std::string objects;
+  for (std::size_t i = 0; i <= json::kMaxParseDepth; ++i) {
+    objects += "{\"k\":";
+  }
+  objects += "1";
+  objects.append(json::kMaxParseDepth + 1, '}');
+  EXPECT_THROW(json::parse(objects), std::invalid_argument);
+}
+
+TEST(Json, MalformedInputsThrowInsteadOfGuessing) {
+  for (const char* text : {
+           "",                    // empty document
+           "   ",                 // whitespace only
+           "[1, 2",               // unterminated array
+           "{\"a\": 1",           // unterminated object
+           "{\"a\" 1}",           // missing colon
+           "{\"a\": 1,}",         // trailing comma (object)
+           "[1, 2,]",             // trailing comma (array)
+           "[,1]",                // leading comma
+           "{1: 2}",              // non-string key
+           "\"unterminated",      // unterminated string
+           "\"bad \\q escape\"",  // unknown escape
+           "01",                  // leading zero
+           "+1",                  // leading plus
+           "1.",                  // dot without fraction digits
+           ".5",                  // fraction without integer part
+           "truth",               // keyword typo
+           "nul",                 // truncated keyword
+           "1 2",                 // trailing garbage
+           "[1] []",              // two documents
+           "]",                   // closer as a document
+           ",",                   // separator as a document
+       }) {
+    EXPECT_THROW(json::parse(text), std::invalid_argument) << text;
+  }
 }
 
 // ------------------------------------------------------------------- tracer
