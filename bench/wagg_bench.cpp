@@ -26,10 +26,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <ctime>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <limits>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +50,7 @@
 #include "runtime/plan_service.h"
 #include "util/args.h"
 #include "util/clock.h"
+#include "util/stats.h"
 #include "util/table.h"
 #include "workload/workload.h"
 
@@ -403,6 +407,135 @@ ScenarioRun run_service_scenario(std::size_t sessions, std::size_t n,
   return run;
 }
 
+ScenarioRun run_serve_scenario(std::size_t sessions, std::size_t n,
+                               std::size_t epochs,
+                               const SuiteOptions& suite) {
+  ScenarioRun run;
+  run.scenario.name = "serve/sessions" + std::to_string(sessions) + "/n" +
+                      std::to_string(n);
+  run.scenario.kind = "serve";
+
+  // The session-parallel runtime scenario: long-lived sessions pinned to
+  // executor serial queues, epochs submitted through the async API at max
+  // rate. Unlike service/ (whole churn traces as batch requests) this
+  // measures the striped-executor serving path itself: open fan-out,
+  // mailbox handoff per epoch, and submit-to-done latency.
+  std::ostringstream spec_text;
+  spec_text << "name=serve families=uniform sizes=" << n
+            << " modes=oblivious reps=1 seed=3 sessions=" << sessions
+            << " churn=epochs:" << epochs << ",rate:0.02";
+  const auto spec = workload::WorkloadSpec::parse(spec_text.str());
+  const auto requests = spec.expand();
+
+  dynamic::DynamicOptions options;
+  options.config = requests.front().config;
+  runtime::PlanService service;
+
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    std::size_t errors = 0;
+    util::Samples latency_ms;
+  };
+  struct ServeRepeat {
+    double epochs_per_sec = 0.0;
+    double epoch_p99_ms = 0.0;
+    double open_ms = 0.0;
+    bool ok = true;
+  };
+  const auto one_repeat = [&]() {
+    ServeRepeat repeat;
+    const auto open_start = util::Clock::now();
+    std::vector<std::future<runtime::OpenOutcome>> opens;
+    opens.reserve(sessions);
+    for (const auto& request : requests) {
+      opens.push_back(service.open_session_async(request.points, options));
+    }
+    std::vector<runtime::PlanService::SessionId> ids;
+    ids.reserve(sessions);
+    for (auto& open : opens) {
+      const auto outcome = open.get();
+      repeat.ok = repeat.ok && outcome.status == runtime::SessionStatus::kOk;
+      if (outcome.status == runtime::SessionStatus::kOk) {
+        ids.push_back(outcome.id);
+      }
+    }
+    repeat.open_ms = util::ms_since(open_start);
+    if (!repeat.ok) return repeat;
+
+    Latch latch;
+    latch.remaining = sessions * epochs;
+    const auto start = util::Clock::now();
+    for (std::size_t e = 0; e < epochs; ++e) {
+      for (std::size_t s = 0; s < sessions; ++s) {
+        service.submit_epoch(
+            ids[s], requests[s].trace[e],
+            [&latch](runtime::EpochOutcome outcome) {
+              std::lock_guard<std::mutex> lock(latch.mutex);
+              if (outcome.status != runtime::SessionStatus::kOk) {
+                ++latch.errors;
+              } else {
+                latch.latency_ms.add(outcome.queue_ms + outcome.epoch_ms);
+              }
+              if (--latch.remaining == 0) latch.cv.notify_all();
+            },
+            runtime::OnFull::kBlock);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(latch.mutex);
+      latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+    }
+    const double wall_ms = util::ms_since(start);
+    for (const auto id : ids) (void)service.close_session(id);
+    repeat.ok = repeat.ok && latch.errors == 0;
+    if (wall_ms > 0.0) {
+      repeat.epochs_per_sec =
+          static_cast<double>(sessions * epochs) * 1000.0 / wall_ms;
+    }
+    if (!latch.latency_ms.empty()) {
+      repeat.epoch_p99_ms =
+          obs::HistogramSnapshot::of(latch.latency_ms.values())
+              .quantile(99.0);
+    }
+    return repeat;
+  };
+
+  for (std::size_t i = 0; i < suite.warmup; ++i) {
+    do_not_optimize(one_repeat().epochs_per_sec);
+  }
+  std::vector<double> epochs_per_sec, epoch_p99_ms, open_ms;
+  obs::Registry::global().reset();
+  for (std::size_t i = 0; i < suite.repeats; ++i) {
+    const auto repeat = one_repeat();
+    run.valid = run.valid && repeat.ok;
+    epochs_per_sec.push_back(repeat.epochs_per_sec);
+    epoch_p99_ms.push_back(repeat.epoch_p99_ms);
+    open_ms.push_back(repeat.open_ms);
+  }
+  run.scenario.registry = obs::Registry::global().snapshot();
+  // Same pool-dispatch noise floor as service/: scheduler-regime drift
+  // between processes dominates the within-run MAD.
+  constexpr double kDispatchNoiseFloor = 0.25;
+  const auto stamped = [](std::vector<double> values, const char* unit,
+                          bool higher_is_better) {
+    auto metric =
+        obs::BenchMetric::of(std::move(values), unit, higher_is_better);
+    metric.min_rel = kDispatchNoiseFloor;
+    return metric;
+  };
+  run.scenario.metrics.emplace(
+      "epochs_per_sec",
+      stamped(std::move(epochs_per_sec), "per_sec", /*higher_is_better=*/true));
+  run.scenario.metrics.emplace(
+      "epoch_p99_ms",
+      stamped(std::move(epoch_p99_ms), "ms", /*higher_is_better=*/false));
+  run.scenario.metrics.emplace(
+      "open_ms", stamped(std::move(open_ms), "ms", /*higher_is_better=*/false));
+  return run;
+}
+
 // ------------------------------------------------------------------- suite
 
 std::string today_iso_date() {
@@ -424,6 +557,7 @@ int run_suite(const SuiteOptions& suite) {
   std::vector<ChurnSpec> churn;
   std::vector<std::pair<std::string, std::size_t>> statics;
   std::size_t service_sessions = 8, service_n = 256, service_epochs = 10;
+  std::size_t serve_sessions = 256, serve_n = 256, serve_epochs = 8;
   if (suite.quick) {
     // The CI-smoke matrix: same scenario SHAPES, small sizes.
     churn = {
@@ -436,6 +570,9 @@ int run_suite(const SuiteOptions& suite) {
     service_sessions = 4;
     service_n = 128;
     service_epochs = 6;
+    serve_sessions = 64;
+    serve_n = 128;
+    serve_epochs = 6;
   } else {
     for (const std::size_t n : {1024u, 2048u, 8192u}) {
       for (const double rate : {0.01, 0.05}) {
@@ -483,6 +620,7 @@ int run_suite(const SuiteOptions& suite) {
   }
   ingest(run_service_scenario(service_sessions, service_n, service_epochs,
                               suite));
+  ingest(run_serve_scenario(serve_sessions, serve_n, serve_epochs, suite));
 
   std::cout << "\nper-stage span profiles (exclusive self time, hottest "
                "first):\n\n"

@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -38,8 +39,8 @@ std::uint64_t plan_digest(const core::PlanResult& plan) {
   return h;
 }
 
-std::uint64_t session_digest(const dynamic::DynamicPlanner& planner,
-                             std::span<const dynamic::EpochReport> reports) {
+std::uint64_t trace_digest(const dynamic::DynamicPlanner& planner,
+                           std::span<const dynamic::EpochReport> reports) {
   std::uint64_t h = 0xbb67ae8584caa73bULL;
   for (const auto& report : reports) {
     digest_mix(h, report.epoch);
@@ -110,7 +111,7 @@ void execute_session_request(const PlanRequest& request,
   outcome.slots = final_report.slots;
   outcome.rate = final_report.rate;
   outcome.verified = all_valid;
-  outcome.digest = session_digest(planner, reports);
+  outcome.digest = trace_digest(planner, reports);
 }
 
 StageSummary summarize_stage(const util::Samples& samples) {
@@ -136,8 +137,18 @@ struct ServiceMetrics {
   obs::Counter& failures = reg.counter("service.request_failures");
   /// Workers currently executing a request — sampled worker utilization.
   obs::Gauge& busy_workers = reg.gauge("service.busy_workers");
+  /// Enqueue-to-start wait: batch requests AND session epochs land here,
+  /// so batch and serve latency are comparable in one metric.
   obs::Histogram& queue_ms = reg.histogram("service.queue_ms");
   obs::Histogram& request_ms = reg.histogram("service.request_ms");
+  // ---- session serving ----
+  obs::Gauge& sessions_active = reg.gauge("service.sessions_active");
+  /// Epoch tasks enqueued (or blocked waiting for mailbox space) but not
+  /// yet started, summed across sessions.
+  obs::Gauge& session_queue_depth = reg.gauge("service.session_queue_depth");
+  obs::Counter& session_epochs = reg.counter("service.session_epochs");
+  obs::Counter& mailbox_rejects = reg.counter("service.mailbox_rejects");
+  obs::Histogram& session_epoch_ms = reg.histogram("service.session_epoch_ms");
 };
 
 ServiceMetrics& service_metrics() {
@@ -145,7 +156,67 @@ ServiceMetrics& service_metrics() {
   return metrics;
 }
 
+// ---- SessionId packing: slot index low 32 bits, generation high 32 ----
+
+constexpr std::uint32_t id_slot(PlanService::SessionId id) noexcept {
+  return static_cast<std::uint32_t>(id & 0xffffffffULL);
+}
+
+constexpr std::uint32_t id_generation(PlanService::SessionId id) noexcept {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+constexpr PlanService::SessionId make_session_id(
+    std::uint32_t slot, std::uint32_t generation) noexcept {
+  return (static_cast<PlanService::SessionId>(generation) << 32) |
+         static_cast<PlanService::SessionId>(slot);
+}
+
+Executor::Options executor_options(const ServiceOptions& options) {
+  Executor::Options exec;
+  exec.num_workers = options.num_workers;
+  exec.num_stripes = options.num_stripes;
+  exec.default_queue_capacity = options.session_mailbox_capacity;
+  return exec;
+}
+
 }  // namespace
+
+std::string to_string(SessionStatus status) {
+  switch (status) {
+    case SessionStatus::kOk:
+      return "ok";
+    case SessionStatus::kUnknownSession:
+      return "unknown_session";
+    case SessionStatus::kClosedSession:
+      return "closed_session";
+    case SessionStatus::kMailboxFull:
+      return "mailbox_full";
+    case SessionStatus::kShutdown:
+      return "shutdown";
+    case SessionStatus::kSessionLimit:
+      return "session_limit";
+    case SessionStatus::kPlannerError:
+      return "planner_error";
+  }
+  return "unknown";
+}
+
+std::uint64_t snapshot_digest(const dynamic::DynamicPlanner& planner) {
+  const auto& snapshot = planner.snapshot();
+  std::uint64_t h = 0x3c6ef372fe94f82bULL;
+  digest_mix(h, planner.epoch());
+  digest_mix(h,
+             static_cast<std::uint64_t>(static_cast<std::int64_t>(snapshot.sink)));
+  for (const auto id : snapshot.ids) {
+    digest_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(id)));
+  }
+  for (const auto& slot : snapshot.schedule.slots) {
+    digest_mix(h, 0xffffffffffffffffULL);
+    for (const auto link : slot) digest_mix(h, link);
+  }
+  return h;
+}
 
 PlanOutcome execute_request(const PlanRequest& request,
                             std::size_t request_index, bool keep_plan) {
@@ -253,119 +324,445 @@ BatchStats summarize(const std::vector<PlanOutcome>& outcomes,
   return stats;
 }
 
-PlanService::PlanService(ServiceOptions options) : options_(options) {
-  std::size_t n = options_.num_workers;
-  if (n == 0) {
-    n = std::thread::hardware_concurrency();
-    if (n == 0) n = 1;
-  }
-  workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
+PlanService::PlanService(ServiceOptions options)
+    : options_(options), executor_(executor_options(options)) {}
 
 PlanService::~PlanService() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutting_down_ = true;
-  }
-  work_ready_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  // Drain while every member is still alive: queued session tasks touch
+  // slots_ and sessions_mutex_ (open-failure release path), which are
+  // destroyed before executor_ would be.
+  executor_.shutdown();
 }
+
+// ------------------------------------------------------------------ batches
 
 BatchResult PlanService::run(const std::vector<PlanRequest>& requests) {
   BatchResult result;
   result.outcomes.resize(requests.size());
   const auto start = Clock::now();
   if (!requests.empty()) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      batch_ = &requests;
-      outcomes_ = &result.outcomes;
-      batch_start_ = start;
-      next_index_ = 0;
-      remaining_ = requests.size();
+    // Completion latch shared by every request task. Notify under the lock:
+    // run() may destroy the state the instant the predicate turns true.
+    struct BatchState {
+      std::mutex mutex;
+      std::condition_variable done;
+      std::size_t remaining = 0;
+    };
+    auto state = std::make_shared<BatchState>();
+    state->remaining = requests.size();
+
+    // One ephemeral single-slot queue per request: requests spread round-
+    // robin across all stripes and interleave fairly with live sessions
+    // (one task per acquisition), instead of one mega-queue serializing the
+    // batch behind a single drainer.
+    std::vector<std::shared_ptr<Executor::SerialQueue>> queues;
+    queues.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      auto queue = executor_.make_queue(1);
+      const SubmitResult submitted = queue->try_submit([this, &requests,
+                                                       &result, state, start,
+                                                       i] {
+        auto& metrics = service_metrics();
+        const double queue_ms = ms_since(start);
+        metrics.queue_ms.record(queue_ms);
+        metrics.busy_workers.add(1.0);
+        // Planning runs unlocked; each task writes only its own slot.
+        result.outcomes[i] =
+            execute_request(requests[i], i, options_.keep_plans);
+        result.outcomes[i].queue_ms = queue_ms;
+        metrics.busy_workers.add(-1.0);
+        {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          --state->remaining;
+        }
+        state->done.notify_all();
+      });
+      if (submitted != SubmitResult::kAccepted) {
+        // Executor shutting down (service destruction racing a batch):
+        // account the slot as failed instead of hanging the latch.
+        result.outcomes[i].request_index = i;
+        result.outcomes[i].ok = false;
+        result.outcomes[i].error =
+            "service rejected request: " + to_string(submitted);
+        std::lock_guard<std::mutex> lock(state->mutex);
+        --state->remaining;
+      }
+      queues.push_back(std::move(queue));
     }
-    work_ready_.notify_all();
-    std::unique_lock<std::mutex> lock(mutex_);
-    batch_done_.wait(lock, [this] { return remaining_ == 0; });
-    batch_ = nullptr;
-    outcomes_ = nullptr;
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&state] { return state->remaining == 0; });
   }
   result.stats = summarize(result.outcomes, ms_since(start));
   return result;
 }
 
-void PlanService::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    work_ready_.wait(lock, [this] {
-      return shutting_down_ || (batch_ && next_index_ < batch_->size());
-    });
-    if (shutting_down_) return;
+// ----------------------------------------------------------------- sessions
 
-    const std::size_t index = next_index_++;
-    const std::vector<PlanRequest>& batch = *batch_;
-    std::vector<PlanOutcome>& outcomes = *outcomes_;
-    const double queue_ms = ms_since(batch_start_);
-    lock.unlock();
-
-    // Planning runs unlocked; each worker writes only its own slot.
-    auto& metrics = service_metrics();
-    metrics.queue_ms.record(queue_ms);
-    metrics.busy_workers.add(1.0);
-    outcomes[index] =
-        execute_request(batch[index], index, options_.keep_plans);
-    outcomes[index].queue_ms = queue_ms;
-    metrics.busy_workers.add(-1.0);
-
-    lock.lock();
-    if (--remaining_ == 0) batch_done_.notify_all();
+PlanService::Resolved PlanService::resolve(SessionId id) const {
+  const std::uint32_t slot = id_slot(id);
+  const std::uint32_t generation = id_generation(id);
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (slot >= slots_.size() || generation > slots_[slot].generation ||
+      generation == 0) {
+    return {SessionStatus::kUnknownSession, nullptr};  // never issued
   }
+  const Slot& entry = slots_[slot];
+  if (generation < entry.generation || !entry.session) {
+    // The id was real once; the slot moved on (or the session closed).
+    return {SessionStatus::kClosedSession, nullptr};
+  }
+  return {SessionStatus::kOk, entry.session};
+}
+
+PlanService::Resolved PlanService::allocate_session() {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (open_sessions_ >= options_.max_sessions) {
+    return {SessionStatus::kSessionLimit, nullptr};
+  }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  auto session = std::make_shared<Session>();
+  session->slot = slot;
+  session->generation = ++slots_[slot].generation;
+  session->queue = executor_.make_queue(options_.session_mailbox_capacity);
+  slots_[slot].session = session;
+  ++open_sessions_;
+  service_metrics().sessions_active.add(1.0);
+  return {SessionStatus::kOk, std::move(session)};
+}
+
+void PlanService::release_session(const std::shared_ptr<Session>& session) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  Slot& entry = slots_[session->slot];
+  // Idempotent across racing closers: only the one that still owns the slot
+  // frees it.
+  if (entry.session != session) return;
+  entry.session = nullptr;
+  free_slots_.push_back(session->slot);
+  --open_sessions_;
+  service_metrics().sessions_active.add(-1.0);
 }
 
 PlanService::SessionId PlanService::open_session(
     const geom::Pointset& initial, const dynamic::DynamicOptions& options) {
-  // Plan the initial epoch outside the lock; registration is cheap.
+  // Plan the initial epoch before taking a slot: constructor exceptions
+  // (malformed input) propagate without leaking admission capacity.
   auto planner = std::make_shared<dynamic::DynamicPlanner>(initial, options);
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
-  const SessionId id = next_session_id_++;
-  sessions_.emplace(id, std::move(planner));
-  return id;
+  Resolved allocated = allocate_session();
+  if (allocated.status != SessionStatus::kOk) {
+    throw std::runtime_error("PlanService: session limit reached (" +
+                             std::to_string(options_.max_sessions) + ")");
+  }
+  {
+    std::lock_guard<std::mutex> lock(allocated.session->mutex);
+    allocated.session->planner = std::move(planner);
+  }
+  return make_session_id(allocated.session->slot,
+                         allocated.session->generation);
 }
 
-std::shared_ptr<dynamic::DynamicPlanner> PlanService::find_session(
-    SessionId id) const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    throw std::invalid_argument("PlanService: unknown session id " +
-                                std::to_string(id));
+std::future<OpenOutcome> PlanService::open_session_async(
+    geom::Pointset initial, const dynamic::DynamicOptions& options) {
+  auto promise = std::make_shared<std::promise<OpenOutcome>>();
+  auto future = promise->get_future();
+
+  Resolved allocated = allocate_session();
+  if (allocated.status != SessionStatus::kOk) {
+    OpenOutcome outcome;
+    outcome.status = allocated.status;
+    outcome.error = "session limit reached";
+    promise->set_value(std::move(outcome));
+    return future;
   }
-  return it->second;
+  auto session = std::move(allocated.session);
+  const SessionId id = make_session_id(session->slot, session->generation);
+
+  // The initial full plan is the session's FIRST queue task: opens
+  // parallelize across the pool, and epochs submitted before the open
+  // resolves simply queue behind it in order.
+  const SubmitResult submitted = session->queue->try_submit(
+      [this, session, id, initial = std::move(initial), options, promise] {
+        auto& metrics = service_metrics();
+        OpenOutcome outcome;
+        outcome.id = id;
+        metrics.busy_workers.add(1.0);
+        try {
+          auto planner =
+              std::make_shared<dynamic::DynamicPlanner>(initial, options);
+          std::lock_guard<std::mutex> lock(session->mutex);
+          session->planner = std::move(planner);
+        } catch (const std::exception& e) {
+          outcome.status = SessionStatus::kPlannerError;
+          outcome.error = e.what();
+        } catch (...) {
+          outcome.status = SessionStatus::kPlannerError;
+          outcome.error = "unknown error";
+        }
+        metrics.busy_workers.add(-1.0);
+        if (outcome.status != SessionStatus::kOk) {
+          {
+            std::lock_guard<std::mutex> lock(session->mutex);
+            session->open_failed = true;
+            session->open_error = outcome.error;
+          }
+          // A failed open self-closes: queued epochs resolve kPlannerError,
+          // the slot frees for the next open.
+          session->queue->close();
+          release_session(session);
+        }
+        promise->set_value(std::move(outcome));
+      });
+  if (submitted != SubmitResult::kAccepted) {
+    release_session(session);
+    OpenOutcome outcome;
+    outcome.status = SessionStatus::kShutdown;
+    outcome.error = "service shutting down";
+    promise->set_value(std::move(outcome));
+  }
+  return future;
+}
+
+void PlanService::submit_epoch_task(SessionId id, dynamic::ChurnTrace epochs,
+                                    std::function<void(EpochOutcome)> done,
+                                    OnFull on_full) {
+  auto& metrics = service_metrics();
+  Resolved resolved = resolve(id);
+  if (resolved.status != SessionStatus::kOk) {
+    EpochOutcome outcome;
+    outcome.status = resolved.status;
+    outcome.error = "PlanService: " + to_string(resolved.status) +
+                    " for session id " + std::to_string(id);
+    done(std::move(outcome));
+    return;
+  }
+  auto session = std::move(resolved.session);
+
+  // Count the entry as queued for the whole enqueue-to-start window —
+  // including a blocking submit's wait for mailbox space — so the gauge
+  // never dips negative when the task starts before the accept returns.
+  metrics.session_queue_depth.add(1.0);
+  const auto enqueue_time = Clock::now();
+  // The task copies `done` (rather than moving) so admission failures below
+  // can still resolve the caller's callback.
+  Executor::Task task = [this, session, epochs = std::move(epochs),
+                         enqueue_time, done] {
+    run_epoch_task(session, epochs, enqueue_time, done);
+  };
+  const SubmitResult submitted =
+      on_full == OnFull::kBlock
+          ? session->queue->submit_blocking(std::move(task))
+          : session->queue->try_submit(std::move(task));
+  if (submitted == SubmitResult::kAccepted) return;
+
+  metrics.session_queue_depth.add(-1.0);
+  EpochOutcome outcome;
+  switch (submitted) {
+    case SubmitResult::kQueueFull:
+      outcome.status = SessionStatus::kMailboxFull;
+      metrics.mailbox_rejects.add();
+      {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        ++session->rejects;
+      }
+      break;
+    case SubmitResult::kClosed:
+      outcome.status = SessionStatus::kClosedSession;
+      break;
+    default:
+      outcome.status = SessionStatus::kShutdown;
+      break;
+  }
+  outcome.error = "PlanService: " + to_string(outcome.status) +
+                  " for session id " + std::to_string(id);
+  done(std::move(outcome));
+}
+
+void PlanService::run_epoch_task(
+    const std::shared_ptr<Session>& session, const dynamic::ChurnTrace& epochs,
+    util::Clock::time_point enqueue_time,
+    const std::function<void(EpochOutcome)>& done) {
+  auto& metrics = service_metrics();
+  metrics.session_queue_depth.add(-1.0);
+
+  EpochOutcome outcome;
+  outcome.queue_ms = ms_since(enqueue_time);
+  // Satellite: session mailbox waits land in the SAME histogram as batch
+  // queue waits, so one metric compares batch and serve latency.
+  metrics.queue_ms.record(outcome.queue_ms);
+
+  std::shared_ptr<dynamic::DynamicPlanner> planner;
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (session->open_failed) {
+      outcome.status = SessionStatus::kPlannerError;
+      outcome.error = "session open failed: " + session->open_error;
+    } else {
+      // Set by the open task, which the serial queue ran before us.
+      planner = session->planner;
+    }
+  }
+  if (outcome.status != SessionStatus::kOk) {
+    done(std::move(outcome));
+    return;
+  }
+
+  obs::Span span("session_epoch");
+  metrics.busy_workers.add(1.0);
+  const auto start = Clock::now();
+  std::size_t applied = 0;
+  try {
+    // The serial queue is the session's mutual exclusion: at most one task
+    // of this queue runs at a time, so the planner needs no lock here.
+    for (const auto& mutations : epochs) {
+      (void)planner->apply(std::span<const dynamic::Mutation>(mutations));
+      ++applied;
+    }
+    outcome.report = planner->last_report();
+  } catch (const std::invalid_argument& e) {
+    outcome.status = SessionStatus::kPlannerError;
+    outcome.invalid_argument = true;
+    outcome.error = e.what();
+  } catch (const std::exception& e) {
+    outcome.status = SessionStatus::kPlannerError;
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.status = SessionStatus::kPlannerError;
+    outcome.error = "unknown error";
+  }
+  outcome.epoch_ms = ms_since(start);
+  metrics.busy_workers.add(-1.0);
+  metrics.session_epochs.add(applied);
+  metrics.session_epoch_ms.record(outcome.epoch_ms);
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    session->epochs += applied;
+    session->epoch_ms.add(outcome.epoch_ms);
+    session->wait_ms.add(outcome.queue_ms);
+  }
+  done(std::move(outcome));
+}
+
+std::future<EpochOutcome> PlanService::submit_epoch(
+    SessionId id, std::vector<dynamic::Mutation> mutations, OnFull on_full) {
+  dynamic::ChurnTrace trace;
+  trace.push_back(std::move(mutations));
+  auto promise = std::make_shared<std::promise<EpochOutcome>>();
+  auto future = promise->get_future();
+  submit_epoch_task(id, std::move(trace),
+                    [promise](EpochOutcome outcome) {
+                      promise->set_value(std::move(outcome));
+                    },
+                    on_full);
+  return future;
+}
+
+void PlanService::submit_epoch(SessionId id,
+                               std::vector<dynamic::Mutation> mutations,
+                               std::function<void(EpochOutcome)> done,
+                               OnFull on_full) {
+  dynamic::ChurnTrace trace;
+  trace.push_back(std::move(mutations));
+  submit_epoch_task(id, std::move(trace), std::move(done), on_full);
+}
+
+std::future<EpochOutcome> PlanService::submit_epochs(SessionId id,
+                                                     dynamic::ChurnTrace epochs,
+                                                     OnFull on_full) {
+  auto promise = std::make_shared<std::promise<EpochOutcome>>();
+  auto future = promise->get_future();
+  submit_epoch_task(id, std::move(epochs),
+                    [promise](EpochOutcome outcome) {
+                      promise->set_value(std::move(outcome));
+                    },
+                    on_full);
+  return future;
 }
 
 dynamic::EpochReport PlanService::advance_session(
     SessionId id, std::span<const dynamic::Mutation> mutations) {
-  // The shared_ptr keeps the planner alive even if the session is closed
-  // concurrently; the planner itself is advanced outside any lock.
-  return find_session(id)->apply(mutations);
+  auto future = submit_epoch(
+      id, std::vector<dynamic::Mutation>(mutations.begin(), mutations.end()),
+      OnFull::kBlock);
+  EpochOutcome outcome = future.get();
+  if (outcome.status == SessionStatus::kOk) return outcome.report;
+  // Historic contract: lifecycle misuse and planner-rejected mutations both
+  // surface as std::invalid_argument from the synchronous API.
+  if (outcome.invalid_argument ||
+      outcome.status == SessionStatus::kUnknownSession ||
+      outcome.status == SessionStatus::kClosedSession) {
+    throw std::invalid_argument(outcome.error);
+  }
+  throw std::runtime_error(outcome.error);
 }
 
 std::shared_ptr<const dynamic::DynamicPlanner> PlanService::session(
     SessionId id) const {
-  return find_session(id);
+  Resolved resolved = resolve(id);
+  if (resolved.status != SessionStatus::kOk) {
+    throw std::invalid_argument("PlanService: " + to_string(resolved.status) +
+                                " for session id " + std::to_string(id));
+  }
+  std::lock_guard<std::mutex> lock(resolved.session->mutex);
+  if (!resolved.session->planner) {
+    throw std::runtime_error(
+        "PlanService: session open still in flight for id " +
+        std::to_string(id) + " (wait on the open future first)");
+  }
+  return resolved.session->planner;
 }
 
-void PlanService::close_session(SessionId id) {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
-  sessions_.erase(id);
+std::uint64_t PlanService::session_digest(SessionId id) const {
+  return snapshot_digest(*session(id));
+}
+
+SessionStats PlanService::session_stats(SessionId id) const {
+  Resolved resolved = resolve(id);
+  if (resolved.status != SessionStatus::kOk) {
+    throw std::invalid_argument("PlanService: " + to_string(resolved.status) +
+                                " for session id " + std::to_string(id));
+  }
+  SessionStats stats;
+  stats.queue_depth = resolved.session->queue->depth();
+  std::lock_guard<std::mutex> lock(resolved.session->mutex);
+  stats.epochs = resolved.session->epochs;
+  stats.mailbox_rejects = resolved.session->rejects;
+  stats.latency = summarize_stage(resolved.session->epoch_ms);
+  stats.wait = summarize_stage(resolved.session->wait_ms);
+  if (!resolved.session->epoch_ms.empty()) {
+    stats.p99_ms =
+        obs::HistogramSnapshot::of(resolved.session->epoch_ms.values())
+            .quantile(99.0);
+  }
+  if (!resolved.session->wait_ms.empty()) {
+    stats.wait_p99_ms =
+        obs::HistogramSnapshot::of(resolved.session->wait_ms.values())
+            .quantile(99.0);
+  }
+  return stats;
+}
+
+SessionStatus PlanService::close_session(SessionId id) {
+  Resolved resolved = resolve(id);
+  if (resolved.status != SessionStatus::kOk) return resolved.status;
+  // Graceful: stop new submits first (late submit_epoch calls resolve
+  // kClosedSession), drain what was already accepted, then free the slot.
+  // Must not be called from inside this session's own epoch callback — the
+  // drain would wait on the running task.
+  resolved.session->queue->close();
+  resolved.session->queue->wait_drained();
+  release_session(resolved.session);
+  return SessionStatus::kOk;
 }
 
 std::size_t PlanService::num_sessions() const {
   std::lock_guard<std::mutex> lock(sessions_mutex_);
-  return sessions_.size();
+  return open_sessions_;
 }
 
 }  // namespace wagg::runtime

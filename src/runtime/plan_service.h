@@ -1,21 +1,23 @@
 #ifndef WAGG_RUNTIME_PLAN_SERVICE_H
 #define WAGG_RUNTIME_PLAN_SERVICE_H
 
-#include <condition_variable>
 #include <cstdint>
-#include <map>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/planner.h"
 #include "dynamic/dynamic_planner.h"
 #include "dynamic/mutation.h"
 #include "geom/point.h"
+#include "obs/metrics.h"
+#include "runtime/executor.h"
 #include "util/clock.h"
+#include "util/stats.h"
 
 namespace wagg::runtime {
 
@@ -93,9 +95,18 @@ struct PlanOutcome {
 struct ServiceOptions {
   /// Worker threads in the pool; 0 means std::thread::hardware_concurrency().
   std::size_t num_workers = 0;
+  /// Executor ready-list stripes; 0 means one per worker.
+  std::size_t num_stripes = 0;
   /// Retain the full PlanResult on each outcome (memory-heavy for big
   /// batches; summaries and digests are always available).
   bool keep_plans = false;
+
+  // ---- session serving knobs ----
+  /// Admission control: open_session beyond this fails with kSessionLimit.
+  std::size_t max_sessions = 4096;
+  /// Bounded per-session mailbox: epochs queued but not yet started. A full
+  /// mailbox rejects (or blocks, per submit mode) — the backpressure seam.
+  std::size_t session_mailbox_capacity = 32;
 };
 
 /// Latency summary for one pipeline stage across a batch (milliseconds).
@@ -152,13 +163,97 @@ struct BatchResult {
                                           std::size_t request_index,
                                           bool keep_plan = false);
 
-/// A fixed-size pool of worker threads executing batches of plan requests.
-/// Workers are started once in the constructor and joined in the destructor;
-/// run() may be called any number of times. Requests are independent, so a
-/// batch's outcomes are identical for every worker count — only the wall
-/// clock changes.
+// --------------------------------------------------------------- sessions
+
+/// Typed result of a session operation. Lifecycle misuse (stale ids,
+/// closed sessions, full mailboxes) is data, not UB and not an exception —
+/// the serving layer turns these into backpressure and client errors.
+enum class SessionStatus {
+  kOk = 0,
+  /// The id was never issued by this service (or is from a future slot).
+  kUnknownSession,
+  /// The id was valid once; the session has been closed (or its slot was
+  /// reused by a later open — the generation tag tells the difference
+  /// between this and kUnknownSession).
+  kClosedSession,
+  /// The session's bounded mailbox is at capacity (reject mode only).
+  kMailboxFull,
+  /// The service is shutting down.
+  kShutdown,
+  /// open_session refused: ServiceOptions::max_sessions reached.
+  kSessionLimit,
+  /// The planner itself rejected the work (bad mutations, failed open);
+  /// `error` carries the message.
+  kPlannerError,
+};
+
+[[nodiscard]] std::string to_string(SessionStatus status);
+
+/// What one submitted epoch produced. On admission failure (kMailboxFull,
+/// kClosedSession, ...) the outcome resolves immediately with the status and
+/// a default report.
+struct EpochOutcome {
+  SessionStatus status = SessionStatus::kOk;
+  /// True when the planner threw std::invalid_argument (caller error) as
+  /// opposed to an internal failure — advance_session rethrows faithfully.
+  bool invalid_argument = false;
+  std::string error;  ///< non-empty iff status != kOk
+  dynamic::EpochReport report;
+  double queue_ms = 0.0;  ///< mailbox wait, enqueue to start
+  double epoch_ms = 0.0;  ///< planner execution wall clock
+};
+
+/// Result of an asynchronous session open.
+struct OpenOutcome {
+  SessionStatus status = SessionStatus::kOk;
+  std::uint64_t id = 0;  ///< valid iff status == kOk
+  std::string error;
+};
+
+/// Per-session serving statistics, maintained by the session's serial queue
+/// (same HistogramSnapshot quantile currency as every other summary).
+struct SessionStats {
+  std::size_t epochs = 0;           ///< epochs applied via submit/advance
+  std::size_t mailbox_rejects = 0;  ///< kMailboxFull submits
+  std::size_t queue_depth = 0;      ///< epochs enqueued, not yet started
+  StageSummary latency;             ///< per-epoch execution ms
+  double p99_ms = 0.0;              ///< p99 of the same distribution
+  StageSummary wait;                ///< mailbox wait ms
+  double wait_p99_ms = 0.0;
+};
+
+/// What a full mailbox does to a submit.
+enum class OnFull {
+  kReject,  ///< resolve immediately with kMailboxFull
+  kBlock,   ///< wait for space (close/shutdown still resolve typed)
+};
+
+/// Order-sensitive digest of a dynamic planner's current plan (compact ids,
+/// sink, schedule slots). Two planners that applied the same epochs in the
+/// same order digest identically — the cross-path equality currency between
+/// the synchronous and asynchronous session APIs.
+[[nodiscard]] std::uint64_t snapshot_digest(
+    const dynamic::DynamicPlanner& planner);
+
+/// A fixed-size pool of worker threads executing plan batches and serving
+/// long-lived dynamic sessions, both multiplexed over the same striped
+/// executor (runtime::Executor).
 ///
-/// Thread-compatible, not thread-safe: call run() from one thread at a time.
+/// Batches: run() executes every request on the pool and blocks until all
+/// outcomes are filled. Requests are independent, so a batch's outcomes are
+/// identical for every worker count — only the wall clock changes.
+///
+/// Sessions: each open session owns a dynamic::DynamicPlanner pinned to a
+/// serial executor queue. Epochs submitted to one session run in submit
+/// order on at most one worker at a time — per-session ordering is an
+/// executor invariant, so the planner itself needs no locks — while
+/// thousands of sessions advance concurrently across the pool. Admission
+/// control (max_sessions, bounded mailboxes) and typed statuses make
+/// overload a backpressure signal instead of a pile-up.
+///
+/// Thread-safety: all session methods and run() may be called from any
+/// thread concurrently. (run() from several threads interleaves batches on
+/// the shared pool.)
 class PlanService {
  public:
   explicit PlanService(ServiceOptions options = {});
@@ -168,65 +263,138 @@ class PlanService {
   PlanService& operator=(const PlanService&) = delete;
 
   [[nodiscard]] std::size_t num_workers() const noexcept {
-    return workers_.size();
+    return executor_.num_workers();
   }
 
   /// Executes the whole batch, blocking until every request has an outcome.
   [[nodiscard]] BatchResult run(const std::vector<PlanRequest>& requests);
 
-  // ---- session mode ----
-  //
-  // A session wraps a dynamic::DynamicPlanner whose per-instance state
-  // (incremental MST, slot assignment, validity chain) is retained by the
-  // service and reused across any number of advance calls — the serving
-  // analogue of a deployment that keeps mutating. Sessions are independent:
-  // distinct sessions may be advanced from different threads concurrently,
-  // but calls for ONE session must be serialized by the caller (mutation
-  // epochs are inherently ordered).
+  // ---- session serving ----
 
+  /// Opaque session handle: slot index in the low 32 bits, a generation tag
+  /// in the high 32. The generation makes slot reuse detectable: an id
+  /// whose generation is behind the slot's current one resolves to
+  /// kClosedSession, never to a stranger's session.
   using SessionId = std::uint64_t;
 
   /// Opens a session and plans its initial epoch on the calling thread.
   /// Throws std::invalid_argument for malformed inputs (mirrors
-  /// DynamicPlanner's constructor).
+  /// DynamicPlanner's constructor) and std::runtime_error when the session
+  /// limit is reached (use open_session_async for a typed outcome).
   [[nodiscard]] SessionId open_session(const geom::Pointset& initial,
                                        const dynamic::DynamicOptions& options);
 
-  /// Applies one epoch of mutations to the session.
+  /// Opens a session asynchronously: the slot is allocated (admission
+  /// checked) immediately, the initial full plan runs on the pool as the
+  /// session's first queue task. Epochs submitted before the open resolves
+  /// queue behind it in order. A failed construction closes the session and
+  /// resolves kPlannerError.
+  [[nodiscard]] std::future<OpenOutcome> open_session_async(
+      geom::Pointset initial, const dynamic::DynamicOptions& options);
+
+  /// Enqueues one epoch of mutations on the session's serial queue.
+  /// The returned future resolves when the epoch has been applied (or
+  /// immediately, with a typed status, when admission fails). Never throws
+  /// for lifecycle misuse.
+  [[nodiscard]] std::future<EpochOutcome> submit_epoch(
+      SessionId id, std::vector<dynamic::Mutation> mutations,
+      OnFull on_full = OnFull::kReject);
+
+  /// Callback form: `done` runs on the worker that applied the epoch (or
+  /// inline on admission failure). Callbacks must not block; try_submit
+  /// from inside them is fine, blocking submits are not.
+  void submit_epoch(SessionId id, std::vector<dynamic::Mutation> mutations,
+                    std::function<void(EpochOutcome)> done,
+                    OnFull on_full = OnFull::kReject);
+
+  /// Enqueues a whole batch of epochs as ONE mailbox entry (amortizes queue
+  /// overhead for trace replay). The future resolves after the LAST epoch,
+  /// carrying its report; timings sum over the batch.
+  [[nodiscard]] std::future<EpochOutcome> submit_epochs(
+      SessionId id, dynamic::ChurnTrace epochs,
+      OnFull on_full = OnFull::kReject);
+
+  /// Synchronous wrapper over submit_epoch(kBlock): blocks until the epoch
+  /// ran, preserving the historic contract — std::invalid_argument for
+  /// unknown/closed sessions and for planner-rejected mutations.
   dynamic::EpochReport advance_session(
       SessionId id, std::span<const dynamic::Mutation> mutations);
 
   /// Read access to a session's planner (last report, snapshot, ...). The
   /// returned shared_ptr keeps the planner alive even if the session is
-  /// closed concurrently.
+  /// closed concurrently. Throws std::invalid_argument for unknown/closed
+  /// ids. Safe to READ only while no epochs are in flight for the session
+  /// (drain first: wait on your futures).
   [[nodiscard]] std::shared_ptr<const dynamic::DynamicPlanner> session(
       SessionId id) const;
 
-  void close_session(SessionId id);
+  /// snapshot_digest of the session's current plan (same caveat as
+  /// session(): meaningful when no epochs are in flight).
+  [[nodiscard]] std::uint64_t session_digest(SessionId id) const;
+
+  /// Per-session serving stats; throws like session().
+  [[nodiscard]] SessionStats session_stats(SessionId id) const;
+
+  /// Graceful close: stops new submits (they resolve kClosedSession),
+  /// drains already-queued epochs, then frees the slot. Returns the typed
+  /// status instead of throwing (closing twice reports kClosedSession).
+  SessionStatus close_session(SessionId id);
+
   [[nodiscard]] std::size_t num_sessions() const;
 
  private:
-  void worker_loop();
-  [[nodiscard]] std::shared_ptr<dynamic::DynamicPlanner> find_session(
-      SessionId id) const;
+  struct Session {
+    std::shared_ptr<Executor::SerialQueue> queue;
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+
+    /// Guards planner (set once by the open task under async open) and the
+    /// serving stats below. Uncontended: writers are the session's serial
+    /// tasks plus the submit path's reject counter.
+    mutable std::mutex mutex;
+    std::shared_ptr<dynamic::DynamicPlanner> planner;
+    bool open_failed = false;
+    std::string open_error;
+    util::Samples epoch_ms;
+    util::Samples wait_ms;
+    std::size_t epochs = 0;
+    std::size_t rejects = 0;
+  };
+
+  struct Slot {
+    std::uint32_t generation = 0;  ///< of the LATEST open on this slot
+    std::shared_ptr<Session> session;
+  };
+
+  struct Resolved {
+    SessionStatus status = SessionStatus::kOk;
+    std::shared_ptr<Session> session;
+  };
+
+  [[nodiscard]] Resolved resolve(SessionId id) const;
+  /// Allocates a slot (admission-checked) with a fresh generation.
+  [[nodiscard]] Resolved allocate_session();
+  /// Frees a slot if `session` still owns it (idempotent across racers).
+  void release_session(const std::shared_ptr<Session>& session);
+  /// The one submit path: builds the epoch task (single- or multi-epoch),
+  /// enqueues it, resolves admission failures inline.
+  void submit_epoch_task(SessionId id, dynamic::ChurnTrace epochs,
+                         std::function<void(EpochOutcome)> done,
+                         OnFull on_full);
+  /// Runs inside the session's serial queue: applies the epochs, fills the
+  /// outcome, updates per-session and registry stats.
+  void run_epoch_task(const std::shared_ptr<Session>& session,
+                      const dynamic::ChurnTrace& epochs,
+                      util::Clock::time_point enqueue_time,
+                      const std::function<void(EpochOutcome)>& done);
 
   ServiceOptions options_;
-
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  const std::vector<PlanRequest>* batch_ = nullptr;  ///< current batch, if any
-  std::vector<PlanOutcome>* outcomes_ = nullptr;
-  util::Clock::time_point batch_start_{};  ///< enqueue time of current batch
-  std::size_t next_index_ = 0;   ///< next request to claim
-  std::size_t remaining_ = 0;    ///< requests not yet completed
-  bool shutting_down_ = false;
-
-  std::vector<std::thread> workers_;
+  Executor executor_;
 
   mutable std::mutex sessions_mutex_;
-  SessionId next_session_id_ = 1;
-  std::map<SessionId, std::shared_ptr<dynamic::DynamicPlanner>> sessions_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t open_sessions_ = 0;
 };
 
 /// Computes the batch statistics for a set of outcomes (exposed for tests

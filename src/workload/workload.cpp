@@ -291,6 +291,10 @@ WorkloadSpec WorkloadSpec::parse(const std::string& text) {
       spec.beta = parse_double(value, "beta");
     } else if (key == "churn") {
       parse_churn(value, spec);
+    } else if (key == "sessions") {
+      spec.sessions = parse_size(value, "sessions");
+    } else if (key == "epoch_rate") {
+      spec.epoch_rate = parse_double(value, "epoch_rate");
     } else {
       throw std::invalid_argument("WorkloadSpec: unknown key: " + key);
     }
@@ -336,6 +340,9 @@ std::string WorkloadSpec::to_text() const {
     if (churn_audit) out << ",audit:1";
     out << "\n";
   }
+  // Serving keys only when set, so legacy specs render unchanged.
+  if (sessions != 1) out << "sessions=" << sessions << "\n";
+  if (epoch_rate != 0.0) out << "epoch_rate=" << epoch_rate << "\n";
   return out.str();
 }
 
@@ -357,6 +364,12 @@ void WorkloadSpec::validate(const FamilyRegistry& registry) const {
     if (n < 2) {
       throw std::invalid_argument("WorkloadSpec: sizes must be >= 2");
     }
+  }
+  if (sessions == 0) {
+    throw std::invalid_argument("WorkloadSpec: sessions must be positive");
+  }
+  if (epoch_rate < 0.0) {
+    throw std::invalid_argument("WorkloadSpec: epoch_rate must be >= 0");
   }
   if (churn.epochs > 0) churn.validate();
 }
@@ -395,23 +408,30 @@ std::vector<runtime::PlanRequest> WorkloadSpec::expand(
         config.sinr.alpha = alpha;
         config.sinr.beta = beta;
         for (std::size_t rep = 0; rep < replications; ++rep) {
-          runtime::PlanRequest request;
-          request.seed = cell_seed(base_seed, family, n, mode, rep);
-          request.points = registry.make(family, n, request.seed);
-          request.config = config;
-          if (churn.epochs > 0) {
-            // The trace seed is the cell seed, so churn inherits the same
-            // cell-local determinism as the instance itself.
-            request.trace = dynamic::make_churn_trace(
-                request.points, churn, request.seed, config.sink);
-            request.audit = churn_audit;
+          for (std::size_t s = 0; s < sessions; ++s) {
+            runtime::PlanRequest request;
+            // Sessions fold into the replication coordinate, so sessions=1
+            // yields the exact legacy per-rep seed stream and every
+            // (rep, session) pair draws an independent cell seed.
+            request.seed =
+                cell_seed(base_seed, family, n, mode, rep * sessions + s);
+            request.points = registry.make(family, n, request.seed);
+            request.config = config;
+            if (churn.epochs > 0) {
+              // The trace seed is the cell seed, so churn inherits the same
+              // cell-local determinism as the instance itself.
+              request.trace = dynamic::make_churn_trace(
+                  request.points, churn, request.seed, config.sink);
+              request.audit = churn_audit;
+            }
+            std::ostringstream tags;
+            tags << "family=" << family << " n=" << n << " mode="
+                 << core::to_string(mode) << " rep=" << rep;
+            if (sessions > 1) tags << " session=" << s;
+            if (churn.epochs > 0) tags << " epochs=" << churn.epochs;
+            request.tags = tags.str();
+            requests.push_back(std::move(request));
           }
-          std::ostringstream tags;
-          tags << "family=" << family << " n=" << n << " mode="
-               << core::to_string(mode) << " rep=" << rep;
-          if (churn.epochs > 0) tags << " epochs=" << churn.epochs;
-          request.tags = tags.str();
-          requests.push_back(std::move(request));
         }
       }
     }

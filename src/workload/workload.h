@@ -76,6 +76,8 @@ class FamilyRegistry {
 ///   churn=epochs:40,rate:0.05,hotspot:0.8,hradius:2.5,drift:waypoint
 ///   churn=epochs:40,rate:0.02,grow:0.01          # net growth schedule
 ///   churn=epochs:40,rate:0.02,shrink:0.015       # net shrink schedule
+///   sessions=500              # concurrent serve sessions per cell
+///   epoch_rate=2.0            # target epochs/sec per session (serving)
 ///
 /// The churn key turns every request into a dynamic session: the instance
 /// is planned once, then `epochs` seeded mutation epochs are applied
@@ -106,6 +108,14 @@ struct WorkloadSpec {
   /// Churn dimension; epochs == 0 means a static (single-plan) workload.
   dynamic::ChurnParams churn{};
   bool churn_audit = false;
+  /// Serving dimension: concurrent sessions per cell. Each session is one
+  /// expanded request with its own instance and trace, seeded by folding
+  /// the session index into the replication coordinate — sessions=1 (the
+  /// default) reproduces the legacy per-rep seed stream byte for byte.
+  std::size_t sessions = 1;
+  /// Target epochs/sec per session; 0 = unpaced (as fast as the pool
+  /// allows). Pacing metadata for serve drivers — expand() only carries it.
+  double epoch_rate = 0.0;
 
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
 
@@ -121,11 +131,13 @@ struct WorkloadSpec {
   void validate(const FamilyRegistry& registry) const;
 
   [[nodiscard]] std::size_t num_requests() const noexcept {
-    return families.size() * sizes.size() * modes.size() * replications;
+    return families.size() * sizes.size() * modes.size() * replications *
+           sessions;
   }
 
   /// Expands into the full request batch, generating every instance. Tags
-  /// are "family=<f> n=<n> mode=<m> rep=<r>". Throws on invalid specs.
+  /// are "family=<f> n=<n> mode=<m> rep=<r>" (plus " session=<s>" when
+  /// sessions > 1). Throws on invalid specs.
   [[nodiscard]] std::vector<runtime::PlanRequest> expand(
       const FamilyRegistry& registry = FamilyRegistry::global()) const;
 };

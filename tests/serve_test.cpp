@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dynamic/dynamic_planner.h"
+#include "dynamic/mutation.h"
+#include "geom/point.h"
+#include "instance/basic.h"
+#include "runtime/plan_service.h"
+#include "workload/workload.h"
+
+namespace wagg::runtime {
+namespace {
+
+geom::Pointset points(std::size_t n, std::uint64_t seed) {
+  return instance::uniform_square(n, 7.0, seed);
+}
+
+dynamic::DynamicOptions dyn_options(core::PowerMode mode,
+                                    bool audit = false) {
+  dynamic::DynamicOptions options;
+  options.config = workload::mode_config(mode);
+  options.audit = audit;
+  return options;
+}
+
+dynamic::ChurnTrace trace_for(const geom::Pointset& initial,
+                              std::size_t epochs, std::uint64_t seed) {
+  dynamic::ChurnParams params;
+  params.epochs = epochs;
+  params.rate = 0.05;
+  return dynamic::make_churn_trace(initial, params, seed);
+}
+
+// The acceptance currency: async sessions produce plans digest-identical to
+// a serial DynamicPlanner fed the same trace, and per-session epochs run in
+// submit order no matter how many workers multiplex the pool.
+TEST(Serve, AsyncMatchesSyncDigestAndOrder) {
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kEpochs = 5;
+  PlanService service(ServiceOptions{.num_workers = 4});
+
+  std::vector<PlanService::SessionId> ids;
+  std::vector<geom::Pointset> initials;
+  std::vector<dynamic::ChurnTrace> traces;
+  std::vector<std::future<OpenOutcome>> opens;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    initials.push_back(points(40 + 4 * s, 100 + s));
+    traces.push_back(trace_for(initials.back(), kEpochs, 900 + s));
+    opens.push_back(service.open_session_async(
+        initials.back(), dyn_options(core::PowerMode::kOblivious)));
+  }
+  for (auto& open : opens) {
+    OpenOutcome outcome = open.get();
+    ASSERT_EQ(outcome.status, SessionStatus::kOk) << outcome.error;
+    ids.push_back(outcome.id);
+  }
+  EXPECT_EQ(service.num_sessions(), kSessions);
+
+  // Queue every epoch of every session before waiting on any of them.
+  std::vector<std::vector<std::future<EpochOutcome>>> futures(kSessions);
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      futures[s].push_back(
+          service.submit_epoch(ids[s], traces[s][e], OnFull::kBlock));
+    }
+  }
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      EpochOutcome outcome = futures[s][e].get();
+      ASSERT_EQ(outcome.status, SessionStatus::kOk) << outcome.error;
+      // report.epoch counts from 0 (the initial plan): submit order holds.
+      EXPECT_EQ(outcome.report.epoch, e + 1);
+    }
+  }
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    dynamic::DynamicPlanner serial(initials[s],
+                                   dyn_options(core::PowerMode::kOblivious));
+    for (const auto& epoch : traces[s]) {
+      (void)serial.apply(std::span<const dynamic::Mutation>(epoch));
+    }
+    EXPECT_EQ(service.session_digest(ids[s]), snapshot_digest(serial))
+        << "session " << s;
+    EXPECT_EQ(service.close_session(ids[s]), SessionStatus::kOk);
+  }
+  EXPECT_EQ(service.num_sessions(), 0u);
+}
+
+// submit_epochs queues a whole trace as ONE mailbox entry and lands on the
+// same plan as epoch-at-a-time submission.
+TEST(Serve, BatchedSubmitMatchesSingleEpochPath) {
+  PlanService service(ServiceOptions{.num_workers = 2});
+  const auto initial = points(48, 7);
+  const auto trace = trace_for(initial, 6, 77);
+
+  const auto batched =
+      service.open_session(initial, dyn_options(core::PowerMode::kOblivious));
+  EpochOutcome outcome =
+      service.submit_epochs(batched, trace, OnFull::kBlock).get();
+  ASSERT_EQ(outcome.status, SessionStatus::kOk) << outcome.error;
+  EXPECT_EQ(outcome.report.epoch, trace.size());
+
+  const auto stepped =
+      service.open_session(initial, dyn_options(core::PowerMode::kOblivious));
+  for (const auto& epoch : trace) {
+    (void)service.advance_session(
+        stepped, std::span<const dynamic::Mutation>(epoch));
+  }
+  EXPECT_EQ(service.session_digest(batched), service.session_digest(stepped));
+  (void)service.close_session(batched);
+  (void)service.close_session(stepped);
+}
+
+TEST(Serve, LifecycleStatusesAreTypedNotUB) {
+  PlanService service(ServiceOptions{.num_workers = 2});
+  const auto initial = points(40, 3);
+
+  // Never-issued ids resolve kUnknownSession everywhere.
+  const PlanService::SessionId bogus = (std::uint64_t{7} << 32) | 123u;
+  EXPECT_EQ(service.close_session(bogus), SessionStatus::kUnknownSession);
+  EXPECT_EQ(service.submit_epoch(bogus, {}).get().status,
+            SessionStatus::kUnknownSession);
+  EXPECT_EQ(service.close_session(0), SessionStatus::kUnknownSession);
+  EXPECT_THROW((void)service.session(bogus), std::invalid_argument);
+  EXPECT_THROW((void)service.session_stats(bogus), std::invalid_argument);
+
+  const auto id =
+      service.open_session(initial, dyn_options(core::PowerMode::kUniform));
+  EXPECT_EQ(service.close_session(id), SessionStatus::kOk);
+
+  // Closed ids are data, not UB: typed status, no exception on submit.
+  EXPECT_EQ(service.close_session(id), SessionStatus::kClosedSession);
+  EXPECT_EQ(service.submit_epoch(id, {}).get().status,
+            SessionStatus::kClosedSession);
+  EXPECT_THROW((void)service.advance_session(id, {}), std::invalid_argument);
+}
+
+TEST(Serve, GenerationTagDetectsSlotReuse) {
+  PlanService service(ServiceOptions{.num_workers = 1, .max_sessions = 1});
+  const auto initial = points(40, 5);
+  const auto trace = trace_for(initial, 2, 11);
+
+  const auto first =
+      service.open_session(initial, dyn_options(core::PowerMode::kUniform));
+  EXPECT_EQ(service.close_session(first), SessionStatus::kOk);
+
+  // max_sessions=1 forces the second open onto the SAME slot; only the
+  // generation tag distinguishes the stale id from the live session.
+  const auto second =
+      service.open_session(initial, dyn_options(core::PowerMode::kUniform));
+  ASSERT_NE(first, second);
+  EXPECT_EQ(service.submit_epoch(first, trace[0]).get().status,
+            SessionStatus::kClosedSession);
+  EXPECT_EQ(service.submit_epoch(second, trace[0], OnFull::kBlock)
+                .get()
+                .status,
+            SessionStatus::kOk);
+  EXPECT_EQ(service.session_stats(second).epochs, 1u);
+  EXPECT_EQ(service.close_session(second), SessionStatus::kOk);
+}
+
+TEST(Serve, MailboxBackpressureRejectsAndCounts) {
+  PlanService service(ServiceOptions{
+      .num_workers = 1, .max_sessions = 4, .session_mailbox_capacity = 1});
+  const auto initial = points(48, 9);
+  const auto id =
+      service.open_session(initial, dyn_options(core::PowerMode::kOblivious));
+
+  // One long batched entry keeps the single worker busy; with a capacity-1
+  // mailbox, two immediate reject-mode submits cannot both be admitted.
+  auto big = service.submit_epochs(id, trace_for(initial, 20, 13),
+                                   OnFull::kBlock);
+  // The fillers move the sink (node 0) — valid no matter what the big trace
+  // did to the instance, and valid to apply any number of times.
+  dynamic::Mutation nudge;
+  nudge.kind = dynamic::Mutation::Kind::kMove;
+  nudge.node = 0;
+  nudge.position = initial[0];
+  auto a = service.submit_epoch(id, {nudge}, OnFull::kReject);
+  auto b = service.submit_epoch(id, {nudge}, OnFull::kReject);
+  const auto status_a = a.get().status;
+  const auto status_b = b.get().status;
+  EXPECT_TRUE(status_a == SessionStatus::kMailboxFull ||
+              status_b == SessionStatus::kMailboxFull)
+      << to_string(status_a) << " / " << to_string(status_b);
+  EXPECT_EQ(big.get().status, SessionStatus::kOk);
+
+  // Blocking submits ride out the backpressure instead.
+  EXPECT_EQ(service.submit_epoch(id, {nudge}, OnFull::kBlock).get().status,
+            SessionStatus::kOk);
+
+  const SessionStats stats = service.session_stats(id);
+  EXPECT_GE(stats.mailbox_rejects, 1u);
+  EXPECT_GE(stats.epochs, 21u);
+  EXPECT_GE(stats.latency.max, stats.latency.p50);
+  EXPECT_GE(stats.p99_ms, stats.latency.p50);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  (void)service.close_session(id);
+}
+
+TEST(Serve, AdmissionControlEnforcesSessionLimit) {
+  PlanService service(ServiceOptions{.num_workers = 2, .max_sessions = 2});
+  const auto initial = points(40, 21);
+  const auto options = dyn_options(core::PowerMode::kUniform);
+
+  const auto a = service.open_session(initial, options);
+  const auto b = service.open_session(initial, options);
+  OpenOutcome third = service.open_session_async(initial, options).get();
+  EXPECT_EQ(third.status, SessionStatus::kSessionLimit);
+  EXPECT_THROW((void)service.open_session(initial, options),
+               std::runtime_error);
+  EXPECT_EQ(service.num_sessions(), 2u);
+
+  // Closing frees admission capacity.
+  EXPECT_EQ(service.close_session(a), SessionStatus::kOk);
+  OpenOutcome reopened = service.open_session_async(initial, options).get();
+  EXPECT_EQ(reopened.status, SessionStatus::kOk) << reopened.error;
+  (void)service.close_session(reopened.id);
+  (void)service.close_session(b);
+}
+
+TEST(Serve, PlannerErrorsAreTypedAndNonFatal) {
+  PlanService service(ServiceOptions{.num_workers = 2});
+  const auto initial = points(40, 31);
+  const auto id =
+      service.open_session(initial, dyn_options(core::PowerMode::kUniform));
+
+  // Removing a node that does not exist is a caller error: typed outcome
+  // with the invalid_argument flag, and the sync wrapper rethrows it.
+  dynamic::Mutation bad;
+  bad.kind = dynamic::Mutation::Kind::kRemove;
+  bad.node = 9999;
+  EpochOutcome outcome = service.submit_epoch(id, {bad}).get();
+  EXPECT_EQ(outcome.status, SessionStatus::kPlannerError);
+  EXPECT_TRUE(outcome.invalid_argument);
+  EXPECT_FALSE(outcome.error.empty());
+  EXPECT_THROW((void)service.advance_session(
+                   id, std::span<const dynamic::Mutation>(&bad, 1)),
+               std::invalid_argument);
+
+  // A failed epoch does not poison the session: the next valid epoch runs.
+  const auto trace = trace_for(initial, 1, 41);
+  EXPECT_EQ(service.submit_epoch(id, trace[0], OnFull::kBlock).get().status,
+            SessionStatus::kOk);
+  (void)service.close_session(id);
+}
+
+TEST(Serve, FailedAsyncOpenFreesTheSlot) {
+  PlanService service(ServiceOptions{.num_workers = 2, .max_sessions = 1});
+  // An empty pointset fails DynamicPlanner construction inside the pool.
+  OpenOutcome outcome =
+      service
+          .open_session_async(geom::Pointset{},
+                              dyn_options(core::PowerMode::kUniform))
+          .get();
+  EXPECT_EQ(outcome.status, SessionStatus::kPlannerError);
+  EXPECT_FALSE(outcome.error.empty());
+
+  // Epochs aimed at the failed session resolve typed, never run a planner.
+  EpochOutcome epoch = service.submit_epoch(outcome.id, {}).get();
+  EXPECT_NE(epoch.status, SessionStatus::kOk);
+
+  // The slot was released — with max_sessions=1 a fresh open only succeeds
+  // if the failed one gave its capacity back.
+  const auto id = service.open_session(points(40, 51),
+                                       dyn_options(core::PowerMode::kUniform));
+  EXPECT_EQ(service.num_sessions(), 1u);
+  (void)service.close_session(id);
+  EXPECT_EQ(service.num_sessions(), 0u);
+}
+
+TEST(Serve, EpochsSubmittedBeforeOpenResolvesQueueBehindIt) {
+  PlanService service(ServiceOptions{.num_workers = 2});
+  const auto initial = points(48, 61);
+  const auto trace = trace_for(initial, 3, 71);
+
+  auto open = service.open_session_async(
+      initial, dyn_options(core::PowerMode::kOblivious));
+  // The id is embedded in the future's outcome, so epochs can only be
+  // addressed after get() — but the open may still be running; submits
+  // order behind it on the serial queue.
+  OpenOutcome opened = open.get();
+  ASSERT_EQ(opened.status, SessionStatus::kOk) << opened.error;
+  std::vector<std::future<EpochOutcome>> futures;
+  for (const auto& epoch : trace) {
+    futures.push_back(service.submit_epoch(opened.id, epoch, OnFull::kBlock));
+  }
+  std::size_t expected = 1;
+  for (auto& future : futures) {
+    EpochOutcome outcome = future.get();
+    ASSERT_EQ(outcome.status, SessionStatus::kOk) << outcome.error;
+    EXPECT_EQ(outcome.report.epoch, expected++);
+  }
+
+  dynamic::DynamicPlanner serial(initial,
+                                 dyn_options(core::PowerMode::kOblivious));
+  for (const auto& epoch : trace) {
+    (void)serial.apply(std::span<const dynamic::Mutation>(epoch));
+  }
+  EXPECT_EQ(service.session_digest(opened.id), snapshot_digest(serial));
+  (void)service.close_session(opened.id);
+}
+
+// The TSan target: many threads churning sessions through the full
+// lifecycle — async opens, mixed submits, closes, stale-id probes — with a
+// sampled audit subset cross-checking every epoch against a full replan.
+TEST(Serve, MixedLifecycleStress) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSessionsPerThread = 24;
+  PlanService service(ServiceOptions{
+      .num_workers = 4, .max_sessions = 64, .session_mailbox_capacity = 4});
+  std::atomic<std::size_t> epochs_ok{0};
+  std::atomic<std::size_t> backpressured{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(1000 + t);
+      for (std::size_t s = 0; s < kSessionsPerThread; ++s) {
+        const bool audit = (t * kSessionsPerThread + s) % 8 == 0;
+        const auto initial = points(24 + rng() % 16, rng());
+        const auto trace = trace_for(initial, 3, rng());
+        OpenOutcome opened =
+            service
+                .open_session_async(
+                    initial, dyn_options(core::PowerMode::kOblivious, audit))
+                .get();
+        if (opened.status == SessionStatus::kSessionLimit) continue;
+        ASSERT_EQ(opened.status, SessionStatus::kOk) << opened.error;
+
+        std::vector<std::future<EpochOutcome>> futures;
+        for (std::size_t e = 0; e < trace.size(); ++e) {
+          const OnFull mode = e % 2 == 0 ? OnFull::kBlock : OnFull::kReject;
+          futures.push_back(service.submit_epoch(opened.id, trace[e], mode));
+        }
+        for (auto& future : futures) {
+          const auto status = future.get().status;
+          if (status == SessionStatus::kOk) {
+            epochs_ok.fetch_add(1);
+          } else {
+            ASSERT_EQ(status, SessionStatus::kMailboxFull);
+            backpressured.fetch_add(1);
+          }
+        }
+        EXPECT_EQ(service.close_session(opened.id), SessionStatus::kOk);
+        // Stale-id probes against the closed session race the other
+        // threads' opens reusing the slot — the generation tag must keep
+        // them typed either way.
+        const auto stale = service.submit_epoch(opened.id, {}).get().status;
+        EXPECT_TRUE(stale == SessionStatus::kClosedSession ||
+                    stale == SessionStatus::kUnknownSession)
+            << to_string(stale);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(service.num_sessions(), 0u);
+  EXPECT_GT(epochs_ok.load(), 0u);
+}
+
+// Destroying the service with sessions still open must drain, not crash:
+// in-flight futures all resolve before the destructor returns.
+TEST(Serve, DestructionDrainsOpenSessions) {
+  std::vector<std::future<EpochOutcome>> futures;
+  {
+    PlanService service(ServiceOptions{.num_workers = 2});
+    const auto initial = points(40, 81);
+    const auto trace = trace_for(initial, 2, 91);
+    const auto id = service.open_session(
+        initial, dyn_options(core::PowerMode::kOblivious));
+    for (const auto& epoch : trace) {
+      futures.push_back(service.submit_epoch(id, epoch, OnFull::kBlock));
+    }
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, SessionStatus::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace wagg::runtime

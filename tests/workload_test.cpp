@@ -275,6 +275,75 @@ TEST(WorkloadSpec, ExpandSetsConfigAndTags) {
   EXPECT_EQ(requests[0].tags, "family=grid n=16 mode=oblivious rep=0");
 }
 
+TEST(WorkloadSpec, ParsesServingKeys) {
+  const auto spec = WorkloadSpec::parse(
+      "families=uniform sizes=64 modes=oblivious "
+      "churn=epochs:4,rate:0.05 sessions=500 epoch_rate=2.5");
+  EXPECT_EQ(spec.sessions, 500u);
+  EXPECT_DOUBLE_EQ(spec.epoch_rate, 2.5);
+  EXPECT_EQ(spec.num_requests(), 500u);
+  const auto reparsed = WorkloadSpec::parse(spec.to_text());
+  EXPECT_EQ(spec, reparsed);
+  // The serving keys only appear in the rendering when set, so legacy specs
+  // render (and hash) unchanged.
+  EXPECT_EQ(WorkloadSpec::parse("families=uniform sizes=64 modes=global")
+                .to_text()
+                .find("sessions="),
+            std::string::npos);
+  // Range checks live in validate(), which expand() always runs.
+  EXPECT_THROW((void)WorkloadSpec::parse(
+                   "families=uniform sizes=16 modes=global sessions=0")
+                   .expand(),
+               std::invalid_argument);
+  EXPECT_THROW((void)WorkloadSpec::parse(
+                   "families=uniform sizes=16 modes=global epoch_rate=-1")
+                   .expand(),
+               std::invalid_argument);
+}
+
+TEST(WorkloadSpec, SingleSessionMatchesLegacySeedStream) {
+  // sessions=1 (the default) must reproduce the legacy expansion byte for
+  // byte: same seeds, same points, same tags.
+  const std::string base =
+      "families=uniform sizes=32 modes=oblivious reps=3 seed=19 "
+      "churn=epochs:3,rate:0.05";
+  const auto legacy = WorkloadSpec::parse(base).expand();
+  const auto serving = WorkloadSpec::parse(base + " sessions=1").expand();
+  ASSERT_EQ(legacy.size(), serving.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].seed, serving[i].seed);
+    EXPECT_EQ(legacy[i].tags, serving[i].tags);
+    EXPECT_EQ(legacy[i].points, serving[i].points);
+    EXPECT_EQ(legacy[i].trace, serving[i].trace);
+  }
+}
+
+TEST(WorkloadSpec, SessionsExpandDistinctSeededRequests) {
+  const auto requests = WorkloadSpec::parse(
+                            "families=uniform sizes=32 modes=oblivious "
+                            "reps=2 seed=7 churn=epochs:2,rate:0.05 "
+                            "sessions=3")
+                            .expand();
+  ASSERT_EQ(requests.size(), 6u);
+  // Every (rep, session) cell gets its own seed, instance, and trace; tags
+  // carry the session coordinate.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].tags,
+              "family=uniform n=32 mode=oblivious rep=" +
+                  std::to_string(i / 3) + " session=" + std::to_string(i % 3) +
+                  " epochs=2");
+    for (std::size_t j = i + 1; j < requests.size(); ++j) {
+      EXPECT_NE(requests[i].seed, requests[j].seed);
+    }
+  }
+  // Session 0 of rep r folds to the same coordinate legacy rep 3r used —
+  // the fold is rep * sessions + s by construction.
+  EXPECT_EQ(requests[0].seed, cell_seed(7, "uniform", 32,
+                                        core::PowerMode::kOblivious, 0));
+  EXPECT_EQ(requests[4].seed, cell_seed(7, "uniform", 32,
+                                        core::PowerMode::kOblivious, 4));
+}
+
 // One smoke plan per new instance family: the full paper pipeline must
 // produce a verified schedule on each.
 TEST(WorkloadSmoke, NewFamiliesPlanAndVerify) {
