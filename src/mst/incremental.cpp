@@ -299,6 +299,11 @@ void IncrementalMst::attach(NodeId id) {
     throw std::logic_error(
         "IncrementalMst::attach: candidate grid returned no neighbors");
   }
+  // k <= 6 by construction (at most one candidate per cone). The min()
+  // restates that bound where the optimizer can see it: without it GCC 12's
+  // -Warray-bounds hallucinates an out-of-bounds insertion-sort subscript
+  // after inlining std::sort over the fixed-size array.
+  k = std::min(k, candidates.size());
   std::sort(candidates.begin(), candidates.begin() + k);
   for (std::size_t i = 0; i < k; ++i) {
     const WeightedEdge& cand = candidates[i];

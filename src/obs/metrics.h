@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace wagg::obs::json {
 class Value;
@@ -196,22 +198,29 @@ class Registry {
   /// The process-wide registry every built-in instrumentation site uses.
   static Registry& global();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) WAGG_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) WAGG_EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name) WAGG_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const WAGG_EXCLUDES(mutex_);
 
   /// Zeroes every registered metric (registrations survive, references stay
   /// valid). For CLIs and gates that want a run-scoped window over the
   /// process-wide registry.
-  void reset();
+  void reset() WAGG_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards the name→metric maps only. The metric OBJECTS returned by the
+  /// lookups are deliberately outside this capability: they are stable for
+  /// the registry's lifetime and internally lock-free (relaxed atomics /
+  /// CAS loops), so instrumented hot paths touch them without any lock.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      WAGG_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      WAGG_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      WAGG_GUARDED_BY(mutex_);
 };
 
 }  // namespace wagg::obs

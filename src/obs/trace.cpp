@@ -13,7 +13,7 @@ Tracer& Tracer::global() {
 }
 
 void Tracer::enable(std::size_t events_per_thread) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   buffers_.clear();
   capacity_ = std::max<std::size_t>(1, events_per_thread);
   generation_.fetch_add(1, std::memory_order_release);
@@ -25,7 +25,7 @@ void Tracer::disable() {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   buffers_.clear();
   generation_.fetch_add(1, std::memory_order_release);
 }
@@ -42,7 +42,7 @@ Tracer::ThreadBuffer* Tracer::local_buffer() {
     return bound_buffer;
   }
   // Cold path: first span of this thread in this enable window.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // A concurrent enable()/clear() between the generation read and the lock
   // would orphan this buffer into a dead window; re-reading under the lock
   // keeps binding and registration consistent.
@@ -53,8 +53,15 @@ Tracer::ThreadBuffer* Tracer::local_buffer() {
   return bound_buffer;
 }
 
+// Carve-out (WAGG_NO_THREAD_SAFETY_ANALYSIS): the hot path writes the ring
+// through a raw ThreadBuffer* cached thread-locally, outside mutex_ — by
+// design. Safety comes from single-writer ownership (only the registering
+// thread ever writes its ring; slot store before the release head bump) and
+// from the generation check in local_buffer(), which keeps stale pointers
+// from a previous enable()/clear() window from being dereferenced. Readers
+// take mutex_ AND require writer quiescence (class comment).
 void Tracer::record(const char* name, std::uint64_t start_ns,
-                    std::uint64_t end_ns) {
+                    std::uint64_t end_ns) WAGG_NO_THREAD_SAFETY_ANALYSIS {
   ThreadBuffer* buffer = local_buffer();
   const std::uint64_t head = buffer->head.load(std::memory_order_relaxed);
   buffer->ring[head % buffer->ring.size()] =
@@ -63,7 +70,7 @@ void Tracer::record(const char* name, std::uint64_t start_ns,
 }
 
 std::uint64_t Tracer::recorded_events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& buffer : buffers_) {
     total += buffer->head.load(std::memory_order_acquire);
@@ -72,7 +79,7 @@ std::uint64_t Tracer::recorded_events() const {
 }
 
 std::uint64_t Tracer::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::uint64_t dropped = 0;
   for (const auto& buffer : buffers_) {
     const std::uint64_t written =
@@ -85,7 +92,7 @@ std::uint64_t Tracer::dropped_events() const {
 }
 
 std::vector<CollectedSpan> Tracer::collect() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<CollectedSpan> spans;
   for (const auto& buffer : buffers_) {
     const std::uint64_t written =
@@ -102,7 +109,7 @@ std::vector<CollectedSpan> Tracer::collect() const {
 }
 
 std::string Tracer::chrome_trace_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::ostringstream out;
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;

@@ -5,11 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace wagg::obs {
 
@@ -59,7 +60,8 @@ class Tracer {
   /// Starts collecting. Clears previously collected events; per-thread
   /// buffers are (re)created at `events_per_thread` capacity on each
   /// thread's next span.
-  void enable(std::size_t events_per_thread = kDefaultCapacity);
+  void enable(std::size_t events_per_thread = kDefaultCapacity)
+      WAGG_EXCLUDES(mutex_);
   /// Stops collecting. Buffered events survive for export.
   void disable();
   [[nodiscard]] bool enabled() const noexcept {
@@ -79,9 +81,9 @@ class Tracer {
               std::uint64_t end_ns);
 
   /// Total spans handed to record() since the last enable().
-  [[nodiscard]] std::uint64_t recorded_events() const;
+  [[nodiscard]] std::uint64_t recorded_events() const WAGG_EXCLUDES(mutex_);
   /// Spans overwritten by ring wraparound (exact; see class comment).
-  [[nodiscard]] std::uint64_t dropped_events() const;
+  [[nodiscard]] std::uint64_t dropped_events() const WAGG_EXCLUDES(mutex_);
 
   /// Chrome trace-event JSON (the object form: {"traceEvents": [...]}),
   /// loadable in Perfetto / chrome://tracing. Spans become complete ("X")
@@ -89,21 +91,22 @@ class Tracer {
   /// annotated with thread_name metadata. Nesting needs no explicit links:
   /// RAII spans on one thread are properly bracketed, which is exactly the
   /// containment the viewers render as a slice tree.
-  [[nodiscard]] std::string chrome_trace_json() const;
+  [[nodiscard]] std::string chrome_trace_json() const WAGG_EXCLUDES(mutex_);
 
   /// Snapshots the surviving buffered spans (ring order per thread, oldest
   /// first) for in-process profiling — the same events chrome_trace_json()
   /// would serialize, without the JSON round trip. Same quiescence contract
   /// as export.
-  [[nodiscard]] std::vector<CollectedSpan> collect() const;
+  [[nodiscard]] std::vector<CollectedSpan> collect() const
+      WAGG_EXCLUDES(mutex_);
 
   /// Drops all buffered events and thread registrations.
-  void clear();
+  void clear() WAGG_EXCLUDES(mutex_);
 
  private:
   struct ThreadBuffer {
-    ThreadBuffer(std::size_t capacity, std::uint32_t tid)
-        : ring(capacity), tid(tid) {}
+    ThreadBuffer(std::size_t capacity, std::uint32_t thread_id)
+        : ring(capacity), tid(thread_id) {}
     std::vector<TraceEvent> ring;
     /// Total events ever written; slot = head % ring.size(). Release store
     /// after the slot write so a quiescent reader acquires complete events.
@@ -113,7 +116,7 @@ class Tracer {
 
   Tracer() : epoch_(util::Clock::now()) {}
 
-  [[nodiscard]] ThreadBuffer* local_buffer();
+  [[nodiscard]] ThreadBuffer* local_buffer() WAGG_EXCLUDES(mutex_);
 
   std::atomic<bool> enabled_{false};
   /// Bumped by enable()/clear(); thread-local buffer pointers are revalidated
@@ -122,9 +125,16 @@ class Tracer {
   std::atomic<std::uint64_t> generation_{1};
   util::Clock::time_point epoch_;
 
-  mutable std::mutex mutex_;  ///< guards buffers_ registration and export
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::size_t capacity_ = kDefaultCapacity;
+  /// Guards buffer REGISTRATION (the buffers_ vector and capacity_) and
+  /// every reader (collect/export/counts). The ring CONTENTS are outside
+  /// this capability on the write side: each ring has exactly one writer —
+  /// the thread that registered it — and readers rely on the documented
+  /// quiescence contract plus the head's release/acquire pairing, not on
+  /// the mutex. That one lock-free write path is the record() carve-out.
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      WAGG_GUARDED_BY(mutex_);
+  std::size_t capacity_ WAGG_GUARDED_BY(mutex_) = kDefaultCapacity;
 };
 
 /// RAII scoped span against the global tracer. `name` must be a string

@@ -21,7 +21,7 @@ std::string to_string(SubmitResult result) {
 SubmitResult Executor::SerialQueue::try_submit(Task task) {
   bool schedule = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (executor_->shutting_down_.load(std::memory_order_acquire)) {
       return SubmitResult::kShutdown;
     }
@@ -41,11 +41,11 @@ SubmitResult Executor::SerialQueue::try_submit(Task task) {
 SubmitResult Executor::SerialQueue::submit_blocking(Task task) {
   bool schedule = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    space_cv_.wait(lock, [this] {
-      return closed_ || tasks_.size() < capacity_ ||
-             executor_->shutting_down_.load(std::memory_order_acquire);
-    });
+    util::MutexLock lock(mutex_);
+    while (!closed_ && tasks_.size() >= capacity_ &&
+           !executor_->shutting_down_.load(std::memory_order_acquire)) {
+      space_cv_.wait(mutex_);
+    }
     if (executor_->shutting_down_.load(std::memory_order_acquire)) {
       return SubmitResult::kShutdown;
     }
@@ -63,7 +63,7 @@ SubmitResult Executor::SerialQueue::submit_blocking(Task task) {
 
 void Executor::SerialQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     closed_ = true;
   }
   // Blocked submitters must observe the close and give up.
@@ -71,17 +71,17 @@ void Executor::SerialQueue::close() {
 }
 
 bool Executor::SerialQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return closed_;
 }
 
 void Executor::SerialQueue::wait_drained() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && !scheduled_; });
+  util::MutexLock lock(mutex_);
+  while (!tasks_.empty() || scheduled_) idle_cv_.wait(mutex_);
 }
 
 std::size_t Executor::SerialQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return tasks_.size();
 }
 
@@ -119,10 +119,10 @@ std::shared_ptr<Executor::SerialQueue> Executor::make_queue(
       next_stripe_.fetch_add(1, std::memory_order_relaxed) % stripes_.size();
   // Private constructor: make_shared can't reach it, and the queue count is
   // tiny next to the work it carries.
-  auto queue =
+  auto queue =  // wagg-lint: allow(naked-new) private ctor, owned immediately
       std::shared_ptr<SerialQueue>(new SerialQueue(this, stripe, capacity));
   {
-    std::lock_guard<std::mutex> lock(queues_mutex_);
+    util::MutexLock lock(queues_mutex_);
     if (queues_.size() >= 64 && queues_.size() == queues_.capacity()) {
       std::erase_if(queues_, [](const std::weak_ptr<SerialQueue>& weak) {
         return weak.expired();
@@ -135,14 +135,14 @@ std::shared_ptr<Executor::SerialQueue> Executor::make_queue(
 
 void Executor::enqueue_ready(std::shared_ptr<SerialQueue> queue) {
   {
-    std::lock_guard<std::mutex> lock(stripes_[queue->stripe()]->mutex);
+    util::MutexLock lock(stripes_[queue->stripe()]->mutex);
     stripes_[queue->stripe()]->ready.push_back(std::move(queue));
   }
   ready_count_.fetch_add(1, std::memory_order_release);
   // Empty critical section: a worker that checked ready_count_ under
   // sleep_mutex_ before our increment is guaranteed to be inside wait() by
   // the time we acquire, so the notify below cannot be lost.
-  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  { util::MutexLock lock(sleep_mutex_); }
   work_cv_.notify_one();
 }
 
@@ -150,7 +150,7 @@ std::shared_ptr<Executor::SerialQueue> Executor::acquire(std::size_t home) {
   const std::size_t count = stripes_.size();
   for (std::size_t i = 0; i < count; ++i) {
     Stripe& stripe = *stripes_[(home + i) % count];
-    std::lock_guard<std::mutex> lock(stripe.mutex);
+    util::MutexLock lock(stripe.mutex);
     if (!stripe.ready.empty()) {
       auto queue = std::move(stripe.ready.front());
       stripe.ready.pop_front();
@@ -164,7 +164,7 @@ std::shared_ptr<Executor::SerialQueue> Executor::acquire(std::size_t home) {
 void Executor::finish_task() {
   if (pending_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
       shutting_down_.load(std::memory_order_acquire)) {
-    { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+    { util::MutexLock lock(sleep_mutex_); }
     drained_cv_.notify_all();
   }
 }
@@ -172,7 +172,7 @@ void Executor::finish_task() {
 void Executor::drain_one(const std::shared_ptr<SerialQueue>& queue) {
   Task task;
   {
-    std::lock_guard<std::mutex> lock(queue->mutex_);
+    util::MutexLock lock(queue->mutex_);
     if (queue->tasks_.empty()) {
       // Raced with nothing real: the queue was scheduled but its work is
       // gone (cannot happen today, but parking it keeps the invariant).
@@ -189,7 +189,7 @@ void Executor::drain_one(const std::shared_ptr<SerialQueue>& queue) {
   finish_task();
   bool more = false;
   {
-    std::lock_guard<std::mutex> lock(queue->mutex_);
+    util::MutexLock lock(queue->mutex_);
     if (queue->tasks_.empty()) {
       queue->scheduled_ = false;
       queue->idle_cv_.notify_all();
@@ -210,11 +210,11 @@ void Executor::worker_loop(std::size_t worker_index) {
       drain_one(queue);
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
-    work_cv_.wait(lock, [this] {
-      return stop_workers_.load(std::memory_order_acquire) ||
-             ready_count_.load(std::memory_order_acquire) > 0;
-    });
+    util::MutexLock lock(sleep_mutex_);
+    while (!stop_workers_.load(std::memory_order_acquire) &&
+           ready_count_.load(std::memory_order_acquire) == 0) {
+      work_cv_.wait(sleep_mutex_);
+    }
     if (stop_workers_.load(std::memory_order_acquire) &&
         ready_count_.load(std::memory_order_acquire) == 0) {
       return;
@@ -225,23 +225,39 @@ void Executor::worker_loop(std::size_t worker_index) {
 void Executor::shutdown() {
   shutting_down_.store(true, std::memory_order_release);
   {
-    // Wake every blocked submitter so it observes the shutdown (their wait
-    // predicates re-check the flag under the queue mutex).
-    std::lock_guard<std::mutex> lock(queues_mutex_);
-    for (const auto& weak : queues_) {
-      if (auto queue = weak.lock()) queue->space_cv_.notify_all();
+    std::vector<std::shared_ptr<SerialQueue>> live;
+    {
+      util::MutexLock lock(queues_mutex_);
+      live.reserve(queues_.size());
+      for (const auto& weak : queues_) {
+        if (auto queue = weak.lock()) live.push_back(std::move(queue));
+      }
+    }
+    for (const auto& queue : live) {
+      // Empty critical section on every queue mutex, AFTER the flag store:
+      // a submit critical section that began before it either finished
+      // first (so its pending_tasks_ increment is visible to the drain
+      // wait below, and workers are still alive to run the task) or starts
+      // after we release (and then observes shutting_down_ via the mutex's
+      // happens-before and rejects). Without this fence a submitter that
+      // passed its flag check could push a task after the drain completed
+      // and the workers exited — accepted work that never runs.
+      { util::MutexLock lock(queue->mutex_); }
+      // Wake every blocked submitter so it observes the shutdown (their
+      // wait loops re-check the flag under the queue mutex).
+      queue->space_cv_.notify_all();
     }
   }
   {
     // Graceful drain: every accepted task still runs.
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    util::MutexLock lock(sleep_mutex_);
     work_cv_.notify_all();
-    drained_cv_.wait(lock, [this] {
-      return pending_tasks_.load(std::memory_order_acquire) == 0;
-    });
+    while (pending_tasks_.load(std::memory_order_acquire) != 0) {
+      drained_cv_.wait(sleep_mutex_);
+    }
   }
   stop_workers_.store(true, std::memory_order_release);
-  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  { util::MutexLock lock(sleep_mutex_); }
   work_cv_.notify_all();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();

@@ -2,15 +2,16 @@
 #define WAGG_RUNTIME_EXECUTOR_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace wagg::runtime {
 
@@ -54,6 +55,12 @@ enum class SubmitResult {
 /// Tasks must not block on work scheduled behind them (a task that calls
 /// submit_blocking on a full mailbox drained only by this pool can
 /// deadlock); non-blocking try_submit from inside tasks is fine.
+///
+/// Locking invariants are annotated for Clang's thread-safety analysis (see
+/// util/thread_annotations.h); the CI static-analysis job compiles them as
+/// errors. The lock-free pieces — ready_count_, pending_tasks_, the
+/// shutdown flags — are plain atomics with their protocols documented at
+/// the declaration.
 class Executor {
  public:
   using Task = std::function<void()>;
@@ -72,20 +79,21 @@ class Executor {
   class SerialQueue : public std::enable_shared_from_this<SerialQueue> {
    public:
     /// Enqueues without blocking; kQueueFull when at capacity.
-    [[nodiscard]] SubmitResult try_submit(Task task);
+    [[nodiscard]] SubmitResult try_submit(Task task) WAGG_EXCLUDES(mutex_);
     /// Blocks while the mailbox is full; wakes on space, close, or
     /// executor shutdown (returning the corresponding non-kAccepted value).
-    [[nodiscard]] SubmitResult submit_blocking(Task task);
+    [[nodiscard]] SubmitResult submit_blocking(Task task)
+        WAGG_EXCLUDES(mutex_);
 
     /// Stops new submits. Idempotent; queued tasks still run.
-    void close();
-    [[nodiscard]] bool closed() const;
+    void close() WAGG_EXCLUDES(mutex_);
+    [[nodiscard]] bool closed() const WAGG_EXCLUDES(mutex_);
 
     /// Blocks until the queue is empty AND no task of it is running.
-    void wait_drained();
+    void wait_drained() WAGG_EXCLUDES(mutex_);
 
     /// Queued (not yet started) tasks.
-    [[nodiscard]] std::size_t depth() const;
+    [[nodiscard]] std::size_t depth() const WAGG_EXCLUDES(mutex_);
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
     /// The stripe this queue is pinned to (stable for its lifetime).
     [[nodiscard]] std::size_t stripe() const noexcept { return stripe_; }
@@ -99,14 +107,14 @@ class Executor {
     const std::size_t stripe_;
     const std::size_t capacity_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable space_cv_;  ///< blocked submitters
-    std::condition_variable idle_cv_;   ///< wait_drained waiters
-    std::deque<Task> tasks_;
+    mutable util::Mutex mutex_;
+    util::CondVar space_cv_;  ///< blocked submitters
+    util::CondVar idle_cv_;   ///< wait_drained waiters
+    std::deque<Task> tasks_ WAGG_GUARDED_BY(mutex_);
     /// True while the queue is on a ready list or held by a worker; the
     /// single-drainer invariant.
-    bool scheduled_ = false;
-    bool closed_ = false;
+    bool scheduled_ WAGG_GUARDED_BY(mutex_) = false;
+    bool closed_ WAGG_GUARDED_BY(mutex_) = false;
   };
 
   // Two constructors instead of one defaulted argument: `Options{}` cannot
@@ -122,7 +130,7 @@ class Executor {
   /// Creates a mailbox pinned to the next stripe (round-robin).
   /// capacity 0 uses Options::default_queue_capacity.
   [[nodiscard]] std::shared_ptr<SerialQueue> make_queue(
-      std::size_t capacity = 0);
+      std::size_t capacity = 0) WAGG_EXCLUDES(queues_mutex_);
 
   [[nodiscard]] std::size_t num_workers() const noexcept {
     return workers_.size();
@@ -137,12 +145,12 @@ class Executor {
 
   /// Graceful: rejects new work, drains every queued task, joins workers.
   /// Idempotent; called by the destructor.
-  void shutdown();
+  void shutdown() WAGG_EXCLUDES(queues_mutex_, sleep_mutex_);
 
  private:
   struct Stripe {
-    std::mutex mutex;
-    std::deque<std::shared_ptr<SerialQueue>> ready;
+    util::Mutex mutex;
+    std::deque<std::shared_ptr<SerialQueue>> ready WAGG_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t worker_index);
@@ -150,10 +158,11 @@ class Executor {
   [[nodiscard]] std::shared_ptr<SerialQueue> acquire(std::size_t home);
   /// Puts a queue (whose scheduled_ flag is already set) on its stripe's
   /// ready list and wakes a worker.
-  void enqueue_ready(std::shared_ptr<SerialQueue> queue);
+  void enqueue_ready(std::shared_ptr<SerialQueue> queue)
+      WAGG_EXCLUDES(sleep_mutex_);
   /// Runs one task of `queue`, then requeues or parks it.
   void drain_one(const std::shared_ptr<SerialQueue>& queue);
-  void finish_task();
+  void finish_task() WAGG_EXCLUDES(sleep_mutex_);
 
   Options options_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
@@ -161,8 +170,9 @@ class Executor {
 
   /// Every queue ever made (weak): shutdown() walks it to wake blocked
   /// submitters so they observe the shutdown. Compacted opportunistically.
-  std::mutex queues_mutex_;
-  std::vector<std::weak_ptr<SerialQueue>> queues_;
+  util::Mutex queues_mutex_;
+  std::vector<std::weak_ptr<SerialQueue>> queues_
+      WAGG_GUARDED_BY(queues_mutex_);
 
   /// Queues with pending work across all stripes; workers sleep on
   /// work_cv_ when it reaches zero. Producers increment BEFORE touching
@@ -172,9 +182,9 @@ class Executor {
   std::atomic<bool> shutting_down_{false};  ///< submits rejected
   std::atomic<bool> stop_workers_{false};   ///< workers exit when idle
 
-  std::mutex sleep_mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable drained_cv_;  ///< shutdown waits for pending == 0
+  util::Mutex sleep_mutex_;
+  util::CondVar work_cv_;
+  util::CondVar drained_cv_;  ///< shutdown waits for pending == 0
 
   std::vector<std::thread> workers_;
 };

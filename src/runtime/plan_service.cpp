@@ -344,12 +344,17 @@ BatchResult PlanService::run(const std::vector<PlanRequest>& requests) {
     // Completion latch shared by every request task. Notify under the lock:
     // run() may destroy the state the instant the predicate turns true.
     struct BatchState {
-      std::mutex mutex;
-      std::condition_variable done;
-      std::size_t remaining = 0;
+      util::Mutex mutex;
+      util::CondVar done;
+      std::size_t remaining WAGG_GUARDED_BY(mutex) = 0;
     };
     auto state = std::make_shared<BatchState>();
-    state->remaining = requests.size();
+    {
+      // The fresh state is not shared yet, but the analysis has no notion
+      // of "unpublished" — lock for its benefit (uncontended).
+      util::MutexLock lock(state->mutex);
+      state->remaining = requests.size();
+    }
 
     // One ephemeral single-slot queue per request: requests spread round-
     // robin across all stripes and interleave fairly with live sessions
@@ -372,7 +377,7 @@ BatchResult PlanService::run(const std::vector<PlanRequest>& requests) {
         result.outcomes[i].queue_ms = queue_ms;
         metrics.busy_workers.add(-1.0);
         {
-          std::lock_guard<std::mutex> lock(state->mutex);
+          util::MutexLock lock(state->mutex);
           --state->remaining;
         }
         state->done.notify_all();
@@ -384,13 +389,13 @@ BatchResult PlanService::run(const std::vector<PlanRequest>& requests) {
         result.outcomes[i].ok = false;
         result.outcomes[i].error =
             "service rejected request: " + to_string(submitted);
-        std::lock_guard<std::mutex> lock(state->mutex);
+        util::MutexLock lock(state->mutex);
         --state->remaining;
       }
       queues.push_back(std::move(queue));
     }
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->done.wait(lock, [&state] { return state->remaining == 0; });
+    util::MutexLock lock(state->mutex);
+    while (state->remaining != 0) state->done.wait(state->mutex);
   }
   result.stats = summarize(result.outcomes, ms_since(start));
   return result;
@@ -401,7 +406,7 @@ BatchResult PlanService::run(const std::vector<PlanRequest>& requests) {
 PlanService::Resolved PlanService::resolve(SessionId id) const {
   const std::uint32_t slot = id_slot(id);
   const std::uint32_t generation = id_generation(id);
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  util::MutexLock lock(sessions_mutex_);
   if (slot >= slots_.size() || generation > slots_[slot].generation ||
       generation == 0) {
     return {SessionStatus::kUnknownSession, nullptr};  // never issued
@@ -415,7 +420,7 @@ PlanService::Resolved PlanService::resolve(SessionId id) const {
 }
 
 PlanService::Resolved PlanService::allocate_session() {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  util::MutexLock lock(sessions_mutex_);
   if (open_sessions_ >= options_.max_sessions) {
     return {SessionStatus::kSessionLimit, nullptr};
   }
@@ -438,7 +443,7 @@ PlanService::Resolved PlanService::allocate_session() {
 }
 
 void PlanService::release_session(const std::shared_ptr<Session>& session) {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  util::MutexLock lock(sessions_mutex_);
   Slot& entry = slots_[session->slot];
   // Idempotent across racing closers: only the one that still owns the slot
   // frees it.
@@ -460,7 +465,7 @@ PlanService::SessionId PlanService::open_session(
                              std::to_string(options_.max_sessions) + ")");
   }
   {
-    std::lock_guard<std::mutex> lock(allocated.session->mutex);
+    util::MutexLock lock(allocated.session->mutex);
     allocated.session->planner = std::move(planner);
   }
   return make_session_id(allocated.session->slot,
@@ -495,7 +500,7 @@ std::future<OpenOutcome> PlanService::open_session_async(
         try {
           auto planner =
               std::make_shared<dynamic::DynamicPlanner>(initial, options);
-          std::lock_guard<std::mutex> lock(session->mutex);
+          util::MutexLock lock(session->mutex);
           session->planner = std::move(planner);
         } catch (const std::exception& e) {
           outcome.status = SessionStatus::kPlannerError;
@@ -507,7 +512,7 @@ std::future<OpenOutcome> PlanService::open_session_async(
         metrics.busy_workers.add(-1.0);
         if (outcome.status != SessionStatus::kOk) {
           {
-            std::lock_guard<std::mutex> lock(session->mutex);
+            util::MutexLock lock(session->mutex);
             session->open_failed = true;
             session->open_error = outcome.error;
           }
@@ -567,7 +572,7 @@ void PlanService::submit_epoch_task(SessionId id, dynamic::ChurnTrace epochs,
       outcome.status = SessionStatus::kMailboxFull;
       metrics.mailbox_rejects.add();
       {
-        std::lock_guard<std::mutex> lock(session->mutex);
+        util::MutexLock lock(session->mutex);
         ++session->rejects;
       }
       break;
@@ -598,7 +603,7 @@ void PlanService::run_epoch_task(
 
   std::shared_ptr<dynamic::DynamicPlanner> planner;
   {
-    std::lock_guard<std::mutex> lock(session->mutex);
+    util::MutexLock lock(session->mutex);
     if (session->open_failed) {
       outcome.status = SessionStatus::kPlannerError;
       outcome.error = "session open failed: " + session->open_error;
@@ -640,7 +645,7 @@ void PlanService::run_epoch_task(
   metrics.session_epochs.add(applied);
   metrics.session_epoch_ms.record(outcome.epoch_ms);
   {
-    std::lock_guard<std::mutex> lock(session->mutex);
+    util::MutexLock lock(session->mutex);
     session->epochs += applied;
     session->epoch_ms.add(outcome.epoch_ms);
     session->wait_ms.add(outcome.queue_ms);
@@ -708,7 +713,7 @@ std::shared_ptr<const dynamic::DynamicPlanner> PlanService::session(
     throw std::invalid_argument("PlanService: " + to_string(resolved.status) +
                                 " for session id " + std::to_string(id));
   }
-  std::lock_guard<std::mutex> lock(resolved.session->mutex);
+  util::MutexLock lock(resolved.session->mutex);
   if (!resolved.session->planner) {
     throw std::runtime_error(
         "PlanService: session open still in flight for id " +
@@ -729,7 +734,7 @@ SessionStats PlanService::session_stats(SessionId id) const {
   }
   SessionStats stats;
   stats.queue_depth = resolved.session->queue->depth();
-  std::lock_guard<std::mutex> lock(resolved.session->mutex);
+  util::MutexLock lock(resolved.session->mutex);
   stats.epochs = resolved.session->epochs;
   stats.mailbox_rejects = resolved.session->rejects;
   stats.latency = summarize_stage(resolved.session->epoch_ms);
@@ -761,7 +766,7 @@ SessionStatus PlanService::close_session(SessionId id) {
 }
 
 std::size_t PlanService::num_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  util::MutexLock lock(sessions_mutex_);
   return open_sessions_;
 }
 

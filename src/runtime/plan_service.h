@@ -5,7 +5,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,7 +16,9 @@
 #include "obs/metrics.h"
 #include "runtime/executor.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 
 namespace wagg::runtime {
 
@@ -344,6 +345,10 @@ class PlanService {
 
  private:
   struct Session {
+    // queue/slot/generation are set once by allocate_session BEFORE the
+    // session is published (no other thread can hold the pointer yet) and
+    // immutable afterwards — reads need no lock, so they are deliberately
+    // not GUARDED_BY.
     std::shared_ptr<Executor::SerialQueue> queue;
     std::uint32_t slot = 0;
     std::uint32_t generation = 0;
@@ -351,14 +356,14 @@ class PlanService {
     /// Guards planner (set once by the open task under async open) and the
     /// serving stats below. Uncontended: writers are the session's serial
     /// tasks plus the submit path's reject counter.
-    mutable std::mutex mutex;
-    std::shared_ptr<dynamic::DynamicPlanner> planner;
-    bool open_failed = false;
-    std::string open_error;
-    util::Samples epoch_ms;
-    util::Samples wait_ms;
-    std::size_t epochs = 0;
-    std::size_t rejects = 0;
+    mutable util::Mutex mutex;
+    std::shared_ptr<dynamic::DynamicPlanner> planner WAGG_GUARDED_BY(mutex);
+    bool open_failed WAGG_GUARDED_BY(mutex) = false;
+    std::string open_error WAGG_GUARDED_BY(mutex);
+    util::Samples epoch_ms WAGG_GUARDED_BY(mutex);
+    util::Samples wait_ms WAGG_GUARDED_BY(mutex);
+    std::size_t epochs WAGG_GUARDED_BY(mutex) = 0;
+    std::size_t rejects WAGG_GUARDED_BY(mutex) = 0;
   };
 
   struct Slot {
@@ -371,11 +376,13 @@ class PlanService {
     std::shared_ptr<Session> session;
   };
 
-  [[nodiscard]] Resolved resolve(SessionId id) const;
+  [[nodiscard]] Resolved resolve(SessionId id) const
+      WAGG_EXCLUDES(sessions_mutex_);
   /// Allocates a slot (admission-checked) with a fresh generation.
-  [[nodiscard]] Resolved allocate_session();
+  [[nodiscard]] Resolved allocate_session() WAGG_EXCLUDES(sessions_mutex_);
   /// Frees a slot if `session` still owns it (idempotent across racers).
-  void release_session(const std::shared_ptr<Session>& session);
+  void release_session(const std::shared_ptr<Session>& session)
+      WAGG_EXCLUDES(sessions_mutex_);
   /// The one submit path: builds the epoch task (single- or multi-epoch),
   /// enqueues it, resolves admission failures inline.
   void submit_epoch_task(SessionId id, dynamic::ChurnTrace epochs,
@@ -391,10 +398,14 @@ class PlanService {
   ServiceOptions options_;
   Executor executor_;
 
-  mutable std::mutex sessions_mutex_;
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  std::size_t open_sessions_ = 0;
+  /// Guards the session table: the slot array, its free list, and the open
+  /// count. Session-level state lives behind each Session's own mutex; the
+  /// two are never held at the same time (every path releases the table
+  /// lock before touching a session), so no lock-order edge exists.
+  mutable util::Mutex sessions_mutex_;
+  std::vector<Slot> slots_ WAGG_GUARDED_BY(sessions_mutex_);
+  std::vector<std::uint32_t> free_slots_ WAGG_GUARDED_BY(sessions_mutex_);
+  std::size_t open_sessions_ WAGG_GUARDED_BY(sessions_mutex_) = 0;
 };
 
 /// Computes the batch statistics for a set of outcomes (exposed for tests

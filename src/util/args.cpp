@@ -11,7 +11,11 @@ Args::Args(int argc, const char* const* argv) {
     if (arg.rfind("--", 0) != 0) continue;
     const auto eq = arg.find('=');
     if (eq == std::string::npos) {
-      values_[arg.substr(2)] = "1";
+      // The explicit std::string temporary makes the map store a move, not
+      // an operator=(const char*) — that spelling trips a GCC 12 -Wrestrict
+      // false positive (impossible overlap offsets) once the string replace
+      // path is inlined.
+      values_.insert_or_assign(arg.substr(2), std::string("1"));
     } else {
       values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     }

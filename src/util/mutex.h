@@ -1,0 +1,94 @@
+#ifndef WAGG_UTIL_MUTEX_H
+#define WAGG_UTIL_MUTEX_H
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace wagg::util {
+
+/// Thin annotated wrapper over std::mutex — the ONLY mutex type used in
+/// src/ (enforced by the wagg_lint `raw-sync` rule), so every protected
+/// member can carry WAGG_GUARDED_BY and Clang's thread-safety analysis sees
+/// the whole locking story.
+///
+/// The API is intentionally minimal: lock/unlock/try_lock for the analysis
+/// plus native() for CondVar interop. Prefer MutexLock scopes over manual
+/// lock()/unlock() pairs.
+class WAGG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WAGG_ACQUIRE() { mutex_.lock(); }
+  void unlock() WAGG_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() WAGG_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  /// The wrapped handle, for CondVar only. Waiting re-locks through the
+  /// native mutex, so the capability bookkeeping stays consistent (CondVar
+  /// is REQUIRES(mu) — held before and after the wait).
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII scope holding a Mutex — the std::lock_guard of the annotated world.
+/// The analysis knows the capability is held from construction to the end
+/// of the enclosing scope.
+class WAGG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) WAGG_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() WAGG_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with util::Mutex. wait() takes the Mutex the
+/// caller already holds (REQUIRES — the analysis checks the call site), and
+/// callers loop on their predicate INLINE:
+///
+///   util::MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+///
+/// There is deliberately no predicate-lambda overload: the analysis treats
+/// a lambda body as a separate function that cannot see the held capability,
+/// so guarded reads inside it would need carve-outs. An inline while-loop
+/// keeps the predicate's guarded reads inside the locked scope where the
+/// analysis can verify them.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, blocks, and re-acquires before returning.
+  void wait(Mutex& mutex) WAGG_REQUIRES(mutex) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the wrapper keeps it afterwards —
+    // from the analysis' point of view the capability never moved.
+    std::unique_lock<std::mutex> native(mutex.native(), std::adopt_lock);
+    cv_.wait(native);
+    (void)native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace wagg::util
+
+#endif  // WAGG_UTIL_MUTEX_H

@@ -1,0 +1,90 @@
+#ifndef WAGG_UTIL_THREAD_ANNOTATIONS_H
+#define WAGG_UTIL_THREAD_ANNOTATIONS_H
+
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These turn the repo's locking invariants — "this member is protected by
+/// that mutex", "this method must be called with the lock held" — into
+/// compile-time checks under `clang++ -Wthread-safety` (the CI
+/// static-analysis job builds with -Wthread-safety -Werror). On compilers
+/// without the capability attributes (GCC) every macro expands to nothing,
+/// so annotated code builds everywhere.
+///
+/// Conventions (see README "Correctness tooling"):
+///   - Every mutex-protected member carries WAGG_GUARDED_BY(mutex_).
+///   - Private methods called with a lock already held are annotated
+///     WAGG_REQUIRES(mutex_) instead of re-locking.
+///   - Deliberately lock-free paths (tracer rings, metric atomics) that the
+///     analysis cannot model are marked WAGG_NO_THREAD_SAFETY_ANALYSIS with
+///     a comment justifying why the access is safe without the capability.
+///
+/// The macros mirror the Abseil/Clang-doc names with a WAGG_ prefix:
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#define WAGG_THREAD_ANNOTATION_IMPL(x) __has_attribute(x)
+#else
+#define WAGG_THREAD_ANNOTATION_IMPL(x) 0
+#endif
+
+#if WAGG_THREAD_ANNOTATION_IMPL(capability)
+#define WAGG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WAGG_THREAD_ANNOTATION(x)
+#endif
+
+/// A type that is a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define WAGG_CAPABILITY(x) WAGG_THREAD_ANNOTATION(capability(x))
+
+/// A RAII type that acquires a capability at construction and releases it at
+/// destruction (util::MutexLock).
+#define WAGG_SCOPED_CAPABILITY WAGG_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define WAGG_GUARDED_BY(x) WAGG_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose POINTEE is protected by the given mutex (the pointer
+/// itself may be read freely).
+#define WAGG_PT_GUARDED_BY(x) WAGG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed capabilities.
+#define WAGG_REQUIRES(...) \
+  WAGG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while NOT holding the listed
+/// capabilities (guards against self-deadlock on non-reentrant mutexes).
+#define WAGG_EXCLUDES(...) \
+  WAGG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define WAGG_ACQUIRE(...) \
+  WAGG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define WAGG_RELEASE(...) \
+  WAGG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `value`.
+#define WAGG_TRY_ACQUIRE(value, ...) \
+  WAGG_THREAD_ANNOTATION(try_acquire_capability(value, __VA_ARGS__))
+
+/// Declares a lock-ordering edge: this mutex is acquired after the listed
+/// ones (checked by -Wthread-safety-beta).
+#define WAGG_ACQUIRED_AFTER(...) \
+  WAGG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define WAGG_ACQUIRED_BEFORE(...) \
+  WAGG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Function returning a reference to the given capability (accessor
+/// pattern).
+#define WAGG_RETURN_CAPABILITY(x) \
+  WAGG_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is excluded from the analysis. Every
+/// use MUST carry a comment explaining the synchronization that replaces the
+/// lock (SPSC ownership, quiescence contract, atomics-only protocol, ...).
+#define WAGG_NO_THREAD_SAFETY_ANALYSIS \
+  WAGG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // WAGG_UTIL_THREAD_ANNOTATIONS_H

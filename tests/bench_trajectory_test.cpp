@@ -187,7 +187,9 @@ TEST(BenchCompare, NoiseWidensToleranceThroughTheMads) {
   EXPECT_EQ(report.regressions, 1u);
   EXPECT_EQ(report.findings.front().metric, "tight");
   for (const auto& finding : report.findings) {
-    if (finding.metric == "noisy") EXPECT_EQ(finding.verdict, Verdict::kOk);
+    if (finding.metric == "noisy") {
+      EXPECT_EQ(finding.verdict, Verdict::kOk);
+    }
   }
 }
 

@@ -250,6 +250,51 @@ TEST(Executor, ShutdownDrainsAcceptedTasks) {
   EXPECT_EQ(ran.load(), 8 * 16);
 }
 
+TEST(Executor, ShutdownConcurrentWithSubmittersRunsEveryAcceptedTask) {
+  // Regression test for a shutdown/submit race: a submitter could pass the
+  // shutting_down_ check, get descheduled, and push its task after the
+  // shutdown drain had already observed pending == 0 and let the workers
+  // exit — the task was ACCEPTED but never ran, silently violating the
+  // graceful-drain contract. shutdown() now fences each live queue's mutex
+  // after publishing the flag, so every submit critical section either
+  // completed before the fence (its task is visible to the drain) or
+  // observes the flag and rejects. The invariant under concurrent
+  // shutdown is therefore exact: ran == accepted.
+  for (int round = 0; round < 20; ++round) {
+    Executor executor(Executor::Options{.num_workers = 2, .num_stripes = 2});
+    constexpr int kThreads = 4;
+    std::vector<std::shared_ptr<Executor::SerialQueue>> queues;
+    for (int q = 0; q < kThreads; ++q) {
+      queues.push_back(executor.make_queue(64));
+    }
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+          const auto result =
+              i % 2 == 0 ? queues[t]->try_submit([&ran] { ran.fetch_add(1); })
+                         : queues[t]->submit_blocking(
+                               [&ran] { ran.fetch_add(1); });
+          if (result == SubmitResult::kAccepted) {
+            accepted.fetch_add(1);
+          } else if (result == SubmitResult::kShutdown) {
+            return;  // the flag is published: every later submit rejects too
+          }
+        }
+      });
+    }
+    // Let the storm build, then pull the plug mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    executor.shutdown();
+    stop.store(true);
+    for (auto& thread : submitters) thread.join();
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
+}
+
 TEST(Executor, WorkStealingCoversAllStripes) {
   // More stripes than workers: queues pinned to stripes no worker calls
   // home must still be drained via the steal scan.

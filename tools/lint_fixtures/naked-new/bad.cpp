@@ -1,0 +1,18 @@
+// wagg-lint-fixture: naked-new expect=3
+// Naked ownership transfers: every line below must be flagged.
+
+struct Node {
+  int value = 0;
+};
+
+Node* leak_prone() {
+  return new Node();  // finding 1: naked new
+}
+
+void manual_free(Node* node) {
+  delete node;  // finding 2: naked delete
+}
+
+void array_free(Node* nodes) {
+  delete[] nodes;  // finding 3: naked array delete
+}

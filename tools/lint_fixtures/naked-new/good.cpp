@@ -1,0 +1,34 @@
+// wagg-lint-fixture: naked-new expect=0
+// Negative cases: smart-pointer factories, deleted special members, the
+// word in comments/strings, and a justified allow all pass.
+#include <memory>
+#include <vector>
+
+struct Node {
+  int value = 0;
+
+  Node(const Node&) = delete;             // `= delete` is not a free
+  Node& operator=(const Node&) = delete;  // (either spelling position)
+  Node() = default;
+};
+
+std::unique_ptr<Node> owned() { return std::make_unique<Node>(); }
+
+std::shared_ptr<Node> shared() { return std::make_shared<Node>(); }
+
+std::vector<Node> many(std::size_t n) { return std::vector<Node>(n); }
+
+// "new" in comments is inert: the new MST is a subset of the old edges.
+const char* kDoc = "new and delete are banned";  // inert in strings too
+
+class Factory {
+ public:
+  // Private-constructor escape hatch, justified inline:
+  static std::shared_ptr<Factory> make() {
+    // wagg-lint: allow(naked-new) private ctor unreachable by make_shared
+    return std::shared_ptr<Factory>(new Factory());
+  }
+
+ private:
+  Factory() = default;
+};

@@ -1,0 +1,17 @@
+// wagg-lint-fixture: raw-sync expect=3
+// Raw standard-library synchronization outside util/mutex.h: every line
+// below must be flagged (the annotated util wrappers are the only way the
+// thread-safety analysis can see the locking story).
+#include <condition_variable>
+#include <mutex>
+
+struct Mailbox {
+  std::mutex mutex;                  // finding 1
+  std::condition_variable space_cv;  // finding 2
+  int depth = 0;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mutex);  // finding 3 (one per line)
+    ++depth;
+  }
+};

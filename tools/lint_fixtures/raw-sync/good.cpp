@@ -1,0 +1,34 @@
+// wagg-lint-fixture: raw-sync expect=0
+// Negative cases: the annotated wrappers are the sanctioned spelling;
+// std::atomic is not a lock; comments and strings are inert.
+#include <atomic>
+
+namespace util {
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+}  // namespace util
+
+struct Mailbox {
+  util::Mutex mutex;  // annotated wrapper: fine
+  std::atomic<int> fast_count{0};  // atomics are not locks
+  int depth = 0;
+
+  void bump() {
+    util::MutexLock lock(mutex);
+    ++depth;
+  }
+};
+
+// std::mutex in a comment is inert; and in a string:
+const char* kDoc = "std::mutex is banned outside util/mutex.h";

@@ -1,0 +1,15 @@
+// wagg-lint-fixture: stats-struct expect=2
+// Ad-hoc stat structs outside src/obs/: hot-path metrics belong in
+// obs::Registry. Both definitions below must be flagged.
+
+struct ExecutorStats {  // finding 1: new ad-hoc stat struct
+  unsigned long tasks_run = 0;
+  unsigned long steals = 0;
+};
+
+namespace wagg::runtime {
+class QueueStats {  // finding 2: class form is flagged too
+ public:
+  unsigned long depth_sum = 0;
+};
+}  // namespace wagg::runtime

@@ -1,0 +1,24 @@
+// wagg-lint-fixture: stats-struct expect=0
+// Negative cases: grandfathered result-report structs keep their names, a
+// name merely CONTAINING "Stats" mid-word is untouched, comments and
+// strings never match, and an explicit allow with justification passes.
+
+struct BatchStats {  // grandfathered: per-batch result summary
+  unsigned long total = 0;
+};
+
+struct IncrementalMstStats {  // grandfathered engine-local marks
+  unsigned long path_max_swaps = 0;
+};
+
+// struct CommentedOutStats { };  -- inert: lives in a comment
+const char* kName = "struct StringStats {}";  // inert: lives in a string
+
+struct Statistician {  // "Stats" is not a suffix here
+  int id = 0;
+};
+
+// wagg-lint: allow(stats-struct) prototype struct, registry wiring tracked
+struct PrototypeStats {
+  unsigned long events = 0;
+};

@@ -1,0 +1,22 @@
+// wagg-lint-fixture: wall-clock expect=4
+// Wall-clock and nondeterministic randomness in planning/digest code:
+// every line below must be flagged.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double now_ms() {
+  auto t = std::chrono::system_clock::now();  // finding 1: wall clock
+  (void)t;
+  return 0.0;
+}
+
+int noisy_seed() {
+  std::random_device rd;           // finding 2: nondeterministic seed
+  return static_cast<int>(rd());
+}
+
+int c_random() { return rand(); }  // finding 3: C-library randomness
+
+long c_time() { return time(nullptr); }  // finding 4: wall clock

@@ -1,0 +1,25 @@
+// wagg-lint-fixture: wall-clock expect=0
+// Negative cases: the monotonic clock and seeded engines are the sanctioned
+// tools; identifiers that merely contain the banned substrings don't trip;
+// comments and strings are inert.
+#include <chrono>
+#include <random>
+
+using Clock = std::chrono::steady_clock;  // monotonic: fine
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+unsigned seeded(unsigned seed) {
+  std::mt19937_64 rng(seed);  // deterministic seeded engine: fine
+  return static_cast<unsigned>(rng());
+}
+
+int operand_count(int operands) { return operands; }  // 'rand' mid-word
+
+// system_clock in a comment is inert; so is "rand(" in a string:
+const char* kDoc = "never call rand() or system_clock here";
+
+long runtime_ms(long time_budget) { return time_budget; }  // time_ identifier
