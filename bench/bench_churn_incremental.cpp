@@ -276,10 +276,12 @@ BENCHMARK(BM_FullReplanEpoch)->Arg(512)->Arg(2048)->Unit(
 int run_smoke(const std::string& trace_path, const std::string& metrics_path,
               std::size_t repeats, std::size_t warmups) {
   constexpr double kMinSpeedup = 1.4;
-  // A healthy index runs at ~0.5x the baseline on a quiet machine; a
-  // regression that reinstates the O(n) rebuild lands at >= 1.5x (rebuild
-  // plus queries). 0.9 splits the two with headroom for runner noise.
-  constexpr double kMaxConflictShare = 0.9;  ///< of the rebuild baseline
+  // With the diff-maintained row cache the conflict layer runs at ~0.2x the
+  // rebuild baseline on a quiet machine (mostly maintain-side patching; the
+  // query side is all cache hits). Losing the cache alone puts it back at
+  // ~0.5-0.75x, reinstating the O(n) rebuild at >= 1.5x. 0.45 fails both
+  // regressions with ~2x headroom over the healthy level for runner noise.
+  constexpr double kMaxConflictShare = 0.45;  ///< of the rebuild baseline
   // Same construction for the tree layer: the dynamic-tree engine runs at
   // a small fraction of a from-scratch Prim on a quiet machine, while the
   // pre-dtree merge-Kruskal engine sat well above it at this size. 0.9

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "conflict/conflict_index.h"
 #include "dynamic/dynamic_planner.h"
 #include "dynamic/mutation.h"
 #include "obs/export.h"
@@ -86,14 +87,19 @@ int main(int argc, char** argv) {
                                         "links", "dirty", "slots",
                                         "reused", "patched", "oracle",
                                         "rate",  "incr ms", "mst ms",
-                                        "cfl ms"};
+                                        "cfl ms", "rc hit", "rc miss"};
     if (options.audit) {
       columns.push_back("full ms");
       columns.push_back("ok");
     }
     util::Table table(columns);
 
+    // Per-epoch conflict row-cache traffic, diffed from the index's
+    // cumulative stats around each apply() (the registry holds the same
+    // series; diffing here keeps the construction epoch's row honest too).
+    auto cache_mark = conflict::ConflictIndexStats{};
     const auto add_row = [&](const dynamic::EpochReport& report) {
+      const auto cache = planner.conflict_index().stats();
       auto& row = table.row();
       row.cell(report.epoch)
           .cell(report.mutations_applied)
@@ -107,7 +113,10 @@ int main(int argc, char** argv) {
           .cell(report.rate, 4)
           .cell(report.timings.incremental_ms(), 2)
           .cell(report.timings.mst_ms(), 2)
-          .cell(report.timings.conflict_ms, 2);
+          .cell(report.timings.conflict_ms, 2)
+          .cell(cache.row_cache_hits - cache_mark.row_cache_hits)
+          .cell(cache.row_cache_misses - cache_mark.row_cache_misses);
+      cache_mark = cache;
       if (options.audit) {
         row.cell(report.audit_full_ms, 2)
             .cell(report.audit_valid && report.audit_tree_match &&
@@ -213,6 +222,26 @@ int main(int argc, char** argv) {
     }
     std::cout << ", " << fallbacks << " fallbacks, "
               << (all_valid ? "all epochs valid" : "INVALID EPOCHS") << "\n";
+
+    // Cumulative row-cache economics for the whole session (construction
+    // included — its misses are the warmup that later epochs hit against).
+    const auto cache = planner.conflict_index().stats();
+    const auto served = cache.row_cache_hits + cache.row_cache_misses;
+    std::cout << "row cache: " << cache.row_cache_hits << " hits / "
+              << cache.row_cache_misses << " misses";
+    if (served > 0) {
+      std::cout << " ("
+                << util::format_double(100.0 *
+                                           static_cast<double>(
+                                               cache.row_cache_hits) /
+                                           static_cast<double>(served),
+                                       1)
+                << "% hit)";
+    }
+    std::cout << ", " << cache.row_cache_patches << " patches, "
+              << cache.row_cache_invalidations << " invalidations, "
+              << cache.row_cache_evictions << " evictions, "
+              << cache.rows_cached << " rows live\n";
 
     if (!epoch_times.empty()) {
       // The one summary-row implementation of the repo (satellite of the

@@ -37,6 +37,10 @@ struct ConflictSpec {
 
   [[nodiscard]] std::string name() const;
 
+  /// Field-wise equality (spec-keyed caches use it; comparing fields the
+  /// kind ignores is conservative — at worst a needless flush).
+  friend bool operator==(const ConflictSpec&, const ConflictSpec&) = default;
+
   static ConflictSpec constant(double gamma);
   static ConflictSpec power_law(double gamma, double delta);
   static ConflictSpec logarithmic(double gamma, double alpha);

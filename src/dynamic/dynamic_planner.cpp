@@ -59,6 +59,13 @@ struct PlannerMetrics {
   obs::Counter& rows_queried = reg.counter("conflict.rows_queried");
   obs::Counter& dedupe_hits = reg.counter("conflict.dedupe_hits");
   obs::Counter& cells_pruned = reg.counter("conflict.cells_pruned");
+  obs::Counter& row_cache_hits = reg.counter("conflict.row_cache_hits");
+  obs::Counter& row_cache_misses = reg.counter("conflict.row_cache_misses");
+  obs::Counter& row_cache_patches = reg.counter("conflict.row_cache_patches");
+  obs::Counter& row_cache_invalidations =
+      reg.counter("conflict.row_cache_invalidations");
+  obs::Counter& row_cache_evictions =
+      reg.counter("conflict.row_cache_evictions");
   obs::Counter& power_hits = reg.counter("power.slot_cache_hits");
   obs::Counter& power_misses = reg.counter("power.slot_cache_misses");
   obs::Histogram& epoch_ms = reg.histogram("dynamic.epoch_ms");
@@ -850,13 +857,21 @@ void DynamicPlanner::run_audit(EpochReport& report) {
 
   // The maintained conflict index must answer every link's row exactly as a
   // from-scratch bucket-grid query over the same snapshot — the standing
-  // grids never drift from the live geometry.
+  // grids never drift from the live geometry. The first call materializes
+  // every row it misses; the second is then answered from the diff-patched
+  // row cache, so equality of the pair proves cached rows never drift from
+  // a from-scratch recomputation either.
   std::vector<std::size_t> all_links(current_.links.size());
   std::iota(all_links.begin(), all_links.end(), std::size_t{0});
   const auto spec = core::spec_for_mode(config);
+  const auto index_rows =
+      conflict_index_.neighbors(current_.links, spec, all_links);
   report.audit_index_match =
-      conflict_index_.neighbors(current_.links, spec, all_links) ==
-      conflict::conflict_neighbors_bucketed(current_.links, spec, all_links);
+      index_rows ==
+          conflict::conflict_neighbors_bucketed(current_.links, spec,
+                                                all_links) &&
+      index_rows == conflict_index_.neighbors(current_.links, spec,
+                                              all_links);
 
   report.audited = true;
   report.timings.audit_ms = ms_since(audit_start);
@@ -885,13 +900,24 @@ void DynamicPlanner::publish_epoch_metrics(const EpochReport& report) {
                              mst_stats_mark_.grid_fallback_sweeps);
   mst_stats_mark_ = mst_stats;
 
-  const auto& conflict_stats = conflict_index_.stats();
+  const auto conflict_stats = conflict_index_.stats();
   metrics.rows_queried.add(conflict_stats.rows_queried -
                            conflict_stats_mark_.rows_queried);
   metrics.dedupe_hits.add(conflict_stats.dedupe_hits -
                           conflict_stats_mark_.dedupe_hits);
   metrics.cells_pruned.add(conflict_stats.cells_pruned -
                            conflict_stats_mark_.cells_pruned);
+  metrics.row_cache_hits.add(conflict_stats.row_cache_hits -
+                             conflict_stats_mark_.row_cache_hits);
+  metrics.row_cache_misses.add(conflict_stats.row_cache_misses -
+                               conflict_stats_mark_.row_cache_misses);
+  metrics.row_cache_patches.add(conflict_stats.row_cache_patches -
+                                conflict_stats_mark_.row_cache_patches);
+  metrics.row_cache_invalidations.add(
+      conflict_stats.row_cache_invalidations -
+      conflict_stats_mark_.row_cache_invalidations);
+  metrics.row_cache_evictions.add(conflict_stats.row_cache_evictions -
+                                  conflict_stats_mark_.row_cache_evictions);
   conflict_stats_mark_ = conflict_stats;
 
   const EpochTimings& t = report.timings;

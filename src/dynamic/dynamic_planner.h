@@ -109,7 +109,9 @@ struct EpochReport {
   /// re-orientation (same edges, same sink-ward direction, same lengths).
   bool audit_store_match = false;
   /// The persistent ConflictIndex answers every link's conflict row exactly
-  /// as a from-scratch bucket-grid query over the same snapshot.
+  /// as a from-scratch bucket-grid query over the same snapshot, AND a
+  /// repeat query served entirely from the diff-maintained row cache
+  /// returns the same rows (cache ≡ from-scratch equality).
   bool audit_index_match = false;
   std::size_t audit_full_slots = 0;  ///< schedule length of the full replan
   double audit_full_rate = 0.0;

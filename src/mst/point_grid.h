@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+// wagg-lint: allow(class-grid) cell_key mixer only; no grid/row-cache state
 #include "conflict/class_grid.h"
 #include "geom/point.h"
 

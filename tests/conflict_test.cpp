@@ -455,6 +455,195 @@ TEST(ConflictIndex, LazyReclassOnlyWhenClassChanges) {
   EXPECT_EQ(index.num_classes(), 1u);
 }
 
+/// Randomized cache-equivalence harness: a single fixed spec keeps the row
+/// cache live across mutation batches (the multi-spec churn test above
+/// flushes on every spec rotation, so diff-patched rows there are never the
+/// ones verified). Here every batch is followed by TWO full-row queries —
+/// the first may mix cached (diff-patched) and recomputed rows, the second
+/// is served entirely from the cache — and both must equal the from-scratch
+/// bucketed rows. Moves use large jumps so lengths cross [2^c, 2^(c+1))
+/// class boundaries, exercising the re-class erase/insert patch path.
+TEST(ConflictIndex, RowCacheStaysExactUnderListenerChurn) {
+  util::Rng rng(4096);
+  geom::Pointset points;
+  for (int i = 0; i < 24; ++i) {
+    points.push_back({rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)});
+  }
+  geom::LinkStore store;
+  ConflictIndex index;
+  StoreIndexBridge bridge(points, store, index);
+  store.set_listener(&bridge);
+
+  std::vector<std::int32_t> node_index(points.size());
+  std::iota(node_index.begin(), node_index.end(), 0);
+  const auto spec = ConflictSpec::power_law(1.0, 0.6);
+
+  const auto random_node = [&] {
+    return static_cast<std::int32_t>(rng.below(points.size()));
+  };
+  for (int step = 0; step < 80; ++step) {
+    const int op = step < 20 ? 0 : static_cast<int>(rng.below(3));
+    if (op == 0) {
+      const auto a = random_node();
+      const auto b = random_node();
+      if (a != b && store.find_pair(a, b) == geom::kNoLink) {
+        store.add(a, b,
+                  geom::distance(points[static_cast<std::size_t>(a)],
+                                 points[static_cast<std::size_t>(b)]));
+      }
+    } else if (op == 1 && store.num_live() > 4) {
+      const auto ids = store.live_ids();
+      store.remove(ids[rng.below(ids.size())]);
+    } else if (op == 2) {
+      // Large jumps: incident link lengths routinely cross power-of-two
+      // class boundaries, so cached rows survive re-class updates too.
+      const auto v = random_node();
+      auto& p = points[static_cast<std::size_t>(v)];
+      p = {p.x + rng.normal() * 2.5, p.y + rng.normal() * 2.5};
+      for (const auto id : store.live_ids()) {
+        if (store.sender(id) != v && store.receiver(id) != v) continue;
+        store.set_length(
+            id, geom::distance(
+                    points[static_cast<std::size_t>(store.sender(id))],
+                    points[static_cast<std::size_t>(store.receiver(id))]));
+        store.touch(id);
+      }
+    }
+    if (step % 3 == 2 && store.num_live() > 0) {
+      const auto ids = store.live_ids();
+      store.flip(ids[rng.below(ids.size())]);
+    }
+
+    const auto view = store.snapshot(points, node_index);
+    std::vector<std::size_t> all(view.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const auto scratch_rows = conflict_neighbors_bucketed(view, spec, all);
+    const auto index_rows = index.neighbors(view, spec, all);
+    ASSERT_EQ(index_rows, scratch_rows) << "step " << step;
+    // Second query: every row served from the cache must still be exact.
+    const auto cached_rows = index.neighbors(view, spec, all);
+    ASSERT_EQ(cached_rows, scratch_rows) << "step " << step;
+    // neighbors() short-circuits (and caches nothing) below 2 live links.
+    if (store.num_live() >= 2) {
+      EXPECT_EQ(index.rows_cached(), store.num_live()) << "step " << step;
+    }
+  }
+  store.set_listener(nullptr);
+
+  // The trace must have exercised every maintenance path, and the counter
+  // identity hits + misses == rows_queried must hold exactly.
+  const auto stats = index.stats();
+  EXPECT_GT(stats.reclasses, 0u);
+  EXPECT_GT(stats.row_cache_patches, 0u);
+  EXPECT_GT(stats.row_cache_hits, 0u);
+  EXPECT_GT(stats.row_cache_misses, 0u);
+  EXPECT_EQ(stats.row_cache_hits + stats.row_cache_misses,
+            stats.rows_queried);
+}
+
+TEST(ConflictIndex, RowCacheCountersAndHitPath) {
+  const geom::Pointset points = {{0, 0}, {0, 1}, {1, 0}, {1, 1},
+                                 {4, 0}, {4, 1}, {5, 0}, {5, 1}};
+  const geom::LinkSet links(
+      points, {geom::Link{0, 1}, geom::Link{2, 3}, geom::Link{4, 5},
+               geom::Link{6, 7}});
+  auto index = index_of(links);
+  const auto spec = ConflictSpec::constant(2.0);
+  std::vector<std::size_t> all(links.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+
+  const auto first = index.neighbors(links, spec, all);
+  auto stats = index.stats();
+  EXPECT_EQ(stats.row_cache_misses, links.size());
+  EXPECT_EQ(stats.row_cache_hits, 0u);
+  EXPECT_EQ(index.rows_cached(), links.size());
+
+  const auto second = index.neighbors(links, spec, all);
+  EXPECT_EQ(second, first);
+  stats = index.stats();
+  EXPECT_EQ(stats.row_cache_hits, links.size());
+  EXPECT_EQ(stats.row_cache_misses, links.size());
+  EXPECT_EQ(stats.row_cache_hits + stats.row_cache_misses,
+            stats.rows_queried);
+}
+
+TEST(ConflictIndex, SpecChangeFlushesCachedRows) {
+  const auto tree = mst::mst_tree(instance::uniform_square(24, 6.0, 11), 0);
+  const auto& links = tree.links;
+  auto index = index_of(links);
+  std::vector<std::size_t> all(links.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+
+  const auto spec_a = ConflictSpec::constant(2.0);
+  const auto spec_b = ConflictSpec::power_law(1.0, 0.5);
+  (void)index.neighbors(links, spec_a, all);
+  ASSERT_EQ(index.rows_cached(), links.size());
+
+  // A different spec must flush every cached row, then answer exactly.
+  const auto rows_b = index.neighbors(links, spec_b, all);
+  EXPECT_EQ(rows_b, conflict_neighbors_bucketed(links, spec_b, all));
+  const auto stats = index.stats();
+  EXPECT_GE(stats.row_cache_invalidations, links.size());
+  // Every row under spec_b was a miss (nothing cached for it survived).
+  EXPECT_EQ(stats.row_cache_misses, 2 * links.size());
+}
+
+/// A tiny entry cap forces LRU sweeps mid-run; evicted rows recompute on
+/// the next query, so answers stay exact. Cap 0 disables caching entirely.
+TEST(ConflictIndex, EvictionCapKeepsRowsExactAndCapZeroDisables) {
+  const auto tree = mst::mst_tree(instance::uniform_square(40, 4.0, 23), 0);
+  const auto& links = tree.links;
+  auto index = index_of(links);
+  const auto spec = ConflictSpec::constant(2.0);
+  std::vector<std::size_t> all(links.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+
+  const auto scratch = conflict_neighbors_bucketed(links, spec, all);
+  index.set_row_cache_entry_cap(8);  // far below the total row mass
+  for (int pass = 0; pass < 3; ++pass) {
+    EXPECT_EQ(index.neighbors(links, spec, all), scratch) << pass;
+  }
+  EXPECT_GT(index.stats().row_cache_evictions, 0u);
+
+  index.set_row_cache_entry_cap(0);
+  EXPECT_EQ(index.rows_cached(), 0u);
+  EXPECT_EQ(index.neighbors(links, spec, all), scratch);
+  EXPECT_EQ(index.rows_cached(), 0u);  // cap 0: nothing materializes
+}
+
+/// clear() (the reconcile_full path) must drop every cached row: a re-seed
+/// with different geometry under the same ids would otherwise serve stale
+/// rows from before the wipe.
+TEST(ConflictIndex, ClearDropsCachedRowsBeforeReseed) {
+  const geom::Pointset before = {{0, 0}, {0, 1}, {0.5, 0}, {0.5, 1}};
+  const geom::LinkSet links_before(before,
+                                   {geom::Link{0, 1}, geom::Link{2, 3}});
+  auto index = index_of(links_before);
+  const auto spec = ConflictSpec::constant(1.0);
+  std::vector<std::size_t> all = {0, 1};
+  // Warm the cache: the two parallel unit links conflict.
+  ASSERT_EQ(index.neighbors(links_before, spec, all),
+            conflict_neighbors_bucketed(links_before, spec, all));
+  ASSERT_EQ(index.rows_cached(), 2u);
+
+  index.clear();
+  EXPECT_EQ(index.rows_cached(), 0u);
+  EXPECT_GE(index.stats().row_cache_invalidations, 2u);
+
+  // Re-seed same ids, far-apart geometry: rows must reflect the new world.
+  const geom::Pointset after = {{0, 0}, {0, 1}, {50, 0}, {50, 1}};
+  const geom::LinkSet links_after(after,
+                                  {geom::Link{0, 1}, geom::Link{2, 3}});
+  for (std::size_t i = 0; i < links_after.size(); ++i) {
+    index.add(static_cast<geom::LinkId>(i), links_after.sender_pos(i),
+              links_after.receiver_pos(i), links_after.length(i));
+  }
+  const auto rows = index.neighbors(links_after, spec, all);
+  EXPECT_EQ(rows, conflict_neighbors_bucketed(links_after, spec, all));
+  EXPECT_TRUE(rows[0].empty());
+  EXPECT_TRUE(rows[1].empty());
+}
+
 /// Huge-extent instance: cell coordinates exceed 32 bits, where the old
 /// `(x << 32) ^ (y & 0xffffffff)` cell key silently aliased distant cells
 /// onto one bucket. Results must stay exact (aliasing only ever inflated

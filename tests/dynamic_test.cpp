@@ -5,11 +5,13 @@
 #include <numeric>
 #include <vector>
 
+#include "conflict/conflict_index.h"
 #include "conflict/fgraph.h"
 #include "dynamic/dynamic_planner.h"
 #include "dynamic/mutation.h"
 #include "mst/incremental.h"
 #include "mst/mst.h"
+#include "obs/metrics.h"
 #include "runtime/plan_service.h"
 #include "schedule/verify.h"
 #include "util/rng.h"
@@ -507,6 +509,81 @@ TEST(DynamicPlanner, FailedEpochWithLengthPreservingMoveResyncsIndex) {
   EXPECT_TRUE(report.valid);
   EXPECT_TRUE(report.audit_valid);
   EXPECT_TRUE(report.audit_index_match);
+}
+
+/// The row-cache variant of the staleness regression above: warm the cache
+/// with an explicit full-row query, fail an epoch after a prefix of applied
+/// mutations, and require that the recovery reconcile dropped every cached
+/// row — a survivor would serve pre-failure geometry from the cache even
+/// though the grids themselves were re-seeded correctly.
+TEST(DynamicPlanner, FailedEpochCannotLeaveStaleCachedRows) {
+  const geom::Pointset points = {{0, 0}, {5, 0}, {3, 12}, {3, 17}};
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.audit = true;
+  DynamicPlanner planner(points, options);
+  const auto spec = core::spec_for_mode(options.config);
+
+  // Materialize every row so the failure path has cached state to corrupt.
+  {
+    const auto& links = planner.snapshot().links;
+    std::vector<std::size_t> all(links.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    (void)planner.conflict_index().neighbors(links, spec, all);
+    ASSERT_GT(planner.conflict_index().rows_cached(), 0u);
+  }
+
+  // Length-preserving rotation, then a throwing mutation: the prefix stays
+  // applied but the epoch fails and the planner reconciles from scratch.
+  std::vector<Mutation> batch;
+  batch.push_back({Mutation::Kind::kMove, 1, {3, 4}});
+  batch.push_back({Mutation::Kind::kRemove, 42, {}});
+  EXPECT_THROW((void)planner.apply(batch), std::invalid_argument);
+
+  const auto report =
+      planner.apply(Mutation{Mutation::Kind::kAdd, -1, {20.0, 0.0}});
+  EXPECT_TRUE(report.valid);
+  EXPECT_TRUE(report.audit_index_match);
+
+  // Belt and braces beyond the audit: both the mixed query and the all-hit
+  // repeat must match a from-scratch row build on the recovered snapshot.
+  const auto& links = planner.snapshot().links;
+  std::vector<std::size_t> all(links.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto scratch = conflict::conflict_neighbors_bucketed(links, spec, all);
+  EXPECT_EQ(planner.conflict_index().neighbors(links, spec, all), scratch);
+  EXPECT_EQ(planner.conflict_index().neighbors(links, spec, all), scratch);
+}
+
+/// Cross-checks the published row-cache telemetry: across a churn run every
+/// row served was either a cache hit or a miss, so the registry counters
+/// must satisfy hits + misses == rows_queried exactly, and a warmed cache
+/// must actually be hitting.
+TEST(DynamicPlanner, RowCacheCountersSatisfyQueryIdentity) {
+  obs::Registry::global().reset();
+  const auto points = workload::make_family("uniform", 48, 17);
+  ChurnParams params;
+  params.epochs = 6;
+  params.rate = 0.08;
+  const auto trace = make_churn_trace(points, params, 33);
+
+  DynamicOptions options;
+  options.config = workload::mode_config(core::PowerMode::kGlobal);
+  options.audit = true;  // audit double-queries, driving the hit path
+  DynamicPlanner planner(points, options);
+  for (const auto& epoch : trace) (void)planner.apply(epoch);
+
+  auto& reg = obs::Registry::global();
+  const auto hits = reg.counter("conflict.row_cache_hits").value();
+  const auto misses = reg.counter("conflict.row_cache_misses").value();
+  EXPECT_EQ(hits + misses, reg.counter("conflict.rows_queried").value());
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(misses, 0u);
+
+  // The same identity must hold on the index's own cumulative stats.
+  const auto stats = planner.conflict_index().stats();
+  EXPECT_EQ(stats.row_cache_hits + stats.row_cache_misses,
+            stats.rows_queried);
 }
 
 TEST(DynamicPlanner, FixedPowerModeStaysValid) {

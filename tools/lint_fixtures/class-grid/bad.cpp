@@ -1,0 +1,18 @@
+// wagg-lint-fixture: class-grid expect=3
+// ClassGrid reached from outside src/conflict/ (this fixture lints as
+// src/bad.cpp): both the include and each type mention must be flagged —
+// the per-class grids are ConflictIndex's private row-cache substrate.
+#include "conflict/class_grid.h"  // finding 1
+
+namespace wagg::mst {
+
+struct Sidecar {
+  conflict::detail::ClassGrid grid;  // finding 2
+
+  int peek() {
+    using conflict::detail::ClassGrid;  // finding 3
+    return 0;
+  }
+};
+
+}  // namespace wagg::mst

@@ -1,0 +1,22 @@
+// wagg-lint-fixture: class-grid expect=0
+// Negative cases: the sanctioned query paths, the cell_key-only borrow with
+// its allow comment, comment/string mentions, and a lookalike identifier.
+#include "conflict/conflict_index.h"
+#include "conflict/fgraph.h"
+// wagg-lint: allow(class-grid) borrows conflict::detail::cell_key only
+#include "conflict/class_grid.h"
+
+namespace wagg::mst {
+
+// A comment saying ClassGrid is inert, as is "conflict/class_grid.h" here:
+inline const char* kDoc = "ClassGrid stays behind ConflictIndex";
+
+struct PointClassGridded {  // lookalike name must not trip \bClassGrid\b
+  int cells = 0;
+};
+
+inline std::uint64_t key_of(std::int64_t x, std::int64_t y) {
+  return conflict::detail::cell_key(x, y);
+}
+
+}  // namespace wagg::mst

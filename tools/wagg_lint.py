@@ -30,6 +30,15 @@ Rules (see README "Correctness tooling" for the catalogue and rationale):
                 util::Mutex / util::MutexLock / util::CondVar wrappers so
                 Clang's thread-safety analysis sees every lock.
 
+  class-grid    ClassGrid (and including conflict/class_grid.h) is forbidden
+                outside src/conflict/: the per-class endpoint grids are the
+                private substrate of ConflictIndex's diff-maintained row
+                cache, and an outside reader could observe rows mid-patch or
+                bypass the cache's exactness invariant. Other layers go
+                through ConflictIndex / conflict_neighbors_bucketed. The one
+                allowed exception (mst/point_grid.h borrows the cell_key
+                mixer only) carries an allow comment.
+
 Suppression: a line (or the line directly above it) containing
 ``wagg-lint: allow(<rule>)`` suppresses that rule on that line. Every allow
 should carry a short justification after the closing parenthesis.
@@ -183,6 +192,11 @@ EQ_DELETE_RE = re.compile(r"=\s*delete\b")
 RAW_SYNC_RE = re.compile(
     r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b")
+CLASS_GRID_RE = re.compile(r"\bClassGrid\b")
+# Matched on RAW lines: strip_code blanks string literals, which would hide
+# the include path. Anchored so a mention in a comment cannot trip it.
+CLASS_GRID_INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s*["<](?:[^">]*/)?class_grid\.h[">]')
 
 
 def lint_file(path: Path, relpath: str, rules: set[str]) -> list[Finding]:
@@ -197,6 +211,8 @@ def lint_file(path: Path, relpath: str, rules: set[str]) -> list[Finding]:
 
     in_obs = relpath.startswith("src/obs/") or relpath.startswith("obs/")
     is_mutex_header = relpath.endswith("util/mutex.h")
+    in_conflict = (relpath.startswith("src/conflict/") or
+                   relpath.startswith("conflict/"))
 
     for idx, line in enumerate(code_lines, start=1):
         if not in_obs:
@@ -220,10 +236,23 @@ def lint_file(path: Path, relpath: str, rules: set[str]) -> list[Finding]:
             report(idx, "raw-sync",
                    "raw std sync primitive: use the annotated util::Mutex / "
                    "util::MutexLock / util::CondVar (util/mutex.h)")
+        if not in_conflict:
+            if CLASS_GRID_RE.search(line):
+                report(idx, "class-grid",
+                       "ClassGrid outside src/conflict/: the per-class grids "
+                       "are ConflictIndex's private row-cache substrate — "
+                       "query through ConflictIndex or "
+                       "conflict_neighbors_bucketed")
+            if CLASS_GRID_INCLUDE_RE.search(raw_lines[idx - 1]):
+                report(idx, "class-grid",
+                       "including conflict/class_grid.h outside "
+                       "src/conflict/: query through ConflictIndex or "
+                       "conflict_neighbors_bucketed")
     return findings
 
 
-ALL_RULES = {"stats-struct", "wall-clock", "naked-new", "raw-sync"}
+ALL_RULES = {"stats-struct", "wall-clock", "naked-new", "raw-sync",
+             "class-grid"}
 
 
 def lint_tree(root: Path) -> list[Finding]:
